@@ -1,0 +1,21 @@
+//! Bench: Figure 1 — reference-machine state breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dva_bench::bench_programs;
+use dva_ref::{RefParams, RefSim};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_unit_usage");
+    group.sample_size(10);
+    for (benchmark, program) in bench_programs() {
+        for latency in [1u64, 100] {
+            group.bench_function(format!("{}_L{latency}", benchmark.name()), |b| {
+                b.iter(|| RefSim::new(RefParams::with_latency(latency)).run(&program))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

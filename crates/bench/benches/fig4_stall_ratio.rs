@@ -1,0 +1,22 @@
+//! Bench: Figure 4 — all-idle cycle ratio between the machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dva_bench::BENCH_SCALE;
+use dva_experiments::common::{run_point, LatencySweep};
+use dva_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_stall_ratio");
+    group.sample_size(10);
+    let program = Benchmark::Flo52.program(BENCH_SCALE);
+    group.bench_function("flo52_point_L50", |b| {
+        b.iter(|| run_point(Benchmark::Flo52, &program, 50).idle_ratio())
+    });
+    group.bench_function("sweep_two_latencies", |b| {
+        b.iter(|| LatencySweep::run(BENCH_SCALE, &[1, 100]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench: Figure 5 — DVA-over-REF speedup computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dva_bench::bench_programs;
+use dva_experiments::common::run_point;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_speedup");
+    group.sample_size(10);
+    for (benchmark, program) in bench_programs() {
+        group.bench_function(format!("{}_speedup_L100", benchmark.name()), |b| {
+            b.iter(|| run_point(benchmark, &program, 100).speedup())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

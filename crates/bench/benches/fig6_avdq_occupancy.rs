@@ -1,0 +1,25 @@
+//! Bench: Figure 6 — AVDQ occupancy histogram collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dva_bench::BENCH_SCALE;
+use dva_core::{DvaConfig, DvaSim};
+use dva_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_avdq_occupancy");
+    group.sample_size(10);
+    // SPEC77 is the program that actually exercises deep queue occupancy.
+    let program = Benchmark::Spec77.program(BENCH_SCALE);
+    for latency in [1u64, 100] {
+        group.bench_function(format!("spec77_L{latency}"), |b| {
+            b.iter(|| {
+                let r = DvaSim::new(DvaConfig::dva(latency)).run(&program);
+                (r.avdq_occupancy.mean(), r.max_avdq)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: Figure 7 — bypass configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dva_bench::BENCH_SCALE;
+use dva_core::{DvaConfig, DvaSim};
+use dva_experiments::fig7::BYP_CONFIGS;
+use dva_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_bypass");
+    group.sample_size(10);
+    // TRFD is one of the two biggest bypass winners in the paper.
+    let program = Benchmark::Trfd.program(BENCH_SCALE);
+    for (load_q, store_q) in BYP_CONFIGS {
+        group.bench_function(format!("trfd_byp_{load_q}_{store_q}_L1"), |b| {
+            b.iter(|| DvaSim::new(DvaConfig::byp(1, load_q, store_q)).run(&program))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

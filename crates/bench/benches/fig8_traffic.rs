@@ -1,0 +1,23 @@
+//! Bench: Figure 8 — memory traffic with and without bypass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dva_bench::BENCH_SCALE;
+use dva_core::{DvaConfig, DvaSim};
+use dva_workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_traffic");
+    group.sample_size(10);
+    let program = Benchmark::Bdna.program(BENCH_SCALE);
+    group.bench_function("bdna_traffic_ratio", |b| {
+        b.iter(|| {
+            let dva = DvaSim::new(DvaConfig::dva(1)).run(&program);
+            let byp = DvaSim::new(DvaConfig::byp(1, 256, 16)).run(&program);
+            byp.traffic.ratio_to(&dva.traffic)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Bench: regenerate Table 1 (workload generation + trace statistics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dva_bench::BENCH_SCALE;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("generate_and_summarize", |b| {
+        b.iter(|| dva_experiments::table1::run(BENCH_SCALE))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

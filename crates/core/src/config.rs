@@ -1,0 +1,114 @@
+//! Configuration of the decoupled machine.
+
+use dva_memory::MemoryParams;
+use dva_uarch::UarchParams;
+
+/// Capacities of the architectural queues (paper, Sections 4 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Instruction queues (APIQ, SPIQ, VPIQ). The paper uses 16: reducing
+    /// from 512 to 16 costs under 2%.
+    pub instruction_queue: usize,
+    /// Vector load data queue (AVDQ) slots, each one full vector register.
+    /// The paper's default study uses 256; Section 6 shows 4 suffices.
+    pub avdq: usize,
+    /// Vector store queue slots (paired address/data: VSAQ + VADQ). The
+    /// paper fixes 16 and shows 8 captures almost all of the benefit.
+    pub store_queue: usize,
+    /// Scalar store address queue (SSAQ) slots.
+    pub scalar_store_queue: usize,
+    /// Scalar data queues (ASDQ, SADQ, SVDQ, VSDQ, SSDQ).
+    pub scalar_data_queue: usize,
+}
+
+impl Default for QueueConfig {
+    /// The paper's DVA configuration: instruction queues of 16, AVDQ of
+    /// 256, store queue of 16, scalar queues of 256.
+    fn default() -> Self {
+        QueueConfig {
+            instruction_queue: 16,
+            avdq: 256,
+            store_queue: 16,
+            scalar_store_queue: 16,
+            scalar_data_queue: 256,
+        }
+    }
+}
+
+impl QueueConfig {
+    /// The `BYP n/m` configurations of Section 7: load queue of `avdq`
+    /// slots, store queue of `store_queue` slots.
+    pub fn bypass_config(avdq: usize, store_queue: usize) -> QueueConfig {
+        QueueConfig {
+            avdq,
+            store_queue,
+            ..QueueConfig::default()
+        }
+    }
+}
+
+/// Full configuration of the decoupled vector architecture.
+#[derive(Debug, Clone, Copy)]
+pub struct DvaConfig {
+    /// Vector engine timing (shared with the reference machine).
+    pub uarch: UarchParams,
+    /// Memory system parameters.
+    pub memory: MemoryParams,
+    /// Queue capacities.
+    pub queues: QueueConfig,
+    /// Whether the VADQ→AVDQ store→load bypass unit is present
+    /// (Section 7).
+    pub bypass: bool,
+}
+
+impl DvaConfig {
+    /// The paper's base DVA at the given memory latency: 16-entry
+    /// instruction queues, 256-slot AVDQ, 16-slot store queue, no bypass.
+    pub fn dva(latency: u64) -> DvaConfig {
+        DvaConfig {
+            uarch: UarchParams::default(),
+            memory: MemoryParams::with_latency(latency),
+            queues: QueueConfig::default(),
+            bypass: false,
+        }
+    }
+
+    /// A `BYP load/store` configuration of Section 7 at the given latency.
+    pub fn byp(latency: u64, load_queue: usize, store_queue: usize) -> DvaConfig {
+        DvaConfig {
+            uarch: UarchParams::default(),
+            memory: MemoryParams::with_latency(latency),
+            queues: QueueConfig::bypass_config(load_queue, store_queue),
+            bypass: true,
+        }
+    }
+}
+
+impl Default for DvaConfig {
+    fn default() -> Self {
+        DvaConfig::dva(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_base_configuration() {
+        let q = QueueConfig::default();
+        assert_eq!(q.instruction_queue, 16);
+        assert_eq!(q.avdq, 256);
+        assert_eq!(q.store_queue, 16);
+        assert!(!DvaConfig::dva(30).bypass);
+    }
+
+    #[test]
+    fn byp_configurations_set_both_queues() {
+        let c = DvaConfig::byp(1, 4, 8);
+        assert!(c.bypass);
+        assert_eq!(c.queues.avdq, 4);
+        assert_eq!(c.queues.store_queue, 8);
+        assert_eq!(c.queues.instruction_queue, 16);
+    }
+}

@@ -1,0 +1,836 @@
+//! The cycle-stepped decoupled-machine engine: four processors, the
+//! architectural queues, the two-step store engine and the bypass unit.
+
+use crate::config::DvaConfig;
+use crate::queues::{Fifo, Timed};
+use crate::result::DvaResult;
+use crate::uops::{translate, ApOp, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
+use dva_isa::{Cycle, MemRange, Program, ScalarReg, VectorLength};
+use dva_memory::{CacheAccess, MemorySystem};
+use dva_metrics::{Histogram, StateTracker, UnitState};
+use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, VectorRegFile};
+use std::collections::HashMap;
+
+/// How many cycles without any progress before the engine declares a
+/// deadlock (a bug) and panics with diagnostics.
+const WATCHDOG_CYCLES: u64 = 200_000;
+
+/// One slot of the vector load data queue. Each slot holds a full vector
+/// register's worth of data.
+#[derive(Debug, Clone, Copy)]
+struct AvdqSlot {
+    id: u64,
+    /// When the data is fully present (never chained: the VP cannot start
+    /// consuming before the last element arrives).
+    ready_at: Cycle,
+    /// For bypassed loads: the store whose data this slot will receive.
+    pending_bypass: Option<StoreSeq>,
+}
+
+/// A vector store address waiting in the VSAQ.
+#[derive(Debug, Clone, Copy)]
+struct VsaqEntry {
+    access: VecAccess,
+    seq: StoreSeq,
+}
+
+/// A scalar store address waiting in the SSAQ.
+#[derive(Debug, Clone, Copy)]
+struct SsaqEntry {
+    addr: u64,
+    seq: StoreSeq,
+    /// When the data is available: known at push time for AP-sourced
+    /// data; `None` means "from the scalar store data queue".
+    ap_data_ready: Option<Cycle>,
+}
+
+/// A vector store's data sitting in (or streaming into) the VADQ.
+///
+/// The store engine chains off the QMOV stream: the commit may start once
+/// the *first* element is present (the paper performs the store "when the
+/// first slot in both an address queue and its corresponding data queue is
+/// ready"); the memory write then streams one element per cycle behind the
+/// incoming data.
+#[derive(Debug, Clone, Copy)]
+struct VadqEntry {
+    seq: StoreSeq,
+    /// First element present (commit may chain from here).
+    first_at: Cycle,
+    vl: VectorLength,
+}
+
+/// A load waiting for its bypass copy to start.
+#[derive(Debug, Clone, Copy)]
+struct PendingBypass {
+    slot_id: u64,
+    store_seq: StoreSeq,
+    vl: VectorLength,
+}
+
+pub(crate) struct Engine {
+    cfg: DvaConfig,
+    chain: ChainPolicy,
+    now: Cycle,
+
+    // Vector processor state.
+    vregs: VectorRegFile,
+    fu1: FuPipe,
+    fu2: FuPipe,
+    qmov1: FuPipe,
+    qmov2: FuPipe,
+
+    // Scalar/address processor state.
+    ap_sb: Scoreboard,
+    sp_sb: Scoreboard,
+
+    // Memory.
+    mem: MemorySystem,
+
+    // Instruction queues.
+    apiq: Fifo<ApOp>,
+    spiq: Fifo<SpOp>,
+    vpiq: Fifo<VpOp>,
+
+    // Data queues.
+    avdq: Fifo<AvdqSlot>,
+    avdq_draining: Vec<Cycle>,
+    next_avdq_id: u64,
+    vadq: Fifo<VadqEntry>,
+    vsaq: Fifo<VsaqEntry>,
+    ssaq: Fifo<SsaqEntry>,
+    ssdq: Fifo<Timed<()>>,
+    asdq: Fifo<Timed<()>>,
+    sadq: Fifo<Timed<()>>,
+    svdq: Fifo<Timed<()>>,
+    vsdq: Fifo<Timed<()>>,
+
+    // Store engine. Vector stores are written back *lazily*: they stay in
+    // the VSAQ/VADQ until queue pressure, a hazard drain or the end of the
+    // program forces them out — maximizing the window in which a later
+    // identical load can bypass them. Scalar stores commit eagerly.
+    /// seq → cycle its data first lands in the VADQ. Retained after commit
+    /// so a pending bypass can still source the value.
+    store_data_ready: HashMap<StoreSeq, Cycle>,
+    stores_committed: u64,
+
+    // Bypass engine.
+    bypass_unit: FuPipe,
+    pending_bypasses: Vec<PendingBypass>,
+    bypassed_loads: u64,
+
+    // Drain mode: the AP is blocked until all stores up to this sequence
+    // number (inclusive) have committed.
+    ap_drain_until: Option<StoreSeq>,
+
+    // Measurements.
+    states: StateTracker,
+    avdq_hist: Histogram,
+    fp_stalls: u64,
+    drain_stall_cycles: u64,
+    branches_to_fp: u64,
+    progress_at: Cycle,
+}
+
+impl Engine {
+    pub(crate) fn new(cfg: DvaConfig) -> Engine {
+        let q = cfg.queues;
+        Engine {
+            cfg,
+            chain: ChainPolicy::reference(),
+            now: 0,
+            vregs: VectorRegFile::new(&cfg.uarch),
+            fu1: FuPipe::new("FU1"),
+            fu2: FuPipe::new("FU2"),
+            qmov1: FuPipe::new("QMOV1"),
+            qmov2: FuPipe::new("QMOV2"),
+            ap_sb: Scoreboard::new(),
+            sp_sb: Scoreboard::new(),
+            mem: MemorySystem::new(cfg.memory),
+            apiq: Fifo::new("APIQ", q.instruction_queue),
+            spiq: Fifo::new("SPIQ", q.instruction_queue),
+            vpiq: Fifo::new("VPIQ", q.instruction_queue),
+            avdq: Fifo::new("AVDQ", q.avdq),
+            avdq_draining: Vec::new(),
+            next_avdq_id: 0,
+            vadq: Fifo::new("VADQ", q.store_queue),
+            vsaq: Fifo::new("VSAQ", q.store_queue),
+            ssaq: Fifo::new("SSAQ", q.scalar_store_queue),
+            ssdq: Fifo::new("SSDQ", q.scalar_data_queue),
+            asdq: Fifo::new("ASDQ", q.scalar_data_queue),
+            sadq: Fifo::new("SADQ", q.scalar_data_queue),
+            svdq: Fifo::new("SVDQ", q.scalar_data_queue),
+            vsdq: Fifo::new("VSDQ", q.scalar_data_queue),
+            store_data_ready: HashMap::new(),
+            stores_committed: 0,
+            bypass_unit: FuPipe::new("BYPASS"),
+            pending_bypasses: Vec::new(),
+            bypassed_loads: 0,
+            ap_drain_until: None,
+            states: StateTracker::new(),
+            avdq_hist: Histogram::new(q.avdq.min(64)),
+            fp_stalls: 0,
+            drain_stall_cycles: 0,
+            branches_to_fp: 0,
+            progress_at: 0,
+        }
+    }
+
+    // -- occupancy ---------------------------------------------------------
+
+    fn avdq_busy_slots(&self) -> usize {
+        let draining = self
+            .avdq_draining
+            .iter()
+            .filter(|&&until| until > self.now)
+            .count();
+        self.avdq.len() + draining
+    }
+
+    fn avdq_has_free_slot(&self) -> bool {
+        self.avdq_busy_slots() < self.avdq.capacity()
+    }
+
+    // -- disambiguation -----------------------------------------------------
+
+    /// Checks `range` against every queued store older than the load.
+    /// Returns the youngest conflicting store's sequence number and
+    /// whether that youngest conflict is an *identical* vector access
+    /// (bypass candidate).
+    fn disambiguate(&self, range: MemRange, identical_to: Option<&dva_isa::VectorAccess>) -> Option<(StoreSeq, bool)> {
+        let mut youngest: Option<(StoreSeq, bool)> = None;
+        for entry in self.vsaq.iter() {
+            if entry.access.range().overlaps(&range) {
+                let identical = match (identical_to, entry.access.strided()) {
+                    (Some(load), Some(store)) => load.is_identical(store),
+                    _ => false,
+                };
+                if youngest.map_or(true, |(s, _)| entry.seq > s) {
+                    youngest = Some((entry.seq, identical));
+                }
+            }
+        }
+        for entry in self.ssaq.iter() {
+            let store_range = MemRange::new(entry.addr, entry.addr + 8);
+            if store_range.overlaps(&range) && youngest.map_or(true, |(s, _)| entry.seq > s) {
+                youngest = Some((entry.seq, false));
+            }
+        }
+        youngest
+    }
+
+    // -- store engine -------------------------------------------------------
+
+    /// The oldest store still awaiting writeback, if any. Because the AP
+    /// enqueues addresses in program order, the queue fronts bound every
+    /// pending store.
+    fn oldest_pending_store(&self) -> Option<StoreSeq> {
+        let v = self.vsaq.front().map(|e| e.seq);
+        let s = self.ssaq.front().map(|e| e.seq);
+        match (v, s) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Commits stores. Scalar stores write back eagerly; vector stores
+    /// write back only under pressure (queue nearly full), on a hazard
+    /// drain, or when the program is flushing — they otherwise linger in
+    /// the store queue, which is what gives the bypass its window.
+    /// Vector and scalar stores each commit in program order among
+    /// themselves; the generated address spaces are disjoint, so the
+    /// relaxation across the two queues cannot reorder same-address
+    /// writes.
+    fn step_store_engine(&mut self, flush: bool) -> bool {
+        let now = self.now;
+        // Scalar store: eager.
+        if let Some(front) = self.ssaq.front().copied() {
+            let data_ready = match front.ap_data_ready {
+                Some(t) => t <= now,
+                None => self.ssdq.front().is_some_and(|d| d.is_ready(now)),
+            };
+            if data_ready && self.mem.bus_free(now) {
+                if front.ap_data_ready.is_none() {
+                    self.ssdq.pop();
+                }
+                self.mem.scalar_store(now, front.addr);
+                self.ssaq.pop();
+                self.stores_committed += 1;
+                return true;
+            }
+        }
+        // Vector store: lazy.
+        let pressured = self.vsaq.len() + 1 >= self.vsaq.capacity()
+            || self.vadq.len() + 1 >= self.vadq.capacity();
+        let draining = match (self.ap_drain_until, self.vsaq.front()) {
+            (Some(limit), Some(front)) => front.seq <= limit,
+            _ => false,
+        };
+        if !(flush || pressured || draining) {
+            return false;
+        }
+        let (Some(_), Some(data)) = (self.vsaq.front(), self.vadq.front().copied()) else {
+            return false;
+        };
+        if data.first_at > now || !self.mem.bus_free(now) {
+            return false;
+        }
+        debug_assert_eq!(
+            self.vsaq.front().map(|e| e.seq),
+            Some(data.seq),
+            "VADQ order must match VSAQ order"
+        );
+        self.mem.issue_vector_store(now, data.vl);
+        self.vsaq.pop();
+        self.vadq.pop();
+        self.stores_committed += 1;
+        true
+    }
+
+    // -- bypass engine ------------------------------------------------------
+
+    /// Starts at most one bypass copy per cycle (oldest pending first).
+    fn step_bypass_engine(&mut self) -> bool {
+        if self.pending_bypasses.is_empty() || !self.bypass_unit.is_free(self.now) {
+            return false;
+        }
+        let pending = self.pending_bypasses[0];
+        let Some(&data_ready) = self.store_data_ready.get(&pending.store_seq) else {
+            return false; // the VP has not issued the store's QMOV yet
+        };
+        if data_ready > self.now {
+            return false;
+        }
+        self.pending_bypasses.remove(0);
+        self.bypass_unit.reserve(self.now, pending.vl.cycles());
+        let ready_at = self.now + pending.vl.cycles();
+        let slot = self
+            .avdq
+            .iter()
+            .position(|s| s.id == pending.slot_id)
+            .expect("bypassed AVDQ slot must still be queued");
+        // Fifo has no indexed mutation; rebuild the slot via iter_mut
+        // through front after rotating is overkill — use interior update.
+        self.avdq.update_at(slot, |s| {
+            s.ready_at = ready_at;
+            s.pending_bypass = None;
+        });
+        self.mem.record_bypass(pending.vl);
+        self.bypassed_loads += 1;
+        true
+    }
+
+    // -- address processor --------------------------------------------------
+
+    fn step_ap(&mut self) -> bool {
+        let now = self.now;
+        // Drain mode blocks the AP until the offending stores commit.
+        if let Some(limit) = self.ap_drain_until {
+            if self.oldest_pending_store().is_some_and(|oldest| oldest <= limit) {
+                self.drain_stall_cycles += 1;
+                return false;
+            }
+            self.ap_drain_until = None;
+        }
+        let Some(op) = self.apiq.front().copied() else {
+            return false;
+        };
+        let done = match op {
+            ApOp::Alu {
+                dst,
+                srcs,
+                pops_sadq,
+            } => {
+                if !self.ap_sb.all_ready(&srcs, now) {
+                    false
+                } else if (self.sadq.len() as u8) < pops_sadq
+                    || !self
+                        .sadq
+                        .iter()
+                        .take(pops_sadq as usize)
+                        .all(|e| e.is_ready(now))
+                {
+                    false
+                } else {
+                    for _ in 0..pops_sadq {
+                        self.sadq.pop();
+                    }
+                    self.ap_sb.set_ready(dst, now + 1);
+                    true
+                }
+            }
+            ApOp::PushAsdq { src } => {
+                if !self.ap_sb.is_ready(src, now) || self.asdq.is_full() {
+                    false
+                } else {
+                    self.asdq.push(Timed::new((), now + 1));
+                    true
+                }
+            }
+            ApOp::ScalarLoad { dst, to_sp, addr } => self.ap_scalar_load(dst, to_sp, addr),
+            ApOp::ScalarStoreAddr { addr, data, seq } => {
+                if self.ssaq.is_full() {
+                    false
+                } else {
+                    let ap_data_ready = match data {
+                        StoreDataSource::AddressProcessor(reg) => {
+                            Some(self.ap_sb.ready_at(reg).max(now))
+                        }
+                        StoreDataSource::ScalarProcessor => None,
+                    };
+                    self.ssaq.push(SsaqEntry {
+                        addr,
+                        seq,
+                        ap_data_ready,
+                    });
+                    true
+                }
+            }
+            ApOp::VectorLoad { access } => self.ap_vector_load(access),
+            ApOp::VectorStoreAddr { access, seq } => {
+                if self.vsaq.is_full() {
+                    false
+                } else {
+                    self.vsaq.push(VsaqEntry { access, seq });
+                    true
+                }
+            }
+            ApOp::Branch { cond } => {
+                if self.ap_sb.is_ready(cond, now) {
+                    self.branches_to_fp += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if done {
+            self.apiq.pop();
+        }
+        done
+    }
+
+    fn ap_scalar_load(&mut self, dst: Option<ScalarReg>, to_sp: bool, addr: u64) -> bool {
+        let now = self.now;
+        let range = MemRange::new(addr, addr + 8);
+        if let Some((seq, _)) = self.disambiguate(range, None) {
+            self.ap_drain_until = Some(seq);
+            return false;
+        }
+        if to_sp && self.asdq.is_full() {
+            return false;
+        }
+        if self.mem.probe_scalar(addr) == CacheAccess::Miss && !self.mem.bus_free(now) {
+            return false;
+        }
+        let issue = self.mem.scalar_load(now, addr);
+        if to_sp {
+            self.asdq.push(Timed::new((), issue.data_complete_at));
+        } else if let Some(dst) = dst {
+            self.ap_sb.set_ready(dst, issue.data_complete_at);
+        }
+        true
+    }
+
+    fn ap_vector_load(&mut self, access: VecAccess) -> bool {
+        let now = self.now;
+        let conflict = self.disambiguate(access.range(), access.strided());
+        match conflict {
+            Some((seq, identical)) if self.cfg.bypass && identical => {
+                // Bypass: reserve the AVDQ slot now; the copy starts when
+                // the store's data lands in the VADQ. The AP moves on —
+                // the memory port stays free during the copy.
+                if !self.avdq_has_free_slot() {
+                    return false;
+                }
+                let id = self.next_avdq_id;
+                self.next_avdq_id += 1;
+                self.avdq.push(AvdqSlot {
+                    id,
+                    ready_at: Cycle::MAX,
+                    pending_bypass: Some(seq),
+                });
+                self.pending_bypasses.push(PendingBypass {
+                    slot_id: id,
+                    store_seq: seq,
+                    vl: access.vl(),
+                });
+                true
+            }
+            Some((seq, _)) => {
+                // Memory hazard: write back everything up to the youngest
+                // offending store, then retry.
+                self.ap_drain_until = Some(seq);
+                false
+            }
+            None => {
+                if !self.avdq_has_free_slot() || !self.mem.bus_free(now) {
+                    return false;
+                }
+                let issue = self.mem.issue_vector_load(now, access.vl());
+                let id = self.next_avdq_id;
+                self.next_avdq_id += 1;
+                self.avdq.push(AvdqSlot {
+                    id,
+                    ready_at: issue.data_complete_at,
+                    pending_bypass: None,
+                });
+                true
+            }
+        }
+    }
+
+    // -- scalar processor ---------------------------------------------------
+
+    fn step_sp(&mut self) -> bool {
+        let now = self.now;
+        let Some(op) = self.spiq.front().copied() else {
+            return false;
+        };
+        let done = match op {
+            SpOp::Alu {
+                dst,
+                srcs,
+                pops_asdq,
+            } => {
+                if !self.sp_sb.all_ready(&srcs, now) {
+                    false
+                } else if (self.asdq.len() as u8) < pops_asdq
+                    || !self
+                        .asdq
+                        .iter()
+                        .take(pops_asdq as usize)
+                        .all(|e| e.is_ready(now))
+                {
+                    false
+                } else {
+                    for _ in 0..pops_asdq {
+                        self.asdq.pop();
+                    }
+                    self.sp_sb.set_ready(dst, now + 1);
+                    true
+                }
+            }
+            SpOp::PopAsdq { dst } => {
+                if self.asdq.front().is_some_and(|e| e.is_ready(now)) {
+                    self.asdq.pop();
+                    self.sp_sb.set_ready(dst, now + 1);
+                    true
+                } else {
+                    false
+                }
+            }
+            SpOp::PushSadq { src } => self.sp_push(src, |e| &mut e.sadq),
+            SpOp::PushSvdq { src } => self.sp_push(src, |e| &mut e.svdq),
+            SpOp::PushSsdq { src } => self.sp_push(src, |e| &mut e.ssdq),
+            SpOp::PopVsdq { dst } => {
+                if self.vsdq.front().is_some_and(|e| e.is_ready(now)) {
+                    self.vsdq.pop();
+                    self.sp_sb.set_ready(dst, now + 1);
+                    true
+                } else {
+                    false
+                }
+            }
+            SpOp::Branch { cond } => {
+                if self.sp_sb.is_ready(cond, now) {
+                    self.branches_to_fp += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if done {
+            self.spiq.pop();
+        }
+        done
+    }
+
+    fn sp_push(
+        &mut self,
+        src: ScalarReg,
+        queue: impl Fn(&mut Engine) -> &mut Fifo<Timed<()>>,
+    ) -> bool {
+        let now = self.now;
+        if !self.sp_sb.is_ready(src, now) {
+            return false;
+        }
+        if queue(self).is_full() {
+            return false;
+        }
+        queue(self).push(Timed::new((), now + 1));
+        true
+    }
+
+    // -- vector processor ---------------------------------------------------
+
+    fn step_vp(&mut self) -> bool {
+        let now = self.now;
+        let startup = self.cfg.uarch.fu_startup;
+        let qstartup = self.cfg.uarch.qmov_startup;
+        let Some(op) = self.vpiq.front().copied() else {
+            return false;
+        };
+        let done = match op {
+            VpOp::Compute {
+                op,
+                dst,
+                srcs,
+                pops_svdq,
+                vl,
+            } => {
+                let reads: Vec<_> = srcs.into_iter().flatten().collect();
+                if pops_svdq && !self.svdq.front().is_some_and(|e| e.is_ready(now)) {
+                    false
+                } else if !self.vregs.can_issue(now, &reads, Some(dst), self.chain) {
+                    false
+                } else {
+                    let unit = if op.requires_general_unit() {
+                        &mut self.fu2
+                    } else if self.fu1.is_free(now) {
+                        &mut self.fu1
+                    } else {
+                        &mut self.fu2
+                    };
+                    if !unit.is_free(now) {
+                        false
+                    } else {
+                        unit.reserve(now, vl.cycles());
+                        if pops_svdq {
+                            self.svdq.pop();
+                        }
+                        self.vregs.begin_reads(now, &reads, vl.cycles());
+                        self.vregs.begin_write(
+                            dst,
+                            now,
+                            now + startup,
+                            now + startup + vl.cycles(),
+                            Producer::FunctionalUnit,
+                        );
+                        true
+                    }
+                }
+            }
+            VpOp::Reduce { src, vl, .. } => {
+                if self.vsdq.is_full() || !self.vregs.can_issue(now, &[src], None, self.chain) {
+                    false
+                } else {
+                    let unit = if self.fu1.is_free(now) {
+                        &mut self.fu1
+                    } else if self.fu2.is_free(now) {
+                        &mut self.fu2
+                    } else {
+                        return false;
+                    };
+                    unit.reserve(now, vl.cycles());
+                    self.vregs.begin_reads(now, &[src], vl.cycles());
+                    self.vsdq
+                        .push(Timed::new((), now + startup + vl.cycles() + 1));
+                    true
+                }
+            }
+            VpOp::QmovLoad { dst, index, vl } => {
+                let reads: Vec<_> = index.into_iter().collect();
+                if !self.avdq.front().is_some_and(|s| s.ready_at <= now) {
+                    false
+                } else if !self.vregs.can_issue(now, &reads, Some(dst), self.chain) {
+                    false
+                } else {
+                    let unit = if self.qmov1.is_free(now) {
+                        &mut self.qmov1
+                    } else if self.qmov2.is_free(now) {
+                        &mut self.qmov2
+                    } else {
+                        return false;
+                    };
+                    unit.reserve(now, vl.cycles());
+                    self.avdq.pop();
+                    self.avdq_draining.push(now + vl.cycles());
+                    if !reads.is_empty() {
+                        self.vregs.begin_reads(now, &reads, vl.cycles());
+                    }
+                    self.vregs.begin_write(
+                        dst,
+                        now,
+                        now + qstartup,
+                        now + qstartup + vl.cycles(),
+                        Producer::Qmov,
+                    );
+                    true
+                }
+            }
+            VpOp::QmovStore {
+                src,
+                index,
+                vl,
+                seq,
+            } => {
+                let mut reads = vec![src];
+                reads.extend(index);
+                if self.vadq.is_full() || !self.vregs.can_issue(now, &reads, None, self.chain) {
+                    false
+                } else {
+                    let unit = if self.qmov1.is_free(now) {
+                        &mut self.qmov1
+                    } else if self.qmov2.is_free(now) {
+                        &mut self.qmov2
+                    } else {
+                        return false;
+                    };
+                    unit.reserve(now, vl.cycles());
+                    self.vregs.begin_reads(now, &reads, vl.cycles());
+                    // First element lands after the QMOV startup; consumers
+                    // (store engine, bypass unit) chain one cycle behind.
+                    let first_at = now + qstartup + 1;
+                    self.vadq.push(VadqEntry { seq, first_at, vl });
+                    self.store_data_ready.insert(seq, first_at);
+                    true
+                }
+            }
+        };
+        if done {
+            self.vpiq.pop();
+        }
+        done
+    }
+
+    // -- fetch processor ----------------------------------------------------
+
+    fn fp_can_dispatch(&self, slots: (usize, usize, usize)) -> bool {
+        self.apiq.free_slots() >= slots.0
+            && self.spiq.free_slots() >= slots.1
+            && self.vpiq.free_slots() >= slots.2
+    }
+
+    // -- main loop ----------------------------------------------------------
+
+    pub(crate) fn run(mut self, program: &Program) -> DvaResult {
+        let insts = program.insts();
+        let mut pc = 0usize;
+        let mut next_store_seq: StoreSeq = 0;
+        let mut pending: Option<crate::uops::Bundle> = None;
+
+        loop {
+            let mut progress = false;
+            // The AP owns the memory port; lazy store writebacks take the
+            // bus only in the cycles the AP leaves it idle.
+            progress |= self.step_ap();
+            progress |= self.step_sp();
+            progress |= self.step_vp();
+            let flush = pc >= insts.len() && pending.is_none();
+            progress |= self.step_store_engine(flush);
+            if self.cfg.bypass {
+                progress |= self.step_bypass_engine();
+            }
+
+            // Fetch/dispatch: one architectural instruction per cycle.
+            if pending.is_none() && pc < insts.len() {
+                pending = Some(translate(&insts[pc], &mut next_store_seq));
+                pc += 1;
+            }
+            if let Some(bundle) = pending.take() {
+                if self.fp_can_dispatch(bundle.slots()) {
+                    if let Some(ap) = bundle.ap {
+                        self.apiq.push(ap);
+                    }
+                    for sp in &bundle.sp {
+                        self.spiq.push(*sp);
+                    }
+                    if let Some(vp) = bundle.vp {
+                        self.vpiq.push(vp);
+                    }
+                    progress = true;
+                } else {
+                    self.fp_stalls += 1;
+                    pending = Some(bundle);
+                }
+            }
+
+            // Sample per-cycle statistics.
+            self.avdq_hist.tick(self.avdq_busy_slots());
+            self.states.tick(UnitState::from_flags(
+                self.fu2.is_busy_at(self.now),
+                self.fu1.is_busy_at(self.now),
+                !self.mem.bus_free(self.now),
+            ));
+
+            if progress {
+                self.progress_at = self.now;
+            }
+
+            // Termination: everything fetched, all queues drained.
+            let structurally_done = pc >= insts.len()
+                && pending.is_none()
+                && self.apiq.is_empty()
+                && self.spiq.is_empty()
+                && self.vpiq.is_empty()
+                && self.avdq.is_empty()
+                && self.vadq.is_empty()
+                && self.vsaq.is_empty()
+                && self.ssaq.is_empty()
+                && self.pending_bypasses.is_empty();
+            if structurally_done {
+                let end = self
+                    .vregs
+                    .quiesce_at()
+                    .max(self.ap_sb.quiesce_at())
+                    .max(self.sp_sb.quiesce_at())
+                    .max(self.fu1.free_at())
+                    .max(self.fu2.free_at())
+                    .max(self.qmov1.free_at())
+                    .max(self.qmov2.free_at())
+                    .max(self.bypass_unit.free_at())
+                    .max(self.mem.bus().free_at());
+                self.now += 1;
+                while self.now < end {
+                    self.states.tick(UnitState::from_flags(
+                        self.fu2.is_busy_at(self.now),
+                        self.fu1.is_busy_at(self.now),
+                        !self.mem.bus_free(self.now),
+                    ));
+                    self.avdq_hist.tick(0);
+                    self.now += 1;
+                }
+                break;
+            }
+
+            if self.now - self.progress_at > WATCHDOG_CYCLES {
+                panic!(
+                    "decoupled engine deadlock at cycle {}: pc={pc}/{} APIQ={} SPIQ={} VPIQ={} \
+                     AVDQ={} VADQ={} VSAQ={} SSAQ={} next_commit={} drain={:?} pending_byp={}",
+                    self.now,
+                    insts.len(),
+                    self.apiq.len(),
+                    self.spiq.len(),
+                    self.vpiq.len(),
+                    self.avdq.len(),
+                    self.vadq.len(),
+                    self.vsaq.len(),
+                    self.ssaq.len(),
+                    self.stores_committed,
+                    self.ap_drain_until,
+                    self.pending_bypasses.len(),
+                );
+            }
+            self.now += 1;
+        }
+
+        let cycles = self.now;
+        let max_avdq = self.avdq_hist.max_observed().unwrap_or(0);
+        DvaResult {
+            cycles,
+            insts: insts.len() as u64,
+            states: self.states,
+            traffic: self.mem.traffic(),
+            avdq_occupancy: self.avdq_hist,
+            bypassed_loads: self.bypassed_loads,
+            fp_stalls: self.fp_stalls,
+            drain_stall_cycles: self.drain_stall_cycles,
+            bus_utilization: self.mem.bus().utilization(cycles),
+            cache_hit_rate: self.mem.cache().hit_rate(),
+            max_vpiq: self.vpiq.max_occupancy(),
+            max_apiq: self.apiq.max_occupancy(),
+            max_avdq,
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The **decoupled vector architecture** of Espasa & Valero (HPCA 1996) —
+//! the paper's primary contribution.
+//!
+//! The machine splits the sequential instruction stream into three streams
+//! executed by independent processors connected through architectural
+//! queues (paper, Section 4):
+//!
+//! * the **fetch processor (FP)** fetches one instruction per cycle,
+//!   translates it (inserting hidden `QMOV` pseudo-instructions) and
+//!   distributes µops to the other processors;
+//! * the **address processor (AP)** performs all memory accesses and
+//!   address arithmetic; it slips ahead of the computation and prefetches
+//!   exactly the data the program will need;
+//! * the **scalar processor (SP)** executes scalar computation at one
+//!   instruction per cycle;
+//! * the **vector processor (VP)** is the reference machine's vector
+//!   engine plus two QMOV units moving data between the queues and the
+//!   vector registers.
+//!
+//! Stores are two-step: addresses wait in the SSAQ/VSAQ until the data
+//! reaches the store data queues, then commit in strict program order.
+//! Loads are dynamically disambiguated against every queued store by
+//! memory-range overlap; hazards force the AP to drain stores. With
+//! [`DvaConfig::byp`], a load *identical* to a queued store is satisfied
+//! by the **bypass unit** copying VADQ→AVDQ — no memory access, no
+//! latency, and the memory port stays free (Section 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use dva_core::{DvaConfig, DvaSim};
+//! use dva_workloads::{Benchmark, Scale};
+//!
+//! let program = Benchmark::Dyfesm.program(Scale::Quick);
+//! let result = DvaSim::new(DvaConfig::dva(30)).run(&program);
+//! assert!(result.cycles > 0);
+//! assert_eq!(result.states.total_cycles(), result.cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod ideal;
+mod queues;
+mod result;
+mod uops;
+
+pub use config::{DvaConfig, QueueConfig};
+pub use ideal::{ideal_bound, IdealBound};
+pub use queues::{Fifo, Timed};
+pub use result::DvaResult;
+pub use uops::{translate, ApOp, Bundle, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
+
+use dva_isa::Program;
+
+/// The decoupled vector architecture simulator.
+///
+/// See the [crate docs](crate) for the machine description.
+#[derive(Debug, Clone)]
+pub struct DvaSim {
+    config: DvaConfig,
+}
+
+impl DvaSim {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: DvaConfig) -> DvaSim {
+        DvaSim { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> DvaConfig {
+        self.config
+    }
+
+    /// Runs `program` to completion and reports the measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine detects a deadlock (an internal invariant
+    /// violation — valid traces always complete).
+    pub fn run(&self, program: &Program) -> DvaResult {
+        engine::Engine::new(self.config).run(program)
+    }
+}

@@ -1,0 +1,54 @@
+//! Results of a decoupled-machine simulation.
+
+use dva_isa::Cycle;
+use dva_metrics::{Histogram, StateTracker, Traffic};
+
+/// Everything measured during one run of the decoupled simulator.
+#[derive(Debug, Clone)]
+pub struct DvaResult {
+    /// Total execution time in cycles.
+    pub cycles: Cycle,
+    /// Architectural instructions fetched.
+    pub insts: u64,
+    /// Per-cycle occupancy of the (FU2, FU1, LD) tuple, comparable with
+    /// the reference machine's breakdown (Figures 1 and 4).
+    pub states: StateTracker,
+    /// Memory traffic counters (bypassed loads counted separately).
+    pub traffic: Traffic,
+    /// Busy-slot histogram of the vector load data queue, sampled every
+    /// cycle (Figure 6).
+    pub avdq_occupancy: Histogram,
+    /// Vector loads fully satisfied by the VADQ→AVDQ bypass.
+    pub bypassed_loads: u64,
+    /// Cycles the fetch processor was blocked on a full instruction queue.
+    pub fp_stalls: u64,
+    /// Cycles the address processor spent draining stores to resolve
+    /// memory hazards.
+    pub drain_stall_cycles: u64,
+    /// Address bus utilization (0..=1).
+    pub bus_utilization: f64,
+    /// Scalar cache hit rate (0..=1).
+    pub cache_hit_rate: f64,
+    /// Highest VPIQ occupancy observed.
+    pub max_vpiq: usize,
+    /// Highest APIQ occupancy observed.
+    pub max_apiq: usize,
+    /// Highest AVDQ busy-slot count observed.
+    pub max_avdq: usize,
+}
+
+impl DvaResult {
+    /// Cycles spent in the all-idle `( , , )` state.
+    pub fn idle_cycles(&self) -> Cycle {
+        self.states.idle_cycles()
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+}

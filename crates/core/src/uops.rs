@@ -1,0 +1,578 @@
+//! Decoupled µops and the fetch processor's translation rules.
+//!
+//! The fetch processor (FP) splits the sequential instruction stream into
+//! three streams (paper, Section 4.1): memory accessing instructions go to
+//! the address processor, scalar computation to the scalar processor and
+//! vector computation to the vector processor. Whenever an instruction
+//! needs data produced by another processor, the FP inserts hidden `QMOV`
+//! pseudo-instructions that move values through the architectural queues;
+//! QMOVs are implementation details, not part of the programmer-visible
+//! ISA.
+
+use dva_isa::{Inst, ReduceOp, ScalarBank, ScalarReg, VectorAccess, VectorLength, VectorOp, VectorReg};
+
+/// Sequence number identifying a store in global program order (both
+/// scalar and vector stores; the machine executes stores strictly in this
+/// order).
+pub type StoreSeq = u64;
+
+/// Where a scalar store's data comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreDataSource {
+    /// From the scalar processor through the scalar store data queue.
+    ScalarProcessor,
+    /// From an address-processor register (available when the store-address
+    /// µop executes).
+    AddressProcessor(ScalarReg),
+}
+
+/// The memory access shape of a vector reference, for disambiguation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecAccess {
+    /// Strided access with a well-defined memory range.
+    Strided(VectorAccess),
+    /// Gather/scatter: cannot be characterized by a range; conflicts with
+    /// everything (paper, Section 4.2).
+    Indexed {
+        /// Vector length of the access.
+        vl: VectorLength,
+    },
+}
+
+impl VecAccess {
+    /// The vector length of the access.
+    pub fn vl(&self) -> VectorLength {
+        match self {
+            VecAccess::Strided(a) => a.vl,
+            VecAccess::Indexed { vl } => *vl,
+        }
+    }
+
+    /// The memory range for hazard checks.
+    pub fn range(&self) -> dva_isa::MemRange {
+        match self {
+            VecAccess::Strided(a) => a.range(),
+            VecAccess::Indexed { .. } => dva_isa::MemRange::ALL,
+        }
+    }
+
+    /// The strided access, when this is one (bypass requires an exact
+    /// strided match).
+    pub fn strided(&self) -> Option<&VectorAccess> {
+        match self {
+            VecAccess::Strided(a) => Some(a),
+            VecAccess::Indexed { .. } => None,
+        }
+    }
+}
+
+/// µops executed by the address processor, in APIQ order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApOp {
+    /// Address arithmetic (1 cycle). `pops_sadq` values must be received
+    /// from the scalar processor first.
+    Alu {
+        /// Destination `A` register.
+        dst: ScalarReg,
+        /// `A`-register sources.
+        srcs: [Option<ScalarReg>; 2],
+        /// Number of operands arriving through the SP→AP data queue.
+        pops_sadq: u8,
+    },
+    /// QMOV: send an `A` register value to the AP→SP data queue.
+    PushAsdq {
+        /// Source register.
+        src: ScalarReg,
+    },
+    /// Scalar load (through the scalar cache).
+    ScalarLoad {
+        /// Destination when it stays in the AP (`A` register).
+        dst: Option<ScalarReg>,
+        /// Whether the result is forwarded to the scalar processor.
+        to_sp: bool,
+        /// Byte address.
+        addr: u64,
+    },
+    /// Enqueue a scalar store address into the SSAQ.
+    ScalarStoreAddr {
+        /// Byte address.
+        addr: u64,
+        /// Where the data will come from.
+        data: StoreDataSource,
+        /// Global store order.
+        seq: StoreSeq,
+    },
+    /// Vector load: disambiguate, then occupy the bus for VL cycles.
+    VectorLoad {
+        /// The access shape.
+        access: VecAccess,
+    },
+    /// Enqueue a vector store address into the VSAQ.
+    VectorStoreAddr {
+        /// The access shape.
+        access: VecAccess,
+        /// Global store order.
+        seq: StoreSeq,
+    },
+    /// Branch resolved on the AP (sends its outcome up the AFBQ).
+    Branch {
+        /// Condition register.
+        cond: ScalarReg,
+    },
+}
+
+/// µops executed by the scalar processor, in SPIQ order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpOp {
+    /// Scalar computation (1 cycle).
+    Alu {
+        /// Destination `S` register.
+        dst: ScalarReg,
+        /// `S`-register sources.
+        srcs: [Option<ScalarReg>; 2],
+        /// Number of operands arriving through the AP→SP data queue.
+        pops_asdq: u8,
+    },
+    /// QMOV: receive a value from the AP→SP data queue into a register.
+    PopAsdq {
+        /// Destination register.
+        dst: ScalarReg,
+    },
+    /// QMOV: send a register to the SP→AP data queue.
+    PushSadq {
+        /// Source register.
+        src: ScalarReg,
+    },
+    /// QMOV: send a broadcast operand to the SP→VP data queue.
+    PushSvdq {
+        /// Source register.
+        src: ScalarReg,
+    },
+    /// QMOV: send store data to the scalar store data queue.
+    PushSsdq {
+        /// Source register.
+        src: ScalarReg,
+    },
+    /// QMOV: receive a reduction result from the VP→SP data queue.
+    PopVsdq {
+        /// Destination register.
+        dst: ScalarReg,
+    },
+    /// Branch resolved on the SP (sends its outcome up the SFBQ).
+    Branch {
+        /// Condition register.
+        cond: ScalarReg,
+    },
+}
+
+/// µops executed by the vector processor, in VPIQ order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpOp {
+    /// Vector computation on FU1/FU2. A scalar operand is popped from the
+    /// SP→VP data queue at issue.
+    Compute {
+        /// Opcode.
+        op: VectorOp,
+        /// Destination register.
+        dst: VectorReg,
+        /// Vector register sources.
+        srcs: [Option<VectorReg>; 2],
+        /// Whether a broadcast operand arrives through the SVDQ.
+        pops_svdq: bool,
+        /// Vector length.
+        vl: VectorLength,
+    },
+    /// Reduction; the scalar result is pushed to the VP→SP data queue.
+    Reduce {
+        /// Opcode.
+        op: ReduceOp,
+        /// Source register.
+        src: VectorReg,
+        /// Vector length.
+        vl: VectorLength,
+    },
+    /// QMOV: move the head AVDQ slot into a vector register (`index` set
+    /// for gathers, which also stream the index register).
+    QmovLoad {
+        /// Destination register.
+        dst: VectorReg,
+        /// Index register for gathers.
+        index: Option<VectorReg>,
+        /// Vector length.
+        vl: VectorLength,
+    },
+    /// QMOV: move a vector register into the VADQ (`index` set for
+    /// scatters).
+    QmovStore {
+        /// Source register.
+        src: VectorReg,
+        /// Index register for scatters.
+        index: Option<VectorReg>,
+        /// Vector length.
+        vl: VectorLength,
+        /// The store this data belongs to, linking the VADQ entry to its
+        /// VSAQ address entry.
+        seq: StoreSeq,
+    },
+}
+
+/// The µop bundle one architectural instruction expands to.
+#[derive(Debug, Clone, Default)]
+pub struct Bundle {
+    /// µop for the address processor, if any.
+    pub ap: Option<ApOp>,
+    /// µops for the scalar processor (an instruction can require both a
+    /// data push and its own execution).
+    pub sp: Vec<SpOp>,
+    /// µop for the vector processor, if any.
+    pub vp: Option<VpOp>,
+}
+
+impl Bundle {
+    /// Queue slots this bundle needs in (APIQ, SPIQ, VPIQ).
+    pub fn slots(&self) -> (usize, usize, usize) {
+        (
+            usize::from(self.ap.is_some()),
+            self.sp.len(),
+            usize::from(self.vp.is_some()),
+        )
+    }
+}
+
+fn is_a(reg: ScalarReg) -> bool {
+    reg.bank() == ScalarBank::Address
+}
+
+/// Translates one architectural instruction into its µop bundle,
+/// allocating store sequence numbers from `next_store_seq`.
+///
+/// # Panics
+///
+/// Panics on a vector computation whose broadcast operand is an `A`
+/// register — the workload generator only produces `S`-register broadcast
+/// operands, matching the machine's SP→VP queue.
+pub fn translate(inst: &Inst, next_store_seq: &mut StoreSeq) -> Bundle {
+    let mut b = Bundle::default();
+    match inst {
+        Inst::SAlu { dst, src1, src2 } => {
+            let srcs = [*src1, *src2];
+            if is_a(*dst) {
+                // Runs on the AP; S-register operands travel SP→AP.
+                let mut pops = 0u8;
+                let mut ap_srcs = [None, None];
+                for (i, s) in srcs.into_iter().enumerate() {
+                    match s {
+                        Some(r) if is_a(r) => ap_srcs[i] = Some(r),
+                        Some(r) => {
+                            b.sp.push(SpOp::PushSadq { src: r });
+                            pops += 1;
+                        }
+                        None => {}
+                    }
+                }
+                b.ap = Some(ApOp::Alu {
+                    dst: *dst,
+                    srcs: ap_srcs,
+                    pops_sadq: pops,
+                });
+            } else {
+                // Runs on the SP; A-register operands travel AP→SP via the
+                // AP executing a push (modeled as a zero-destination Alu
+                // whose result feeds the ASDQ — see the engine).
+                let mut pops = 0u8;
+                let mut sp_srcs = [None, None];
+                for (i, s) in srcs.into_iter().enumerate() {
+                    match s {
+                        Some(r) if is_a(r) => {
+                            b.ap = Some(ApOp::PushAsdq { src: r });
+                            pops += 1;
+                        }
+                        Some(r) => sp_srcs[i] = Some(r),
+                        None => {}
+                    }
+                }
+                b.sp.push(SpOp::Alu {
+                    dst: *dst,
+                    srcs: sp_srcs,
+                    pops_asdq: pops,
+                });
+            }
+        }
+        Inst::SLoad { dst, addr } => {
+            if is_a(*dst) {
+                b.ap = Some(ApOp::ScalarLoad {
+                    dst: Some(*dst),
+                    to_sp: false,
+                    addr: *addr,
+                });
+            } else {
+                b.ap = Some(ApOp::ScalarLoad {
+                    dst: None,
+                    to_sp: true,
+                    addr: *addr,
+                });
+                b.sp.push(SpOp::PopAsdq { dst: *dst });
+            }
+        }
+        Inst::SStore { src, addr } => {
+            let seq = *next_store_seq;
+            *next_store_seq += 1;
+            if is_a(*src) {
+                b.ap = Some(ApOp::ScalarStoreAddr {
+                    addr: *addr,
+                    data: StoreDataSource::AddressProcessor(*src),
+                    seq,
+                });
+            } else {
+                b.sp.push(SpOp::PushSsdq { src: *src });
+                b.ap = Some(ApOp::ScalarStoreAddr {
+                    addr: *addr,
+                    data: StoreDataSource::ScalarProcessor,
+                    seq,
+                });
+            }
+        }
+        Inst::Branch { cond, .. } => {
+            if is_a(*cond) {
+                b.ap = Some(ApOp::Branch { cond: *cond });
+            } else {
+                b.sp.push(SpOp::Branch { cond: *cond });
+            }
+        }
+        Inst::VCompute {
+            op,
+            dst,
+            src1,
+            src2,
+            vl,
+        } => {
+            let mut srcs = [None, None];
+            let mut pops_svdq = false;
+            for (i, operand) in [Some(src1), src2.as_ref()].into_iter().enumerate() {
+                match operand {
+                    Some(dva_isa::VOperand::Reg(v)) => srcs[i] = Some(*v),
+                    Some(dva_isa::VOperand::Scalar(s)) => {
+                        assert!(
+                            !is_a(*s),
+                            "vector broadcast operands must be S registers"
+                        );
+                        b.sp.push(SpOp::PushSvdq { src: *s });
+                        pops_svdq = true;
+                    }
+                    None => {}
+                }
+            }
+            b.vp = Some(VpOp::Compute {
+                op: *op,
+                dst: *dst,
+                srcs,
+                pops_svdq,
+                vl: *vl,
+            });
+        }
+        Inst::VReduce { op, dst, src, vl } => {
+            b.vp = Some(VpOp::Reduce {
+                op: *op,
+                src: *src,
+                vl: *vl,
+            });
+            b.sp.push(SpOp::PopVsdq { dst: *dst });
+        }
+        Inst::VLoad { dst, access } => {
+            b.ap = Some(ApOp::VectorLoad {
+                access: VecAccess::Strided(*access),
+            });
+            b.vp = Some(VpOp::QmovLoad {
+                dst: *dst,
+                index: None,
+                vl: access.vl,
+            });
+        }
+        Inst::VStore { src, access } => {
+            let seq = *next_store_seq;
+            *next_store_seq += 1;
+            b.vp = Some(VpOp::QmovStore {
+                src: *src,
+                index: None,
+                vl: access.vl,
+                seq,
+            });
+            b.ap = Some(ApOp::VectorStoreAddr {
+                access: VecAccess::Strided(*access),
+                seq,
+            });
+        }
+        Inst::VGather { dst, index, vl, .. } => {
+            b.ap = Some(ApOp::VectorLoad {
+                access: VecAccess::Indexed { vl: *vl },
+            });
+            b.vp = Some(VpOp::QmovLoad {
+                dst: *dst,
+                index: Some(*index),
+                vl: *vl,
+            });
+        }
+        Inst::VScatter { src, index, vl, .. } => {
+            let seq = *next_store_seq;
+            *next_store_seq += 1;
+            b.vp = Some(VpOp::QmovStore {
+                src: *src,
+                index: Some(*index),
+                vl: *vl,
+                seq,
+            });
+            b.ap = Some(ApOp::VectorStoreAddr {
+                access: VecAccess::Indexed { vl: *vl },
+                seq,
+            });
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dva_isa::{Stride, VOperand};
+
+    fn vl(n: u32) -> VectorLength {
+        VectorLength::new(n).unwrap()
+    }
+
+    #[test]
+    fn vector_load_splits_into_ap_and_vp_qmov() {
+        let mut seq = 0;
+        let b = translate(
+            &Inst::VLoad {
+                dst: VectorReg::V3,
+                access: VectorAccess::unit(0x1000, vl(64)),
+            },
+            &mut seq,
+        );
+        assert!(matches!(b.ap, Some(ApOp::VectorLoad { .. })));
+        assert!(matches!(
+            b.vp,
+            Some(VpOp::QmovLoad {
+                dst: VectorReg::V3,
+                index: None,
+                ..
+            })
+        ));
+        assert!(b.sp.is_empty());
+        assert_eq!(seq, 0, "loads do not allocate store sequence numbers");
+    }
+
+    #[test]
+    fn stores_allocate_global_sequence_numbers() {
+        let mut seq = 0;
+        let _ = translate(
+            &Inst::VStore {
+                src: VectorReg::V0,
+                access: VectorAccess::new(0x0, Stride::UNIT, vl(8)),
+            },
+            &mut seq,
+        );
+        let _ = translate(
+            &Inst::SStore {
+                src: ScalarReg::scalar(2),
+                addr: 0x10,
+            },
+            &mut seq,
+        );
+        assert_eq!(seq, 2);
+    }
+
+    #[test]
+    fn scalar_broadcast_inserts_svdq_push() {
+        let mut seq = 0;
+        let b = translate(
+            &Inst::VCompute {
+                op: VectorOp::Mul,
+                dst: VectorReg::V1,
+                src1: VOperand::Reg(VectorReg::V0),
+                src2: Some(VOperand::Scalar(ScalarReg::scalar(0))),
+                vl: vl(32),
+            },
+            &mut seq,
+        );
+        assert_eq!(b.sp.len(), 1);
+        assert!(matches!(b.sp[0], SpOp::PushSvdq { .. }));
+        assert!(matches!(
+            b.vp,
+            Some(VpOp::Compute {
+                pops_svdq: true,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cross_bank_alu_generates_queue_moves() {
+        let mut seq = 0;
+        // A-register ALU with an S source: SP pushes, AP pops.
+        let b = translate(
+            &Inst::SAlu {
+                dst: ScalarReg::addr(2),
+                src1: Some(ScalarReg::scalar(1)),
+                src2: None,
+            },
+            &mut seq,
+        );
+        assert!(matches!(
+            b.ap,
+            Some(ApOp::Alu {
+                pops_sadq: 1,
+                ..
+            })
+        ));
+        assert!(matches!(b.sp[0], SpOp::PushSadq { .. }));
+    }
+
+    #[test]
+    fn reduction_routes_result_to_sp() {
+        let mut seq = 0;
+        let b = translate(
+            &Inst::VReduce {
+                op: ReduceOp::Sum,
+                dst: ScalarReg::scalar(1),
+                src: VectorReg::V2,
+                vl: vl(16),
+            },
+            &mut seq,
+        );
+        assert!(matches!(b.vp, Some(VpOp::Reduce { .. })));
+        assert!(matches!(b.sp[0], SpOp::PopVsdq { .. }));
+    }
+
+    #[test]
+    fn gather_conflicts_with_all_memory() {
+        let mut seq = 0;
+        let b = translate(
+            &Inst::VGather {
+                dst: VectorReg::V0,
+                index: VectorReg::V1,
+                base: 0x1000,
+                vl: vl(8),
+            },
+            &mut seq,
+        );
+        let Some(ApOp::VectorLoad { access }) = b.ap else {
+            panic!("expected vector load µop");
+        };
+        assert_eq!(access.range(), dva_isa::MemRange::ALL);
+        assert!(access.strided().is_none());
+    }
+
+    #[test]
+    fn bundle_slot_counts_match_contents() {
+        let mut seq = 0;
+        let b = translate(
+            &Inst::SLoad {
+                dst: ScalarReg::scalar(3),
+                addr: 0x40,
+            },
+            &mut seq,
+        );
+        assert_eq!(b.slots(), (1, 1, 0));
+    }
+}

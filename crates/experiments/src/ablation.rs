@@ -1,0 +1,89 @@
+//! Ablation studies of the design choices DESIGN.md calls out: the value
+//! of chaining on the reference machine and of the second QMOV unit on
+//! the decoupled machine.
+
+use dva_core::{DvaConfig, DvaSim};
+use dva_metrics::Table;
+use dva_ref::{RefParams, RefSim};
+use dva_uarch::ChainPolicy;
+use dva_workloads::{Benchmark, Scale};
+
+/// Latency the ablations run at.
+pub const LATENCY: u64 = 30;
+
+/// Chaining ablation: the reference machine with its flexible FU→FU /
+/// FU→store chaining versus no chaining at all (Section 2.1 motivates the
+/// machine's chaining model).
+pub fn chaining(scale: Scale) -> Table {
+    let mut table = Table::new(["Program", "chained", "unchained", "chaining gain %"]);
+    for benchmark in Benchmark::ALL {
+        let program = benchmark.program(scale);
+        let with = RefSim::new(RefParams::with_latency(LATENCY)).run(&program);
+        let without = RefSim::new(RefParams::with_latency(LATENCY))
+            .with_chain_policy(ChainPolicy::none())
+            .run(&program);
+        table.row([
+            benchmark.name().to_string(),
+            with.cycles.to_string(),
+            without.cycles.to_string(),
+            format!(
+                "{:+.1}",
+                100.0 * (without.cycles as f64 / with.cycles as f64 - 1.0)
+            ),
+        ]);
+    }
+    table
+}
+
+/// Bank-port ablation: the 2-read/1-write ports per two-register bank
+/// versus a full crossbar (Section 2.1's "restricted crossbar").
+pub fn bank_ports(scale: Scale) -> Table {
+    let mut table = Table::new(["Program", "banked ports", "full crossbar", "port cost %"]);
+    for benchmark in Benchmark::ALL {
+        let program = benchmark.program(scale);
+        let banked = DvaSim::new(DvaConfig::dva(LATENCY)).run(&program);
+        let mut free = DvaConfig::dva(LATENCY);
+        free.uarch.check_bank_ports = false;
+        let crossbar = DvaSim::new(free).run(&program);
+        table.row([
+            benchmark.name().to_string(),
+            banked.cycles.to_string(),
+            crossbar.cycles.to_string(),
+            format!(
+                "{:+.1}",
+                100.0 * (banked.cycles as f64 / crossbar.cycles as f64 - 1.0)
+            ),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaining_always_helps_or_is_neutral() {
+        let program = Benchmark::Arc2d.program(Scale::Quick);
+        let with = RefSim::new(RefParams::with_latency(LATENCY)).run(&program);
+        let without = RefSim::new(RefParams::with_latency(LATENCY))
+            .with_chain_policy(ChainPolicy::none())
+            .run(&program);
+        assert!(without.cycles >= with.cycles);
+    }
+
+    #[test]
+    fn full_crossbar_never_slows_execution() {
+        let program = Benchmark::Flo52.program(Scale::Quick);
+        let banked = DvaSim::new(DvaConfig::dva(LATENCY)).run(&program);
+        let mut free = DvaConfig::dva(LATENCY);
+        free.uarch.check_bank_ports = false;
+        let crossbar = DvaSim::new(free).run(&program);
+        assert!(crossbar.cycles <= banked.cycles);
+    }
+
+    #[test]
+    fn tables_cover_every_program() {
+        assert_eq!(chaining(Scale::Quick).len(), Benchmark::ALL.len());
+    }
+}

@@ -1,0 +1,9 @@
+//! Ablation studies: chaining and register bank ports.
+
+fn main() {
+    let scale = dva_experiments::scale_from_args();
+    println!("Chaining ablation on the reference machine (Section 2.1)\n");
+    println!("{}", dva_experiments::ablation::chaining(scale));
+    println!("\nRegister-bank port ablation on the decoupled machine\n");
+    println!("{}", dva_experiments::ablation::bank_ports(scale));
+}

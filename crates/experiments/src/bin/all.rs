@@ -1,0 +1,41 @@
+//! Runs every experiment in sequence — the full evaluation of the paper.
+//!
+//! A shared REF/DVA latency sweep feeds Figures 3, 4 and 5 so the heavy
+//! simulations run once.
+
+use dva_experiments::{common, fig1, fig3, fig4, fig5, fig6, fig7, fig8, queues, table1};
+
+fn main() {
+    let scale = dva_experiments::scale_from_args();
+    let full = std::env::args().any(|a| a == "--full");
+
+    println!("== Table 1: basic operation counts ==\n");
+    println!("{}", table1::run(scale));
+
+    println!("== Figure 1: REF state breakdown (% of cycles) ==\n");
+    println!("{}", fig1::run(scale));
+
+    let sweep = common::LatencySweep::run(scale, &common::latencies(full));
+    println!("== Figure 3: execution time vs latency (kcycles) ==\n");
+    println!("{}", fig3::render(&sweep));
+    println!("== Figure 4: ( , , ) cycle ratio REF/DVA ==\n");
+    println!("{}", fig4::render(&sweep));
+    println!("== Figure 5: DVA speedup over REF ==\n");
+    println!("{}", fig5::render(&sweep));
+
+    println!("== Figure 6: AVDQ busy-slot distribution (kcycles) ==\n");
+    println!("{}", fig6::run(scale));
+
+    println!("== Figure 7: bypassing performance (kcycles) ==\n");
+    println!("{}", fig7::run(scale, full));
+
+    println!("== Figure 8: memory traffic ratio ==\n");
+    println!("{}", fig8::run(scale));
+
+    println!("== Queue sizing (Sections 5-7) ==\n");
+    println!("{}", queues::instruction_queues(scale));
+    println!();
+    println!("{}", queues::store_queue(scale));
+    println!();
+    println!("{}", queues::load_queue(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: IDEAL / REF / DVA execution time vs latency.
+
+fn main() {
+    let scale = dva_experiments::scale_from_args();
+    let full = std::env::args().any(|a| a == "--full");
+    println!("Figure 3: execution time vs memory latency (kcycles)\n");
+    println!("{}", dva_experiments::fig3::run(scale, full));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 6: AVDQ busy-slot distributions.
+
+fn main() {
+    let scale = dva_experiments::scale_from_args();
+    println!("Figure 6: AVDQ busy slots (kcycles at each occupancy)\n");
+    println!("{}", dva_experiments::fig6::run(scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: bypass configurations vs DVA and IDEAL.
+
+fn main() {
+    let scale = dva_experiments::scale_from_args();
+    let full = std::env::args().any(|a| a == "--full");
+    println!("Figure 7: performance of the bypassing scheme (kcycles)\n");
+    println!("{}", dva_experiments::fig7::run(scale, full));
+}

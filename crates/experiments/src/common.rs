@@ -1,0 +1,162 @@
+//! Shared experiment plumbing: latency grids, the REF/DVA latency sweep
+//! and command-line scale selection.
+
+use dva_core::{ideal_bound, DvaConfig, DvaResult, DvaSim};
+use dva_isa::Program;
+use dva_ref::{RefParams, RefResult, RefSim};
+use dva_workloads::{Benchmark, Scale};
+
+/// The memory latencies swept, mirroring the paper's x axis (1 to 100
+/// cycles). `full` adds the intermediate decades.
+pub fn latencies(full: bool) -> Vec<u64> {
+    if full {
+        vec![1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    } else {
+        vec![1, 10, 30, 50, 70, 100]
+    }
+}
+
+/// The latencies Figure 1 uses for its per-program bars.
+pub const FIG1_LATENCIES: [u64; 4] = [1, 30, 70, 100];
+
+/// The latencies Figure 6 uses for its occupancy histograms.
+pub const FIG6_LATENCIES: [u64; 3] = [1, 30, 100];
+
+/// Parses `--quick` / `--full` from the process arguments (used by every
+/// experiment binary; default is [`Scale::Default`]).
+pub fn scale_from_args() -> Scale {
+    let mut scale = Scale::Default;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    scale
+}
+
+/// One (program, latency) measurement of both machines.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The benchmark program.
+    pub benchmark: Benchmark,
+    /// Memory latency in cycles.
+    pub latency: u64,
+    /// Reference-machine measurement.
+    pub reference: RefResult,
+    /// Decoupled-machine measurement.
+    pub dva: DvaResult,
+}
+
+impl SweepPoint {
+    /// DVA speedup over the reference machine.
+    pub fn speedup(&self) -> f64 {
+        dva_metrics::speedup(self.reference.cycles, self.dva.cycles)
+    }
+
+    /// Ratio of all-idle `( , , )` cycles, REF over DVA (Figure 4).
+    pub fn idle_ratio(&self) -> f64 {
+        if self.dva.idle_cycles() == 0 {
+            0.0
+        } else {
+            self.reference.idle_cycles() as f64 / self.dva.idle_cycles() as f64
+        }
+    }
+}
+
+/// A full REF-vs-DVA sweep over programs and latencies, shared by Figures
+/// 3, 4 and 5.
+#[derive(Debug, Clone)]
+pub struct LatencySweep {
+    /// All measured points, grouped by program in [`Benchmark::ALL`]
+    /// order.
+    pub points: Vec<SweepPoint>,
+    /// IDEAL lower bound per program (latency-independent).
+    pub ideal: Vec<(Benchmark, u64)>,
+}
+
+impl LatencySweep {
+    /// Runs the sweep.
+    pub fn run(scale: Scale, latencies: &[u64]) -> LatencySweep {
+        let mut points = Vec::new();
+        let mut ideal = Vec::new();
+        for benchmark in Benchmark::ALL {
+            let program = benchmark.program(scale);
+            ideal.push((benchmark, ideal_bound(&program).cycles()));
+            for &latency in latencies {
+                points.push(run_point(benchmark, &program, latency));
+            }
+        }
+        LatencySweep { points, ideal }
+    }
+
+    /// The points of one program.
+    pub fn of(&self, benchmark: Benchmark) -> impl Iterator<Item = &SweepPoint> {
+        self.points.iter().filter(move |p| p.benchmark == benchmark)
+    }
+
+    /// The IDEAL bound of one program.
+    pub fn ideal_of(&self, benchmark: Benchmark) -> u64 {
+        self.ideal
+            .iter()
+            .find(|(b, _)| *b == benchmark)
+            .map(|(_, c)| *c)
+            .expect("all benchmarks measured")
+    }
+}
+
+/// Runs both machines on one program at one latency.
+pub fn run_point(benchmark: Benchmark, program: &Program, latency: u64) -> SweepPoint {
+    let reference = RefSim::new(RefParams::with_latency(latency)).run(program);
+    let dva = DvaSim::new(DvaConfig::dva(latency)).run(program);
+    SweepPoint {
+        benchmark,
+        latency,
+        reference,
+        dva,
+    }
+}
+
+/// Formats a cycle count in thousands with one decimal, as the paper's
+/// y axes do (theirs are in hundreds of millions; ours are scaled traces).
+pub fn kcycles(c: u64) -> String {
+    format!("{:.1}", c as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grids_are_sorted_and_bounded() {
+        for full in [false, true] {
+            let l = latencies(full);
+            assert_eq!(*l.first().unwrap(), 1);
+            assert_eq!(*l.last().unwrap(), 100);
+            assert!(l.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(latencies(true).len() > latencies(false).len());
+    }
+
+    #[test]
+    fn sweep_collects_every_point() {
+        let sweep = LatencySweep::run(Scale::Quick, &[1, 100]);
+        assert_eq!(sweep.points.len(), Benchmark::ALL.len() * 2);
+        for b in Benchmark::ALL {
+            assert_eq!(sweep.of(b).count(), 2);
+            assert!(sweep.ideal_of(b) > 0);
+            // The bound never exceeds either machine's time.
+            for p in sweep.of(b) {
+                assert!(sweep.ideal_of(b) <= p.reference.cycles);
+                assert!(sweep.ideal_of(b) <= p.dva.cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn kcycles_formats_thousands() {
+        assert_eq!(kcycles(1500), "1.5");
+        assert_eq!(kcycles(0), "0.0");
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 1: execution-time breakdown of the reference architecture into
+//! the eight (FU2, FU1, LD) machine states, per program and memory
+//! latency.
+
+use crate::common::FIG1_LATENCIES;
+use dva_metrics::{Table, UnitState};
+use dva_ref::{RefParams, RefSim};
+use dva_workloads::{Benchmark, Scale};
+
+/// Builds the Figure 1 data: one row per (program, latency) with the total
+/// cycles, the share of each of the eight states, and the paper's headline
+/// quantity — the fraction of cycles in which the memory port sits idle.
+pub fn run(scale: Scale) -> Table {
+    let mut headers = vec!["Program".to_string(), "L".to_string(), "cycles".to_string()];
+    headers.extend(UnitState::all().iter().map(|s| s.to_string()));
+    headers.push("LD idle %".to_string());
+    let mut table = Table::new(headers);
+    for benchmark in Benchmark::ALL {
+        let program = benchmark.program(scale);
+        for latency in FIG1_LATENCIES {
+            let result = RefSim::new(RefParams::with_latency(latency)).run(&program);
+            let mut row = vec![
+                benchmark.name().to_string(),
+                latency.to_string(),
+                result.cycles.to_string(),
+            ];
+            for state in UnitState::all() {
+                row.push(format!("{:.1}", 100.0 * result.states.fraction(state)));
+            }
+            row.push(format!(
+                "{:.1}",
+                100.0 * result.states.memory_port_idle_cycles() as f64 / result.cycles as f64
+            ));
+            table.row(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_rows_cover_all_latencies() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.len(), Benchmark::ALL.len() * FIG1_LATENCIES.len());
+    }
+
+    #[test]
+    fn idle_state_grows_with_latency() {
+        // The paper's central observation: higher memory latency inflates
+        // the all-idle state.
+        let program = Benchmark::Trfd.program(Scale::Quick);
+        let idle_at = |l: u64| {
+            let r = RefSim::new(RefParams::with_latency(l)).run(&program);
+            r.states.fraction(UnitState::empty())
+        };
+        assert!(idle_at(100) > idle_at(1));
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 3: execution time versus memory latency for the IDEAL bound,
+//! the reference architecture and the decoupled architecture.
+
+use crate::common::{kcycles, latencies, LatencySweep};
+use dva_metrics::Table;
+use dva_workloads::{Benchmark, Scale};
+
+/// Builds the Figure 3 series: per program, one row per latency with
+/// IDEAL/REF/DVA cycle counts (in thousands).
+pub fn run(scale: Scale, full: bool) -> Table {
+    render(&LatencySweep::run(scale, &latencies(full)))
+}
+
+/// Renders a precomputed sweep (lets the `all` binary reuse one sweep for
+/// Figures 3, 4 and 5).
+pub fn render(sweep: &LatencySweep) -> Table {
+    let mut table = Table::new(["Program", "L", "IDEAL (kcyc)", "REF (kcyc)", "DVA (kcyc)"]);
+    for benchmark in Benchmark::ALL {
+        let ideal = sweep.ideal_of(benchmark);
+        for point in sweep.of(benchmark) {
+            table.row([
+                benchmark.name().to_string(),
+                point.latency.to_string(),
+                kcycles(ideal),
+                kcycles(point.reference.cycles),
+                kcycles(point.dva.cycles),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::SweepPoint;
+
+    #[test]
+    fn dva_curves_are_flatter_than_ref() {
+        // The paper's second headline: the slopes differ substantially.
+        let sweep = LatencySweep::run(Scale::Quick, &[1, 100]);
+        for benchmark in Benchmark::ALL {
+            let pts: Vec<&SweepPoint> = sweep.of(benchmark).collect();
+            let ref_growth = pts[1].reference.cycles as f64 / pts[0].reference.cycles as f64;
+            let dva_growth = pts[1].dva.cycles as f64 / pts[0].dva.cycles as f64;
+            assert!(
+                dva_growth < ref_growth,
+                "{}: DVA slope {dva_growth:.2} not flatter than REF {ref_growth:.2}",
+                benchmark.name()
+            );
+        }
+    }
+
+    #[test]
+    fn table_shape_is_programs_by_latencies() {
+        let t = run(Scale::Quick, false);
+        assert_eq!(t.len(), Benchmark::ALL.len() * latencies(false).len());
+    }
+}

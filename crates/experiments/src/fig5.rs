@@ -1,0 +1,65 @@
+//! Figure 5: speedup of the decoupled architecture over the reference
+//! architecture, per memory latency.
+
+use crate::common::{latencies, LatencySweep};
+use dva_metrics::Table;
+use dva_workloads::{Benchmark, Scale};
+
+/// Builds the Figure 5 series (paper: speedups at latency 100 range from
+/// 1.35 for ARC2D to 2.05 for SPEC77; DYFESM stays at ~1.0).
+pub fn run(scale: Scale, full: bool) -> Table {
+    render(&LatencySweep::run(scale, &latencies(full)))
+}
+
+/// Renders a precomputed sweep: one row per latency, one column per
+/// program, exactly like the paper's plot.
+pub fn render(sweep: &LatencySweep) -> Table {
+    let mut headers = vec!["L".to_string()];
+    headers.extend(Benchmark::ALL.iter().map(|b| b.name().to_string()));
+    let mut table = Table::new(headers);
+    let lats: Vec<u64> = {
+        let mut seen = Vec::new();
+        for p in &sweep.points {
+            if !seen.contains(&p.latency) {
+                seen.push(p.latency);
+            }
+        }
+        seen
+    };
+    for latency in lats {
+        let mut row = vec![latency.to_string()];
+        for benchmark in Benchmark::ALL {
+            let point = sweep
+                .of(benchmark)
+                .find(|p| p.latency == latency)
+                .expect("sweep covers the grid");
+            row.push(format!("{:.2}", point.speedup()));
+        }
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_ordering_matches_the_paper_at_high_latency() {
+        let sweep = LatencySweep::run(Scale::Quick, &[100]);
+        let sp = |b: Benchmark| sweep.of(b).next().unwrap().speedup();
+        // SPEC77 and TRFD lead; DYFESM trails near 1.0 (paper Section 5).
+        assert!(sp(Benchmark::Spec77) > sp(Benchmark::Dyfesm));
+        assert!(sp(Benchmark::Trfd) > sp(Benchmark::Dyfesm));
+        assert!(sp(Benchmark::Dyfesm) < 1.25);
+        for b in Benchmark::ALL {
+            assert!(sp(b) > 0.9, "{} collapsed: {}", b.name(), sp(b));
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_latency() {
+        let t = run(Scale::Quick, false);
+        assert_eq!(t.len(), latencies(false).len());
+    }
+}

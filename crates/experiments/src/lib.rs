@@ -1,0 +1,43 @@
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation (Sections 2–7).
+//!
+//! Each module reproduces one artifact and returns a [`dva_metrics::Table`]
+//! whose rows mirror what the paper plots; the `src/bin` binaries print
+//! them. Run with `--release` — the sweeps simulate hundreds of millions
+//! of cycles:
+//!
+//! ```text
+//! cargo run --release -p dva-experiments --bin table1
+//! cargo run --release -p dva-experiments --bin fig3 [--quick|--full]
+//! cargo run --release -p dva-experiments --bin all
+//! ```
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1: basic operation counts |
+//! | [`fig1`] | Figure 1: REF functional-unit state breakdown |
+//! | [`fig3`] | Figure 3: IDEAL/REF/DVA execution time vs latency |
+//! | [`fig4`] | Figure 4: ratio of `( , , )` cycles REF/DVA |
+//! | [`fig5`] | Figure 5: DVA speedup over REF |
+//! | [`fig6`] | Figure 6: AVDQ busy-slot distributions |
+//! | [`fig7`] | Figure 7: bypass configurations vs DVA and IDEAL |
+//! | [`fig8`] | Figure 8: memory-traffic ratio BYP/DVA |
+//! | [`queues`] | Section 5/6: queue-sizing sensitivity |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod common;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod queues;
+pub mod table1;
+
+pub use common::{latencies, scale_from_args, LatencySweep, SweepPoint};
+pub use dva_workloads::{Benchmark, Scale};

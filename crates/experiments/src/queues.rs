@@ -1,0 +1,128 @@
+//! Queue-sizing sensitivity (Sections 5 and 6): the paper's rationale for
+//! 16-entry instruction queues and a 16-slot store queue.
+
+use dva_core::{DvaConfig, DvaSim, QueueConfig};
+use dva_metrics::Table;
+use dva_workloads::{Benchmark, Scale};
+
+/// The latency at which the sizing study is run (the paper uses its full
+/// sweep; sensitivity is widest at high latency).
+pub const LATENCY: u64 = 50;
+
+/// Instruction-queue sizing: the paper found 16 entries within 2% of 512.
+pub fn instruction_queues(scale: Scale) -> Table {
+    let sizes = [4usize, 8, 16, 64, 512];
+    let mut headers = vec!["Program".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("IQ={s}")));
+    headers.push("16 vs 512 (%)".to_string());
+    let mut table = Table::new(headers);
+    for benchmark in Benchmark::ALL {
+        let program = benchmark.program(scale);
+        let mut cycles = Vec::new();
+        for &size in &sizes {
+            let mut config = DvaConfig::dva(LATENCY);
+            config.queues = QueueConfig {
+                instruction_queue: size,
+                ..config.queues
+            };
+            cycles.push(DvaSim::new(config).run(&program).cycles);
+        }
+        let c16 = cycles[2] as f64;
+        let c512 = cycles[4] as f64;
+        let mut row = vec![benchmark.name().to_string()];
+        row.extend(cycles.iter().map(|c| c.to_string()));
+        row.push(format!("{:+.2}", 100.0 * (c16 / c512 - 1.0)));
+        table.row(row);
+    }
+    table
+}
+
+/// Store-queue sizing: the paper found almost no difference between 16,
+/// 32 and 256 slots for the base DVA.
+pub fn store_queue(scale: Scale) -> Table {
+    let sizes = [4usize, 8, 16, 32, 256];
+    let mut headers = vec!["Program".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("SQ={s}")));
+    let mut table = Table::new(headers);
+    for benchmark in Benchmark::ALL {
+        let program = benchmark.program(scale);
+        let mut row = vec![benchmark.name().to_string()];
+        for &size in &sizes {
+            let mut config = DvaConfig::dva(LATENCY);
+            config.queues = QueueConfig {
+                store_queue: size,
+                ..config.queues
+            };
+            row.push(DvaSim::new(config).run(&program).cycles.to_string());
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Load-queue sizing with bypass enabled (Section 7's conclusion: four
+/// slots capture most of an infinite queue).
+pub fn load_queue(scale: Scale) -> Table {
+    let sizes = [2usize, 4, 8, 16, 256];
+    let mut headers = vec!["Program".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("AVDQ={s}")));
+    headers.push("4 vs 256 (%)".to_string());
+    let mut table = Table::new(headers);
+    for benchmark in Benchmark::ALL {
+        let program = benchmark.program(scale);
+        let mut cycles = Vec::new();
+        for &size in &sizes {
+            let config = DvaConfig::byp(LATENCY, size, 16);
+            cycles.push(DvaSim::new(config).run(&program).cycles);
+        }
+        let c4 = cycles[1] as f64;
+        let c256 = cycles[4] as f64;
+        let mut row = vec![benchmark.name().to_string()];
+        row.extend(cycles.iter().map(|c| c.to_string()));
+        row.push(format!("{:+.2}", 100.0 * (c4 / c256 - 1.0)));
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_entry_instruction_queues_are_near_infinite() {
+        // Paper Section 5 reports < 2% from 512; our traces interleave
+        // more scalar work per strip and benefit somewhat more from deep
+        // queues (documented in EXPERIMENTS.md), so we assert a looser
+        // bound plus monotonicity.
+        let program = Benchmark::Arc2d.program(Scale::Quick);
+        let run = |iq: usize| {
+            let mut config = DvaConfig::dva(LATENCY);
+            config.queues.instruction_queue = iq;
+            DvaSim::new(config).run(&program).cycles
+        };
+        let c4 = run(4) as f64;
+        let c16 = run(16) as f64;
+        let c512 = run(512) as f64;
+        assert!(c16 / c512 < 1.10, "16-entry IQ {:.3}x of 512", c16 / c512);
+        assert!(c4 >= c16 && c16 >= c512, "deeper queues never hurt");
+    }
+
+    #[test]
+    fn store_queue_sixteen_matches_larger_queues() {
+        let program = Benchmark::Flo52.program(Scale::Quick);
+        let run = |sq: usize| {
+            let mut config = DvaConfig::dva(LATENCY);
+            config.queues.store_queue = sq;
+            DvaSim::new(config).run(&program).cycles
+        };
+        let c16 = run(16) as f64;
+        let c256 = run(256) as f64;
+        assert!(c16 / c256 < 1.03);
+    }
+
+    #[test]
+    fn tables_have_a_row_per_program() {
+        assert_eq!(load_queue(Scale::Quick).len(), Benchmark::ALL.len());
+    }
+}

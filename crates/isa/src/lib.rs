@@ -1,0 +1,43 @@
+//! Instruction-set model for the *Decoupled Vector Architectures* (HPCA 1996)
+//! reproduction.
+//!
+//! This crate defines the architectural vocabulary shared by every simulator
+//! in the workspace: registers, vector lengths and strides, memory accesses
+//! and their ranges, decoded instructions, and program/trace containers.
+//!
+//! The modeled machine follows the paper's *Reference Vector Architecture*
+//! (a close model of the Convex C3400): a scalar part with `A` (address) and
+//! `S` (scalar) registers, and a vector part with eight vector registers of
+//! 128 elements of 64 bits each.
+//!
+//! # Examples
+//!
+//! ```
+//! use dva_isa::{Inst, Program, VectorAccess, VectorLength, VectorReg};
+//!
+//! let vl = VectorLength::new(64).unwrap();
+//! let access = VectorAccess::unit(0x1000, vl);
+//! let program = Program::from_insts(
+//!     "example",
+//!     vec![Inst::VLoad { dst: VectorReg::V0, access }],
+//! );
+//! assert_eq!(program.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inst;
+mod mem;
+mod program;
+mod reg;
+mod vector;
+
+pub use inst::{Inst, ReduceOp, ScalarClass, VOperand, VectorOp};
+pub use mem::{MemRange, VectorAccess};
+pub use program::{BasicBlockIter, Program, ProgramBuilder, TraceSummary};
+pub use reg::{ScalarBank, ScalarReg, VectorReg, NUM_VECTOR_REGS, VECTOR_BANK_SIZE};
+pub use vector::{Stride, VectorLength, ELEM_BYTES, MAX_VECTOR_LENGTH};
+
+/// Simulation time, measured in processor cycles.
+pub type Cycle = u64;

@@ -1,0 +1,216 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of architectural vector registers (the C3400 has eight).
+pub const NUM_VECTOR_REGS: usize = 8;
+
+/// Number of vector registers sharing one register bank.
+///
+/// On the modeled machine every two vector registers are grouped in a bank
+/// that exposes two read ports and one write port towards the functional
+/// units (paper, Section 2.1).
+pub const VECTOR_BANK_SIZE: usize = 2;
+
+/// One of the eight architectural vector registers, `V0`..`V7`.
+///
+/// # Examples
+///
+/// ```
+/// use dva_isa::VectorReg;
+/// assert_eq!(VectorReg::V5.index(), 5);
+/// assert_eq!(VectorReg::V5.bank(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum VectorReg {
+    V0,
+    V1,
+    V2,
+    V3,
+    V4,
+    V5,
+    V6,
+    V7,
+}
+
+impl VectorReg {
+    /// All vector registers, in index order.
+    pub const ALL: [VectorReg; NUM_VECTOR_REGS] = [
+        VectorReg::V0,
+        VectorReg::V1,
+        VectorReg::V2,
+        VectorReg::V3,
+        VectorReg::V4,
+        VectorReg::V5,
+        VectorReg::V6,
+        VectorReg::V7,
+    ];
+
+    /// Returns the register with the given index.
+    ///
+    /// Returns `None` when `index >= NUM_VECTOR_REGS`.
+    pub fn from_index(index: usize) -> Option<VectorReg> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// The architectural index of this register (0..8).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The register bank this register belongs to (0..4).
+    ///
+    /// Registers `V0`/`V1` share bank 0, `V2`/`V3` bank 1, and so on.
+    pub fn bank(self) -> usize {
+        self.index() / VECTOR_BANK_SIZE
+    }
+}
+
+impl fmt::Display for VectorReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.index())
+    }
+}
+
+/// The two scalar register files of the Convex architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScalarBank {
+    /// `A` registers: address arithmetic, executed by the address processor
+    /// in the decoupled machine.
+    Address,
+    /// `S` registers: scalar computation, executed by the scalar processor.
+    Scalar,
+}
+
+/// A scalar register: a bank (`A` or `S`) plus an index.
+///
+/// # Examples
+///
+/// ```
+/// use dva_isa::{ScalarBank, ScalarReg};
+/// let a3 = ScalarReg::addr(3);
+/// assert_eq!(a3.bank(), ScalarBank::Address);
+/// assert_eq!(a3.to_string(), "a3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScalarReg {
+    bank: ScalarBank,
+    index: u8,
+}
+
+/// Number of registers in each scalar bank.
+pub(crate) const SCALAR_REGS_PER_BANK: u8 = 8;
+
+impl ScalarReg {
+    /// Creates an `A` (address) register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the bank (8 registers per bank).
+    pub fn addr(index: u8) -> ScalarReg {
+        assert!(
+            index < SCALAR_REGS_PER_BANK,
+            "address register index {index} out of range"
+        );
+        ScalarReg {
+            bank: ScalarBank::Address,
+            index,
+        }
+    }
+
+    /// Creates an `S` (scalar) register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the bank (8 registers per bank).
+    pub fn scalar(index: u8) -> ScalarReg {
+        assert!(
+            index < SCALAR_REGS_PER_BANK,
+            "scalar register index {index} out of range"
+        );
+        ScalarReg {
+            bank: ScalarBank::Scalar,
+            index,
+        }
+    }
+
+    /// The bank this register belongs to.
+    pub fn bank(self) -> ScalarBank {
+        self.bank
+    }
+
+    /// The index of this register inside its bank.
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// A dense identifier unique across both banks, usable as an array index.
+    pub fn dense_index(self) -> usize {
+        let base = match self.bank {
+            ScalarBank::Address => 0,
+            ScalarBank::Scalar => SCALAR_REGS_PER_BANK as usize,
+        };
+        base + self.index as usize
+    }
+
+    /// Total number of scalar registers across both banks.
+    pub const COUNT: usize = 2 * SCALAR_REGS_PER_BANK as usize;
+}
+
+impl fmt::Display for ScalarReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix = match self.bank {
+            ScalarBank::Address => 'a',
+            ScalarBank::Scalar => 's',
+        };
+        write!(f, "{}{}", prefix, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_reg_banks_pair_adjacent_registers() {
+        assert_eq!(VectorReg::V0.bank(), VectorReg::V1.bank());
+        assert_eq!(VectorReg::V2.bank(), VectorReg::V3.bank());
+        assert_ne!(VectorReg::V1.bank(), VectorReg::V2.bank());
+        assert_eq!(VectorReg::V7.bank(), 3);
+    }
+
+    #[test]
+    fn vector_reg_round_trips_through_index() {
+        for reg in VectorReg::ALL {
+            assert_eq!(VectorReg::from_index(reg.index()), Some(reg));
+        }
+        assert_eq!(VectorReg::from_index(NUM_VECTOR_REGS), None);
+    }
+
+    #[test]
+    fn scalar_dense_indices_are_unique() {
+        let mut seen = [false; ScalarReg::COUNT];
+        for i in 0..SCALAR_REGS_PER_BANK {
+            for reg in [ScalarReg::addr(i), ScalarReg::scalar(i)] {
+                let idx = reg.dense_index();
+                assert!(!seen[idx], "duplicate dense index {idx}");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_formats_match_convex_conventions() {
+        assert_eq!(VectorReg::V3.to_string(), "v3");
+        assert_eq!(ScalarReg::addr(1).to_string(), "a1");
+        assert_eq!(ScalarReg::scalar(7).to_string(), "s7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scalar_reg_rejects_out_of_range_index() {
+        let _ = ScalarReg::scalar(SCALAR_REGS_PER_BANK);
+    }
+}

@@ -1,0 +1,144 @@
+//! Vector length and stride newtypes.
+
+use std::fmt;
+
+/// Maximum vector length supported by the vector registers (128 elements).
+pub const MAX_VECTOR_LENGTH: u32 = 128;
+
+/// Size in bytes of one vector element (64-bit words).
+pub const ELEM_BYTES: u64 = 8;
+
+/// The value held in the vector length register when a vector instruction
+/// executes: the number of elements it operates on, `1..=128`.
+///
+/// # Examples
+///
+/// ```
+/// use dva_isa::VectorLength;
+/// let vl = VectorLength::new(96).unwrap();
+/// assert_eq!(vl.get(), 96);
+/// assert!(VectorLength::new(0).is_none());
+/// assert!(VectorLength::new(129).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VectorLength(u32);
+
+impl VectorLength {
+    /// The maximum vector length (a full 128-element register).
+    pub const MAX: VectorLength = VectorLength(MAX_VECTOR_LENGTH);
+
+    /// A vector length of one element.
+    pub const ONE: VectorLength = VectorLength(1);
+
+    /// Creates a vector length, returning `None` unless `1 <= len <= 128`.
+    pub fn new(len: u32) -> Option<VectorLength> {
+        if (1..=MAX_VECTOR_LENGTH).contains(&len) {
+            Some(VectorLength(len))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a vector length, clamping `len` into `1..=128`.
+    pub fn clamped(len: u32) -> VectorLength {
+        VectorLength(len.clamp(1, MAX_VECTOR_LENGTH))
+    }
+
+    /// The number of elements.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The number of elements as a `Cycle` quantity (vector instructions
+    /// occupy pipelined resources for exactly `VL` cycles in the paper's
+    /// model).
+    pub fn cycles(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+impl fmt::Display for VectorLength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<VectorLength> for u32 {
+    fn from(vl: VectorLength) -> u32 {
+        vl.get()
+    }
+}
+
+/// A vector memory stride, in elements (may be negative).
+///
+/// The paper's disambiguation rules are defined over byte addresses; the
+/// stride converts to bytes via [`ELEM_BYTES`].
+///
+/// # Examples
+///
+/// ```
+/// use dva_isa::Stride;
+/// assert_eq!(Stride::UNIT.elems(), 1);
+/// assert_eq!(Stride::new(-4).bytes(), -32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stride(i64);
+
+impl Stride {
+    /// Unit (contiguous) stride.
+    pub const UNIT: Stride = Stride(1);
+
+    /// Creates a stride of `elems` elements.
+    pub fn new(elems: i64) -> Stride {
+        Stride(elems)
+    }
+
+    /// The stride in elements.
+    pub fn elems(self) -> i64 {
+        self.0
+    }
+
+    /// The stride in bytes.
+    pub fn bytes(self) -> i64 {
+        self.0 * ELEM_BYTES as i64
+    }
+}
+
+impl fmt::Display for Stride {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Default for Stride {
+    fn default() -> Self {
+        Stride::UNIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_length_validates_bounds() {
+        assert!(VectorLength::new(0).is_none());
+        assert_eq!(VectorLength::new(1), Some(VectorLength::ONE));
+        assert_eq!(VectorLength::new(128), Some(VectorLength::MAX));
+        assert!(VectorLength::new(129).is_none());
+    }
+
+    #[test]
+    fn clamped_saturates_into_range() {
+        assert_eq!(VectorLength::clamped(0), VectorLength::ONE);
+        assert_eq!(VectorLength::clamped(64).get(), 64);
+        assert_eq!(VectorLength::clamped(1000), VectorLength::MAX);
+    }
+
+    #[test]
+    fn stride_byte_conversion_uses_element_size() {
+        assert_eq!(Stride::UNIT.bytes(), 8);
+        assert_eq!(Stride::new(0).bytes(), 0);
+        assert_eq!(Stride::new(-3).bytes(), -24);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the ISA primitives.
+
+use dva_isa::{MemRange, Stride, VectorAccess, VectorLength, ELEM_BYTES};
+use proptest::prelude::*;
+
+fn arb_vl() -> impl Strategy<Value = VectorLength> {
+    (1u32..=128).prop_map(|n| VectorLength::new(n).unwrap())
+}
+
+fn arb_access() -> impl Strategy<Value = VectorAccess> {
+    (0u64..1 << 40, -64i64..=64, arb_vl())
+        .prop_map(|(base, stride, vl)| VectorAccess::new(base, Stride::new(stride), vl))
+}
+
+proptest! {
+    /// Every element touched by an access lies within its reported range.
+    #[test]
+    fn range_covers_all_elements(acc in arb_access()) {
+        let range = acc.range();
+        for i in 0..acc.vl.get() as i64 {
+            let addr = acc.base as i64 + i * acc.stride.bytes();
+            if addr < 0 { continue; } // saturated below zero; range start is 0 then
+            let elem = MemRange::new(addr as u64, addr as u64 + ELEM_BYTES);
+            prop_assert!(
+                range.contains(&elem) || range.end() == u64::MAX,
+                "element {i} at {addr:#x} outside {range}"
+            );
+        }
+    }
+
+    /// Range length is consistent with |stride| and VL for positive bases
+    /// away from the saturation boundaries.
+    #[test]
+    fn range_length_formula(base in (1u64 << 30)..(1u64 << 40),
+                            stride in -64i64..=64,
+                            vl in arb_vl()) {
+        let acc = VectorAccess::new(base, Stride::new(stride), vl);
+        let expected = (vl.get() as u64 - 1) * stride.unsigned_abs() * ELEM_BYTES + ELEM_BYTES;
+        prop_assert_eq!(acc.range().len(), expected);
+    }
+
+    /// Overlap is symmetric.
+    #[test]
+    fn overlap_is_symmetric(a in arb_access(), b in arb_access()) {
+        prop_assert_eq!(a.range().overlaps(&b.range()), b.range().overlaps(&a.range()));
+    }
+
+    /// An access always overlaps itself and is identical to itself.
+    #[test]
+    fn access_overlaps_itself(a in arb_access()) {
+        prop_assert!(a.range().overlaps(&a.range()));
+        prop_assert!(a.is_identical(&a));
+    }
+
+    /// Identical accesses have identical ranges (the bypass precondition is
+    /// strictly stronger than range equality).
+    #[test]
+    fn identical_implies_equal_ranges(a in arb_access()) {
+        let b = VectorAccess::new(a.base, a.stride, a.vl);
+        prop_assert!(a.is_identical(&b));
+        prop_assert_eq!(a.range(), b.range());
+    }
+
+    /// Vector length cycles equal the element count.
+    #[test]
+    fn vl_cycles_match_count(vl in arb_vl()) {
+        prop_assert_eq!(vl.cycles(), u64::from(vl.get()));
+    }
+}

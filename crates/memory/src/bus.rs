@@ -1,0 +1,115 @@
+//! The shared address bus.
+
+use dva_isa::Cycle;
+
+/// The single shared address bus of the modeled memory system.
+///
+/// A vector memory reference of length `VL` occupies the bus for exactly
+/// `VL` cycles (paper, Section 4.2); a scalar reference occupies it for one
+/// cycle. Because the data paths for loads and stores are physically
+/// separate, the bus is the only point of contention.
+///
+/// # Examples
+///
+/// ```
+/// use dva_memory::AddressBus;
+/// let mut bus = AddressBus::new();
+/// assert!(bus.is_free(0));
+/// bus.reserve(0, 64);
+/// assert!(!bus.is_free(63));
+/// assert!(bus.is_free(64));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AddressBus {
+    busy_until: Cycle,
+    busy_cycles: u64,
+}
+
+impl AddressBus {
+    /// Creates an idle bus.
+    pub fn new() -> AddressBus {
+        AddressBus::default()
+    }
+
+    /// Whether the bus is free at cycle `now`.
+    pub fn is_free(&self, now: Cycle) -> bool {
+        now >= self.busy_until
+    }
+
+    /// The first cycle at which the bus becomes free.
+    pub fn free_at(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Occupies the bus for `cycles` cycles starting at `now`.
+    ///
+    /// Returns the cycle at which the bus becomes free again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is already busy at `now` — callers must check
+    /// [`AddressBus::is_free`] first (the simulators issue strictly
+    /// in-order).
+    pub fn reserve(&mut self, now: Cycle, cycles: u64) -> Cycle {
+        assert!(
+            self.is_free(now),
+            "address bus busy until {} at cycle {now}",
+            self.busy_until
+        );
+        self.busy_until = now + cycles;
+        self.busy_cycles += cycles;
+        self.busy_until
+    }
+
+    /// Total cycles the bus has been held. Used for utilization reports.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Bus utilization over `total` elapsed cycles (0..=1).
+    pub fn utilization(&self, total: Cycle) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_holds_bus_for_exact_duration() {
+        let mut bus = AddressBus::new();
+        let free = bus.reserve(10, 5);
+        assert_eq!(free, 15);
+        assert!(!bus.is_free(14));
+        assert!(bus.is_free(15));
+        assert_eq!(bus.busy_cycles(), 5);
+    }
+
+    #[test]
+    fn back_to_back_reservations_accumulate_utilization() {
+        let mut bus = AddressBus::new();
+        bus.reserve(0, 10);
+        bus.reserve(10, 10);
+        assert_eq!(bus.busy_cycles(), 20);
+        assert!((bus.utilization(40) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "address bus busy")]
+    fn double_reservation_panics() {
+        let mut bus = AddressBus::new();
+        bus.reserve(0, 10);
+        bus.reserve(5, 1);
+    }
+
+    #[test]
+    fn utilization_of_zero_window_is_zero() {
+        let bus = AddressBus::new();
+        assert_eq!(bus.utilization(0), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Memory subsystem model for the *Decoupled Vector Architectures*
+//! reproduction.
+//!
+//! The paper's memory model (Section 4.2) has:
+//!
+//! * a **single pipelined memory port** shared by all accesses, modeled as
+//!   a common shared [`AddressBus`] plus physically separate data paths for
+//!   loads and stores;
+//! * a configurable **memory latency** `L`: the first element of a load
+//!   arrives `L` cycles after its address issues, while stores never expose
+//!   latency to the processor;
+//! * a small **scalar cache** that holds only scalar data — vector accesses
+//!   go directly to main memory.
+//!
+//! [`MemorySystem`] packages these pieces together with traffic counters so
+//! the two simulators share identical timing rules.
+//!
+//! # Examples
+//!
+//! ```
+//! use dva_memory::{MemoryParams, MemorySystem};
+//! use dva_isa::VectorLength;
+//!
+//! let mut mem = MemorySystem::new(MemoryParams::with_latency(30));
+//! let vl = VectorLength::new(64).unwrap();
+//! let issue = mem.issue_vector_load(0, vl);
+//! assert_eq!(issue.bus_free_at, 64);      // bus held for VL cycles
+//! assert_eq!(issue.data_complete_at, 94); // L + VL
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod cache;
+mod system;
+
+pub use bus::AddressBus;
+pub use cache::{CacheAccess, ScalarCache, ScalarCacheParams};
+pub use system::{LoadIssue, MemoryParams, MemorySystem};

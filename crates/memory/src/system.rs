@@ -1,0 +1,240 @@
+//! The combined memory system used by both simulators.
+
+use crate::bus::AddressBus;
+use crate::cache::{CacheAccess, ScalarCache, ScalarCacheParams};
+use dva_isa::{Cycle, VectorLength};
+use dva_metrics::Traffic;
+
+/// Memory system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryParams {
+    /// Main memory latency `L` in cycles: the delay from an address issuing
+    /// on the bus to the first data element arriving at the processor. The
+    /// paper sweeps this from 1 to 100.
+    pub latency: u64,
+    /// Scalar cache geometry.
+    pub cache: ScalarCacheParams,
+}
+
+impl MemoryParams {
+    /// Parameters with the given latency and the default cache.
+    pub fn with_latency(latency: u64) -> MemoryParams {
+        MemoryParams {
+            latency,
+            cache: ScalarCacheParams::default(),
+        }
+    }
+}
+
+impl Default for MemoryParams {
+    fn default() -> Self {
+        MemoryParams::with_latency(1)
+    }
+}
+
+/// Timing of an issued load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadIssue {
+    /// When the address bus becomes free again.
+    pub bus_free_at: Cycle,
+    /// When the first element reaches the processor.
+    pub data_first_at: Cycle,
+    /// When the last element has arrived (a vector register or AVDQ slot is
+    /// complete and consumable — the model never chains off memory).
+    pub data_complete_at: Cycle,
+}
+
+/// The single-ported memory system: address bus, latency model, scalar
+/// cache and traffic accounting.
+///
+/// Both the reference and the decoupled simulators call into this type so
+/// their memory timing rules are identical by construction.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    params: MemoryParams,
+    bus: AddressBus,
+    cache: ScalarCache,
+    traffic: Traffic,
+}
+
+impl MemorySystem {
+    /// Creates a memory system.
+    pub fn new(params: MemoryParams) -> MemorySystem {
+        MemorySystem {
+            params,
+            bus: AddressBus::new(),
+            cache: ScalarCache::new(params.cache),
+            traffic: Traffic::default(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> MemoryParams {
+        self.params
+    }
+
+    /// Whether the address bus is free at `now`.
+    pub fn bus_free(&self, now: Cycle) -> bool {
+        self.bus.is_free(now)
+    }
+
+    /// The shared address bus (for utilization reporting).
+    pub fn bus(&self) -> &AddressBus {
+        &self.bus
+    }
+
+    /// Issues a vector load of length `vl` at cycle `now`.
+    ///
+    /// The bus is held for `VL` cycles; the first element arrives after the
+    /// memory latency `L` and the vector is complete `L + VL` cycles after
+    /// issue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is busy at `now`.
+    pub fn issue_vector_load(&mut self, now: Cycle, vl: VectorLength) -> LoadIssue {
+        let bus_free_at = self.bus.reserve(now, vl.cycles());
+        self.traffic.vector_load_elems += u64::from(vl.get());
+        LoadIssue {
+            bus_free_at,
+            data_first_at: now + self.params.latency,
+            data_complete_at: now + self.params.latency + vl.cycles(),
+        }
+    }
+
+    /// Issues a vector store of length `vl` at cycle `now`, returning when
+    /// the bus frees. Stores never expose memory latency to the processor
+    /// (paper, Section 4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is busy at `now`.
+    pub fn issue_vector_store(&mut self, now: Cycle, vl: VectorLength) -> Cycle {
+        let bus_free_at = self.bus.reserve(now, vl.cycles());
+        self.traffic.vector_store_elems += u64::from(vl.get());
+        bus_free_at
+    }
+
+    /// Checks whether a scalar load would hit in the cache without updating
+    /// any state.
+    pub fn probe_scalar(&self, addr: u64) -> CacheAccess {
+        self.cache.probe(addr)
+    }
+
+    /// Performs a scalar load at cycle `now`.
+    ///
+    /// On a hit the access completes next cycle without touching the bus.
+    /// On a miss the bus is held for one cycle and the data arrives after
+    /// the memory latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access misses while the bus is busy; callers must gate
+    /// on [`MemorySystem::bus_free`] when [`MemorySystem::probe_scalar`]
+    /// reports a miss.
+    pub fn scalar_load(&mut self, now: Cycle, addr: u64) -> LoadIssue {
+        match self.cache.load(addr) {
+            CacheAccess::Hit => LoadIssue {
+                bus_free_at: now,
+                data_first_at: now + 1,
+                data_complete_at: now + 1,
+            },
+            CacheAccess::Miss => {
+                let bus_free_at = self.bus.reserve(now, 1);
+                self.traffic.scalar_load_words += 1;
+                LoadIssue {
+                    bus_free_at,
+                    data_first_at: now + self.params.latency,
+                    data_complete_at: now + self.params.latency,
+                }
+            }
+        }
+    }
+
+    /// Performs a scalar store at cycle `now` (write-through: always one
+    /// bus cycle of traffic), returning when the bus frees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is busy at `now`.
+    pub fn scalar_store(&mut self, now: Cycle, addr: u64) -> Cycle {
+        let _ = self.cache.store(addr);
+        let bus_free_at = self.bus.reserve(now, 1);
+        self.traffic.scalar_store_words += 1;
+        bus_free_at
+    }
+
+    /// Records a vector load satisfied entirely by the store→load bypass:
+    /// no bus usage, no memory traffic.
+    pub fn record_bypass(&mut self, vl: VectorLength) {
+        self.traffic.bypassed_elems += u64::from(vl.get());
+        self.traffic.bypassed_loads += 1;
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn traffic(&self) -> Traffic {
+        self.traffic
+    }
+
+    /// The scalar cache (for hit-rate reporting).
+    pub fn cache(&self) -> &ScalarCache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vl(n: u32) -> VectorLength {
+        VectorLength::new(n).unwrap()
+    }
+
+    #[test]
+    fn vector_load_timing_follows_the_paper() {
+        let mut mem = MemorySystem::new(MemoryParams::with_latency(50));
+        let issue = mem.issue_vector_load(100, vl(32));
+        assert_eq!(issue.bus_free_at, 132);
+        assert_eq!(issue.data_first_at, 150);
+        assert_eq!(issue.data_complete_at, 182);
+        assert_eq!(mem.traffic().vector_load_elems, 32);
+    }
+
+    #[test]
+    fn stores_hold_bus_but_hide_latency() {
+        let mut mem = MemorySystem::new(MemoryParams::with_latency(100));
+        let free = mem.issue_vector_store(0, vl(16));
+        assert_eq!(free, 16);
+        assert_eq!(mem.traffic().vector_store_elems, 16);
+    }
+
+    #[test]
+    fn scalar_hit_avoids_bus_and_traffic() {
+        let mut mem = MemorySystem::new(MemoryParams::with_latency(40));
+        let miss = mem.scalar_load(0, 0x80);
+        assert_eq!(miss.data_complete_at, 40);
+        assert_eq!(mem.traffic().scalar_load_words, 1);
+        // Second access to the same line hits: 1-cycle, no traffic.
+        let hit = mem.scalar_load(50, 0x88);
+        assert_eq!(hit.data_complete_at, 51);
+        assert_eq!(hit.bus_free_at, 50);
+        assert_eq!(mem.traffic().scalar_load_words, 1);
+    }
+
+    #[test]
+    fn probe_matches_subsequent_load() {
+        let mut mem = MemorySystem::new(MemoryParams::default());
+        assert_eq!(mem.probe_scalar(0x100), CacheAccess::Miss);
+        mem.scalar_load(0, 0x100);
+        assert_eq!(mem.probe_scalar(0x100), CacheAccess::Hit);
+    }
+
+    #[test]
+    fn bypass_counts_requests_without_traffic() {
+        let mut mem = MemorySystem::new(MemoryParams::default());
+        mem.record_bypass(vl(128));
+        assert_eq!(mem.traffic().memory_elems(), 0);
+        assert_eq!(mem.traffic().bypassed_elems, 128);
+        assert_eq!(mem.traffic().bypassed_loads, 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! The 8-state machine occupancy breakdown of the paper's Figure 1.
+//!
+//! The machine state is a 3-tuple over the three vector resources: the
+//! general-purpose unit `FU2`, the restricted unit `FU1` and the memory
+//! port `LD`. Each cycle falls in one of the eight combinations; the paper
+//! writes them `(FU2, FU1, LD)` down to `( , , )` (all idle).
+
+use std::fmt;
+use std::ops::BitOr;
+
+/// A set of busy vector resources during one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnitState(u8);
+
+impl UnitState {
+    /// The memory port is busy.
+    pub const LD: UnitState = UnitState(0b001);
+    /// The restricted functional unit is busy.
+    pub const FU1: UnitState = UnitState(0b010);
+    /// The general-purpose functional unit is busy.
+    pub const FU2: UnitState = UnitState(0b100);
+
+    /// No vector resource is busy: the `( , , )` state whose cycles
+    /// decoupling removes.
+    pub fn empty() -> UnitState {
+        UnitState(0)
+    }
+
+    /// Builds a state from its component flags.
+    pub fn from_flags(fu2: bool, fu1: bool, ld: bool) -> UnitState {
+        let mut bits = 0;
+        if ld {
+            bits |= Self::LD.0;
+        }
+        if fu1 {
+            bits |= Self::FU1.0;
+        }
+        if fu2 {
+            bits |= Self::FU2.0;
+        }
+        UnitState(bits)
+    }
+
+    /// Whether the given resource flag is set.
+    pub fn contains(self, flag: UnitState) -> bool {
+        self.0 & flag.0 == flag.0
+    }
+
+    /// Index of this state in `0..8` (LD is bit 0, FU1 bit 1, FU2 bit 2).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All eight states in index order.
+    pub fn all() -> [UnitState; 8] {
+        [
+            UnitState(0),
+            UnitState(1),
+            UnitState(2),
+            UnitState(3),
+            UnitState(4),
+            UnitState(5),
+            UnitState(6),
+            UnitState(7),
+        ]
+    }
+
+    /// Whether this state has both functional units running (the machine
+    /// proceeds at peak floating-point speed).
+    pub fn is_peak(self) -> bool {
+        self.contains(Self::FU1) && self.contains(Self::FU2)
+    }
+}
+
+impl BitOr for UnitState {
+    type Output = UnitState;
+
+    fn bitor(self, rhs: UnitState) -> UnitState {
+        UnitState(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for UnitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<{},{},{}>",
+            if self.contains(Self::FU2) { "FU2" } else { "   " },
+            if self.contains(Self::FU1) { "FU1" } else { "   " },
+            if self.contains(Self::LD) { "LD" } else { "  " },
+        )
+    }
+}
+
+/// Accumulates cycles per machine state to reproduce Figure 1.
+///
+/// # Examples
+///
+/// ```
+/// use dva_metrics::{StateTracker, UnitState};
+/// let mut t = StateTracker::new();
+/// t.add(UnitState::FU2 | UnitState::FU1 | UnitState::LD, 10);
+/// assert_eq!(t.peak_cycles(), 10);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateTracker {
+    counts: [u64; 8],
+}
+
+impl StateTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> StateTracker {
+        StateTracker::default()
+    }
+
+    /// Records one cycle spent in `state`.
+    pub fn tick(&mut self, state: UnitState) {
+        self.counts[state.index()] += 1;
+    }
+
+    /// Records `cycles` cycles spent in `state`.
+    pub fn add(&mut self, state: UnitState, cycles: u64) {
+        self.counts[state.index()] += cycles;
+    }
+
+    /// Cycles recorded for one specific state.
+    pub fn cycles_in(&self, state: UnitState) -> u64 {
+        self.counts[state.index()]
+    }
+
+    /// Cycles in the all-idle `( , , )` state.
+    pub fn idle_cycles(&self) -> u64 {
+        self.counts[0]
+    }
+
+    /// Cycles where both functional units were busy (peak FP speed states
+    /// `(FU2, FU1, LD)` and `(FU2, FU1, )`).
+    pub fn peak_cycles(&self) -> u64 {
+        UnitState::all()
+            .iter()
+            .filter(|s| s.is_peak())
+            .map(|s| self.cycles_in(*s))
+            .sum()
+    }
+
+    /// Cycles where the memory port was idle — the wasted opportunity the
+    /// paper highlights in Section 3.
+    pub fn memory_port_idle_cycles(&self) -> u64 {
+        UnitState::all()
+            .iter()
+            .filter(|s| !s.contains(UnitState::LD))
+            .map(|s| self.cycles_in(*s))
+            .sum()
+    }
+
+    /// Total cycles recorded.
+    pub fn total_cycles(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction (0..=1) of cycles spent in `state`.
+    pub fn fraction(&self, state: UnitState) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_in(state) as f64 / total as f64
+        }
+    }
+
+    /// Per-state cycle counts in [`UnitState::index`] order.
+    pub fn counts(&self) -> &[u64; 8] {
+        &self.counts
+    }
+
+    /// Merges another tracker into this one.
+    pub fn merge(&mut self, other: &StateTracker) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for StateTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_cycles().max(1);
+        for state in UnitState::all() {
+            writeln!(
+                f,
+                "{state} {:>12} ({:5.2}%)",
+                self.cycles_in(state),
+                100.0 * self.cycles_in(state) as f64 / total as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_indices_cover_all_eight_combinations() {
+        let mut seen = [false; 8];
+        for fu2 in [false, true] {
+            for fu1 in [false, true] {
+                for ld in [false, true] {
+                    let s = UnitState::from_flags(fu2, fu1, ld);
+                    assert!(!seen[s.index()]);
+                    seen[s.index()] = true;
+                    assert_eq!(s.contains(UnitState::LD), ld);
+                    assert_eq!(s.contains(UnitState::FU1), fu1);
+                    assert_eq!(s.contains(UnitState::FU2), fu2);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn peak_states_require_both_fus() {
+        assert!((UnitState::FU2 | UnitState::FU1).is_peak());
+        assert!((UnitState::FU2 | UnitState::FU1 | UnitState::LD).is_peak());
+        assert!(!(UnitState::FU2 | UnitState::LD).is_peak());
+    }
+
+    #[test]
+    fn tracker_accumulates_and_merges() {
+        let mut a = StateTracker::new();
+        a.add(UnitState::empty(), 5);
+        a.add(UnitState::LD, 3);
+        let mut b = StateTracker::new();
+        b.add(UnitState::empty(), 2);
+        a.merge(&b);
+        assert_eq!(a.idle_cycles(), 7);
+        assert_eq!(a.total_cycles(), 10);
+        assert_eq!(a.memory_port_idle_cycles(), 7);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut t = StateTracker::new();
+        for (i, s) in UnitState::all().into_iter().enumerate() {
+            t.add(s, i as u64 + 1);
+        }
+        let sum: f64 = UnitState::all().iter().map(|s| t.fraction(*s)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names_match_paper_tuples() {
+        assert_eq!(
+            (UnitState::FU2 | UnitState::FU1 | UnitState::LD).to_string(),
+            "<FU2,FU1,LD>"
+        );
+        assert_eq!(UnitState::empty().to_string(), "<   ,   ,  >");
+    }
+}

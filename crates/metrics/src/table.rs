@@ -1,0 +1,190 @@
+//! Minimal aligned-table rendering for experiment output.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names, labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple table of strings with a header row, rendered either as aligned
+/// ASCII (for terminals) or CSV (for plotting).
+///
+/// # Examples
+///
+/// ```
+/// use dva_metrics::Table;
+/// let mut t = Table::new(["program", "cycles"]);
+/// t.row(["ARC2D", "123"]);
+/// let ascii = t.to_ascii();
+/// assert!(ascii.contains("ARC2D"));
+/// assert_eq!(t.to_csv().lines().count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers. The first column is
+    /// left-aligned and the rest right-aligned by default.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers,
+            rows: Vec::new(),
+            aligns,
+        }
+    }
+
+    /// Overrides the alignment of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of range.
+    pub fn align(&mut self, column: usize, align: Align) -> &mut Self {
+        self.aligns[column] = align;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row does not have exactly one cell per header.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned ASCII with a separator under the
+    /// header.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match self.aligns[i] {
+                    Align::Left => out.push_str(&format!("{:<width$}", cell, width = widths[i])),
+                    Align::Right => out.push_str(&format!("{:>width$}", cell, width = widths[i])),
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header row included, fields quoted only
+    /// when they contain commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut render = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        render(&self.headers);
+        for row in &self.rows {
+            render(row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_ascii())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_aligns_numbers_right() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["bb", "100"]);
+        let ascii = t.to_ascii();
+        let lines: Vec<&str> = ascii.lines().collect();
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[2].ends_with("  1"));
+        assert!(lines[3].ends_with("100"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["a,b", "1"]);
+        assert_eq!(t.to_csv(), "k,v\n\"a,b\",1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(["only"]);
+        t.row(["a", "b"]);
+    }
+
+    #[test]
+    fn alignment_override_applies() {
+        let mut t = Table::new(["x", "y"]);
+        t.align(1, Align::Left);
+        t.row(["q", "w"]);
+        assert!(t.to_ascii().contains('w'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Memory traffic accounting (Figure 8 of the paper).
+
+use dva_isa::ELEM_BYTES;
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters of 64-bit words moved between the processor and main memory.
+///
+/// Bypassed loads are counted separately: a bypass satisfies a load from
+/// the store queue without touching memory, which is exactly the traffic
+/// reduction Figure 8 quantifies.
+///
+/// # Examples
+///
+/// ```
+/// use dva_metrics::Traffic;
+/// let mut t = Traffic::default();
+/// t.vector_load_elems += 128;
+/// t.bypassed_elems += 64;
+/// assert_eq!(t.memory_elems(), 128);
+/// assert_eq!(t.total_request_elems(), 192);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Elements brought in by vector loads that accessed memory.
+    pub vector_load_elems: u64,
+    /// Elements written out by vector stores.
+    pub vector_store_elems: u64,
+    /// Scalar loads that reached main memory (cache misses).
+    pub scalar_load_words: u64,
+    /// Scalar stores.
+    pub scalar_store_words: u64,
+    /// Elements satisfied by the store-queue→load-queue bypass, which never
+    /// reached main memory.
+    pub bypassed_elems: u64,
+    /// Number of vector loads fully satisfied by bypass.
+    pub bypassed_loads: u64,
+}
+
+impl Traffic {
+    /// Words that actually crossed the memory interface.
+    pub fn memory_elems(&self) -> u64 {
+        self.vector_load_elems
+            + self.vector_store_elems
+            + self.scalar_load_words
+            + self.scalar_store_words
+    }
+
+    /// Words requested by the program, whether served by memory or bypass.
+    pub fn total_request_elems(&self) -> u64 {
+        self.memory_elems() + self.bypassed_elems
+    }
+
+    /// Bytes that crossed the memory interface.
+    pub fn memory_bytes(&self) -> u64 {
+        self.memory_elems() * ELEM_BYTES
+    }
+
+    /// Traffic ratio of this run relative to `baseline` (paper Figure 8
+    /// compares BYP against DVA): 1.0 means identical traffic, 0.7 means a
+    /// 30% reduction.
+    pub fn ratio_to(&self, baseline: &Traffic) -> f64 {
+        let base = baseline.memory_elems();
+        if base == 0 {
+            0.0
+        } else {
+            self.memory_elems() as f64 / base as f64
+        }
+    }
+}
+
+impl AddAssign for Traffic {
+    fn add_assign(&mut self, rhs: Traffic) {
+        self.vector_load_elems += rhs.vector_load_elems;
+        self.vector_store_elems += rhs.vector_store_elems;
+        self.scalar_load_words += rhs.scalar_load_words;
+        self.scalar_store_words += rhs.scalar_store_words;
+        self.bypassed_elems += rhs.bypassed_elems;
+        self.bypassed_loads += rhs.bypassed_loads;
+    }
+}
+
+impl fmt::Display for Traffic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mem {} words (vld {}, vst {}, sld {}, sst {}), bypassed {}",
+            self.memory_elems(),
+            self.vector_load_elems,
+            self.vector_store_elems,
+            self.scalar_load_words,
+            self.scalar_store_words,
+            self.bypassed_elems
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bypass_reduces_memory_but_not_requests() {
+        let mut with_bypass = Traffic::default();
+        with_bypass.vector_load_elems = 70;
+        with_bypass.bypassed_elems = 30;
+        let mut without = Traffic::default();
+        without.vector_load_elems = 100;
+        assert_eq!(with_bypass.memory_elems(), 70);
+        assert_eq!(
+            with_bypass.total_request_elems(),
+            without.total_request_elems()
+        );
+        assert!((with_bypass.ratio_to(&without) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates_all_fields() {
+        let mut a = Traffic::default();
+        let b = Traffic {
+            vector_load_elems: 1,
+            vector_store_elems: 2,
+            scalar_load_words: 3,
+            scalar_store_words: 4,
+            bypassed_elems: 5,
+            bypassed_loads: 6,
+        };
+        a += b;
+        a += b;
+        assert_eq!(a.vector_store_elems, 4);
+        assert_eq!(a.bypassed_loads, 12);
+        assert_eq!(a.memory_bytes(), (2 + 4 + 6 + 8) * 8);
+    }
+
+    #[test]
+    fn ratio_to_zero_baseline_is_zero() {
+        let t = Traffic::default();
+        assert_eq!(t.ratio_to(&Traffic::default()), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Cycle-level simulator of the paper's *Reference Vector Architecture*: a
+//! close model of the Convex C3400 (Section 2.1).
+//!
+//! The machine has:
+//!
+//! * a scalar part issuing at most one instruction per cycle, with scalar
+//!   memory accesses served by a small scalar cache;
+//! * a vector part with two computation units — `FU2` general purpose,
+//!   `FU1` everything except multiply/divide/square-root — and one memory
+//!   unit (`LD`) behind a single pipelined memory port;
+//! * eight 128-element vector registers in two-register banks (2R + 1W
+//!   ports per bank);
+//! * flexible FU→FU and FU→store chaining, but **no** chaining of memory
+//!   loads into functional units;
+//! * one common in-order dispatch: the instruction at the head of the
+//!   stream blocks everything behind it until it can issue — precisely the
+//!   coupling that the decoupled architecture removes.
+//!
+//! # Examples
+//!
+//! ```
+//! use dva_ref::{RefParams, RefSim};
+//! use dva_workloads::{Benchmark, Scale};
+//!
+//! let program = Benchmark::Dyfesm.program(Scale::Quick);
+//! let result = RefSim::new(RefParams::with_latency(30)).run(&program);
+//! assert!(result.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod result;
+mod sim;
+
+pub use result::RefResult;
+pub use sim::{RefParams, RefSim};

@@ -1,0 +1,41 @@
+//! Results of a reference-architecture simulation.
+
+use dva_isa::Cycle;
+use dva_metrics::{StateTracker, Traffic};
+
+/// Everything measured during one run of the reference simulator.
+#[derive(Debug, Clone)]
+pub struct RefResult {
+    /// Total execution time in cycles.
+    pub cycles: Cycle,
+    /// Instructions dispatched.
+    pub insts: u64,
+    /// Per-cycle occupancy of the (FU2, FU1, LD) state tuple — the raw
+    /// data of the paper's Figure 1.
+    pub states: StateTracker,
+    /// Memory traffic counters.
+    pub traffic: Traffic,
+    /// Cycles the dispatcher spent blocked behind an unissuable
+    /// instruction.
+    pub dispatch_stalls: u64,
+    /// Address bus utilization over the whole run (0..=1).
+    pub bus_utilization: f64,
+    /// Scalar cache hit rate (0..=1).
+    pub cache_hit_rate: f64,
+}
+
+impl RefResult {
+    /// Cycles spent in the all-idle `( , , )` state.
+    pub fn idle_cycles(&self) -> Cycle {
+        self.states.idle_cycles()
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+}

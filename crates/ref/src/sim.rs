@@ -1,0 +1,529 @@
+//! The cycle-stepped reference simulator.
+
+use crate::result::RefResult;
+use dva_isa::{Cycle, Inst, Program, VOperand};
+use dva_memory::{CacheAccess, MemoryParams, MemorySystem};
+use dva_metrics::{StateTracker, UnitState};
+use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, UarchParams, VectorRegFile};
+
+/// Configuration of the reference machine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RefParams {
+    /// Vector engine timing.
+    pub uarch: UarchParams,
+    /// Memory system (latency is the paper's sweep parameter).
+    pub memory: MemoryParams,
+}
+
+impl RefParams {
+    /// Default microarchitecture with the given memory latency.
+    pub fn with_latency(latency: u64) -> RefParams {
+        RefParams {
+            uarch: UarchParams::default(),
+            memory: MemoryParams::with_latency(latency),
+        }
+    }
+}
+
+/// The reference (coupled) vector architecture simulator.
+///
+/// Create one per run; [`RefSim::run`] consumes the simulator's state.
+#[derive(Debug)]
+pub struct RefSim {
+    params: RefParams,
+    chain: ChainPolicy,
+}
+
+impl RefSim {
+    /// Creates a simulator.
+    pub fn new(params: RefParams) -> RefSim {
+        RefSim {
+            params,
+            chain: ChainPolicy::reference(),
+        }
+    }
+
+    /// Overrides the chaining policy (for ablation studies).
+    pub fn with_chain_policy(mut self, chain: ChainPolicy) -> RefSim {
+        self.chain = chain;
+        self
+    }
+
+    /// Runs `program` to completion and reports the measurements.
+    pub fn run(&self, program: &Program) -> RefResult {
+        Engine::new(self.params, self.chain).run(program)
+    }
+}
+
+struct Engine {
+    params: RefParams,
+    chain: ChainPolicy,
+    now: Cycle,
+    regs: VectorRegFile,
+    sb: Scoreboard,
+    fu1: FuPipe,
+    fu2: FuPipe,
+    mem: MemorySystem,
+    states: StateTracker,
+    dispatch_stalls: u64,
+}
+
+impl Engine {
+    fn new(params: RefParams, chain: ChainPolicy) -> Engine {
+        Engine {
+            params,
+            chain,
+            now: 0,
+            regs: VectorRegFile::new(&params.uarch),
+            sb: Scoreboard::new(),
+            fu1: FuPipe::new("FU1"),
+            fu2: FuPipe::new("FU2"),
+            mem: MemorySystem::new(params.memory),
+            states: StateTracker::new(),
+            dispatch_stalls: 0,
+        }
+    }
+
+    fn tick_state(&mut self) {
+        let state = UnitState::from_flags(
+            self.fu2.is_busy_at(self.now),
+            self.fu1.is_busy_at(self.now),
+            !self.mem.bus_free(self.now),
+        );
+        self.states.tick(state);
+    }
+
+    /// Attempts to issue `inst` at the current cycle. Returns `true` when
+    /// the instruction left the dispatcher.
+    fn try_issue(&mut self, inst: &Inst) -> bool {
+        let now = self.now;
+        let startup = self.params.uarch.fu_startup;
+        match inst {
+            Inst::SAlu { dst, src1, src2 } => {
+                if !self.sb.all_ready(&[*src1, *src2], now) {
+                    return false;
+                }
+                self.sb.set_ready(*dst, now + 1);
+                true
+            }
+            Inst::SLoad { dst, addr } => {
+                if self.mem.probe_scalar(*addr) == CacheAccess::Miss && !self.mem.bus_free(now) {
+                    return false;
+                }
+                let issue = self.mem.scalar_load(now, *addr);
+                self.sb.set_ready(*dst, issue.data_complete_at);
+                true
+            }
+            Inst::SStore { src, addr } => {
+                if !self.sb.is_ready(*src, now) || !self.mem.bus_free(now) {
+                    return false;
+                }
+                self.mem.scalar_store(now, *addr);
+                true
+            }
+            Inst::Branch { cond, .. } => self.sb.is_ready(*cond, now),
+            Inst::VCompute {
+                op,
+                dst,
+                src1,
+                src2,
+                vl,
+            } => {
+                let mut reads = Vec::with_capacity(2);
+                let mut sregs = [None, None];
+                for (i, operand) in [Some(src1), src2.as_ref()].into_iter().enumerate() {
+                    match operand {
+                        Some(VOperand::Reg(v)) => reads.push(*v),
+                        Some(VOperand::Scalar(s)) => sregs[i] = Some(*s),
+                        None => {}
+                    }
+                }
+                if !self.sb.all_ready(&sregs, now) {
+                    return false;
+                }
+                if !self.regs.can_issue(now, &reads, Some(*dst), self.chain) {
+                    return false;
+                }
+                let unit = if op.requires_general_unit() {
+                    &mut self.fu2
+                } else if self.fu1.is_free(now) {
+                    &mut self.fu1
+                } else {
+                    &mut self.fu2
+                };
+                if !unit.is_free(now) {
+                    return false;
+                }
+                unit.reserve(now, vl.cycles());
+                self.regs.begin_reads(now, &reads, vl.cycles());
+                self.regs.begin_write(
+                    *dst,
+                    now,
+                    now + startup,
+                    now + startup + vl.cycles(),
+                    Producer::FunctionalUnit,
+                );
+                true
+            }
+            Inst::VReduce { dst, src, vl, .. } => {
+                if !self.regs.can_issue(now, &[*src], None, self.chain) {
+                    return false;
+                }
+                let unit = if self.fu1.is_free(now) {
+                    &mut self.fu1
+                } else if self.fu2.is_free(now) {
+                    &mut self.fu2
+                } else {
+                    return false;
+                };
+                unit.reserve(now, vl.cycles());
+                self.regs.begin_reads(now, &[*src], vl.cycles());
+                // The scalar result is available once the whole vector has
+                // streamed through the adder tree.
+                self.sb.set_ready(*dst, now + startup + vl.cycles() + 1);
+                true
+            }
+            Inst::VLoad { dst, access } => {
+                if !self.mem.bus_free(now)
+                    || !self.regs.can_issue(now, &[], Some(*dst), self.chain)
+                {
+                    return false;
+                }
+                let issue = self.mem.issue_vector_load(now, access.vl);
+                self.regs.begin_write(
+                    *dst,
+                    now,
+                    issue.data_first_at,
+                    issue.data_complete_at,
+                    Producer::MemoryLoad,
+                );
+                true
+            }
+            Inst::VStore { src, access } => {
+                if !self.mem.bus_free(now)
+                    || !self.regs.can_issue(now, &[*src], None, self.chain)
+                {
+                    return false;
+                }
+                self.mem.issue_vector_store(now, access.vl);
+                self.regs.begin_reads(now, &[*src], access.vl.cycles());
+                true
+            }
+            Inst::VGather {
+                dst, index, vl, ..
+            } => {
+                if !self.mem.bus_free(now)
+                    || !self.regs.can_issue(now, &[*index], Some(*dst), self.chain)
+                {
+                    return false;
+                }
+                let issue = self.mem.issue_vector_load(now, *vl);
+                self.regs.begin_reads(now, &[*index], vl.cycles());
+                self.regs.begin_write(
+                    *dst,
+                    now,
+                    issue.data_first_at,
+                    issue.data_complete_at,
+                    Producer::MemoryLoad,
+                );
+                true
+            }
+            Inst::VScatter {
+                src, index, vl, ..
+            } => {
+                if !self.mem.bus_free(now)
+                    || !self.regs.can_issue(now, &[*src, *index], None, self.chain)
+                {
+                    return false;
+                }
+                self.mem.issue_vector_store(now, *vl);
+                self.regs.begin_reads(now, &[*src, *index], vl.cycles());
+                true
+            }
+        }
+    }
+
+    fn run(mut self, program: &Program) -> RefResult {
+        let insts = program.insts();
+        let mut pc = 0usize;
+        while pc < insts.len() {
+            if self.try_issue(&insts[pc]) {
+                pc += 1;
+            } else {
+                self.dispatch_stalls += 1;
+            }
+            self.tick_state();
+            self.now += 1;
+        }
+        // Drain: run the clock until every unit and register is quiet.
+        let end = self
+            .regs
+            .quiesce_at()
+            .max(self.sb.quiesce_at())
+            .max(self.fu1.free_at())
+            .max(self.fu2.free_at())
+            .max(self.mem.bus().free_at());
+        while self.now < end {
+            self.tick_state();
+            self.now += 1;
+        }
+        let cycles = self.now;
+        RefResult {
+            cycles,
+            insts: insts.len() as u64,
+            states: self.states,
+            traffic: self.mem.traffic(),
+            dispatch_stalls: self.dispatch_stalls,
+            bus_utilization: self.mem.bus().utilization(cycles),
+            cache_hit_rate: self.mem.cache().hit_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dva_isa::{ReduceOp, ScalarReg, VectorAccess, VectorLength, VectorOp, VectorReg};
+
+    fn vl(n: u32) -> VectorLength {
+        VectorLength::new(n).unwrap()
+    }
+
+    fn vload(dst: VectorReg, base: u64, n: u32) -> Inst {
+        Inst::VLoad {
+            dst,
+            access: VectorAccess::unit(base, vl(n)),
+        }
+    }
+
+    fn vadd(dst: VectorReg, a: VectorReg, b: VectorReg, n: u32) -> Inst {
+        Inst::VCompute {
+            op: VectorOp::Add,
+            dst,
+            src1: VOperand::Reg(a),
+            src2: Some(VOperand::Reg(b)),
+            vl: vl(n),
+        }
+    }
+
+    fn run(insts: Vec<Inst>, latency: u64) -> RefResult {
+        let program = Program::from_insts("t", insts);
+        RefSim::new(RefParams::with_latency(latency)).run(&program)
+    }
+
+    #[test]
+    fn single_vector_load_pays_latency_plus_vl() {
+        // Load issues at cycle 0; data complete at L + VL = 30 + 64.
+        let r = run(vec![vload(VectorReg::V0, 0x1000, 64)], 30);
+        assert_eq!(r.cycles, 94);
+        assert_eq!(r.traffic.vector_load_elems, 64);
+    }
+
+    #[test]
+    fn two_loads_serialize_on_the_bus() {
+        // Bus: [0,64) then [64,128); second data complete at 64+30+64.
+        let r = run(
+            vec![
+                vload(VectorReg::V0, 0x1000, 64),
+                vload(VectorReg::V2, 0x9000, 64),
+            ],
+            30,
+        );
+        assert_eq!(r.cycles, 64 + 30 + 64);
+    }
+
+    #[test]
+    fn load_use_does_not_chain() {
+        // add must wait for the load to be complete at 30+64=94; add then
+        // takes startup+64 more.
+        let startup = UarchParams::default().fu_startup;
+        let r = run(
+            vec![
+                vload(VectorReg::V0, 0x1000, 64),
+                vload(VectorReg::V2, 0x9000, 64),
+                vadd(VectorReg::V4, VectorReg::V0, VectorReg::V2, 64),
+            ],
+            30,
+        );
+        // Second load complete at 64+30+64 = 158; add: 158+startup+64.
+        assert_eq!(r.cycles, 158 + startup + 64);
+    }
+
+    #[test]
+    fn fu_to_fu_chaining_overlaps_execution() {
+        let startup = UarchParams::default().fu_startup;
+        // Two dependent adds on pre-ready registers: the second chains one
+        // cycle after the first's first element.
+        let r = run(
+            vec![
+                vadd(VectorReg::V2, VectorReg::V0, VectorReg::V1, 64),
+                vadd(VectorReg::V4, VectorReg::V2, VectorReg::V6, 64),
+            ],
+            1,
+        );
+        // First add: issues at 0 on FU1, first element at `startup`, done
+        // at startup+64. Second chains at startup+1 (on FU2, FU1 is busy)
+        // and completes at (startup+1) + startup + 64.
+        assert_eq!(r.cycles, 2 * startup + 1 + 64);
+    }
+
+    #[test]
+    fn store_chains_from_functional_unit() {
+        let startup = UarchParams::default().fu_startup;
+        let r = run(
+            vec![
+                vadd(VectorReg::V2, VectorReg::V0, VectorReg::V1, 32),
+                Inst::VStore {
+                    src: VectorReg::V2,
+                    access: VectorAccess::unit(0x2000, vl(32)),
+                },
+            ],
+            100,
+        );
+        // Store chains at startup+1 and holds the bus 32 cycles; stores
+        // hide memory latency.
+        assert_eq!(r.cycles, startup + 1 + 32);
+        assert_eq!(r.traffic.vector_store_elems, 32);
+    }
+
+    #[test]
+    fn scalar_code_runs_at_one_ipc() {
+        let insts: Vec<Inst> = (0..100)
+            .map(|_| Inst::SAlu {
+                dst: ScalarReg::scalar(2),
+                src1: Some(ScalarReg::scalar(2)),
+                src2: None,
+            })
+            .collect();
+        let r = run(insts, 50);
+        // 100 instructions at 1 per cycle; the last result lands exactly
+        // as the clock stops.
+        assert_eq!(r.cycles, 100);
+        assert!((r.ipc() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependent_scalar_load_blocks_dispatch() {
+        let r = run(
+            vec![
+                Inst::SLoad {
+                    dst: ScalarReg::scalar(3),
+                    addr: 0x100,
+                },
+                Inst::SAlu {
+                    dst: ScalarReg::scalar(2),
+                    src1: Some(ScalarReg::scalar(3)),
+                    src2: None,
+                },
+            ],
+            40,
+        );
+        // Miss: data at cycle 40; ALU issues at 40, result at 41.
+        assert_eq!(r.cycles, 41);
+        assert!(r.dispatch_stalls > 30);
+    }
+
+    #[test]
+    fn reduction_result_reaches_scoreboard() {
+        let startup = UarchParams::default().fu_startup;
+        let r = run(
+            vec![
+                Inst::VReduce {
+                    op: ReduceOp::Sum,
+                    dst: ScalarReg::scalar(1),
+                    src: VectorReg::V0,
+                    vl: vl(16),
+                },
+                Inst::SAlu {
+                    dst: ScalarReg::scalar(2),
+                    src1: Some(ScalarReg::scalar(1)),
+                    src2: None,
+                },
+            ],
+            1,
+        );
+        // Reduce result at startup+16+1; SAlu one cycle later.
+        assert_eq!(r.cycles, startup + 16 + 2);
+    }
+
+    #[test]
+    fn mul_only_issues_on_fu2() {
+        // A mul and an add can overlap (different units); two muls cannot.
+        let two_muls = run(
+            vec![
+                Inst::VCompute {
+                    op: VectorOp::Mul,
+                    dst: VectorReg::V2,
+                    src1: VOperand::Reg(VectorReg::V0),
+                    src2: Some(VOperand::Reg(VectorReg::V1)),
+                    vl: vl(64),
+                },
+                Inst::VCompute {
+                    op: VectorOp::Mul,
+                    dst: VectorReg::V4,
+                    src1: VOperand::Reg(VectorReg::V6),
+                    src2: Some(VOperand::Reg(VectorReg::V7)),
+                    vl: vl(64),
+                },
+            ],
+            1,
+        );
+        let mul_add = run(
+            vec![
+                Inst::VCompute {
+                    op: VectorOp::Mul,
+                    dst: VectorReg::V2,
+                    src1: VOperand::Reg(VectorReg::V0),
+                    src2: Some(VOperand::Reg(VectorReg::V1)),
+                    vl: vl(64),
+                },
+                vadd(VectorReg::V4, VectorReg::V6, VectorReg::V7, 64),
+            ],
+            1,
+        );
+        assert!(two_muls.cycles > mul_add.cycles);
+    }
+
+    #[test]
+    fn state_breakdown_accounts_every_cycle() {
+        let program = dva_workloads::Benchmark::Arc2d.program(dva_workloads::Scale::Quick);
+        let r = RefSim::new(RefParams::with_latency(30)).run(&program);
+        assert_eq!(r.states.total_cycles(), r.cycles);
+        assert!(r.states.idle_cycles() < r.cycles);
+        assert!(r.bus_utilization > 0.0 && r.bus_utilization <= 1.0);
+    }
+
+    #[test]
+    fn longer_latency_never_speeds_up_execution() {
+        let program = dva_workloads::Benchmark::Trfd.program(dva_workloads::Scale::Quick);
+        let mut prev = 0;
+        for latency in [1, 10, 30, 70, 100] {
+            let r = RefSim::new(RefParams::with_latency(latency)).run(&program);
+            assert!(
+                r.cycles >= prev,
+                "latency {latency} ran faster: {} < {prev}",
+                r.cycles
+            );
+            prev = r.cycles;
+        }
+    }
+
+    #[test]
+    fn branch_waits_for_condition() {
+        let r = run(
+            vec![
+                Inst::SLoad {
+                    dst: ScalarReg::scalar(3),
+                    addr: 0x100,
+                },
+                Inst::Branch {
+                    cond: ScalarReg::scalar(3),
+                    taken: true,
+                },
+            ],
+            25,
+        );
+        // Branch issues once the miss returns at cycle 25.
+        assert_eq!(r.cycles, 26);
+    }
+}

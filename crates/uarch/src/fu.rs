@@ -1,0 +1,131 @@
+//! Fully pipelined functional units.
+
+use dva_isa::Cycle;
+
+/// A fully pipelined vector functional unit (or QMOV move unit).
+///
+/// A vector instruction of length `VL` feeds the unit one element per
+/// cycle, occupying it for exactly `VL` cycles; the pipeline drain overlaps
+/// with the next instruction, so results complete `startup + VL` cycles
+/// after issue while the unit frees after only `VL`.
+///
+/// # Examples
+///
+/// ```
+/// use dva_uarch::FuPipe;
+/// let mut fu = FuPipe::new("FU1");
+/// assert!(fu.is_free(0));
+/// fu.reserve(0, 64);
+/// assert!(!fu.is_free(63));
+/// assert!(fu.is_free(64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPipe {
+    name: &'static str,
+    busy_until: Cycle,
+    busy_cycles: u64,
+    ops: u64,
+}
+
+impl FuPipe {
+    /// Creates an idle unit with a diagnostic name.
+    pub fn new(name: &'static str) -> FuPipe {
+        FuPipe {
+            name,
+            busy_until: 0,
+            busy_cycles: 0,
+            ops: 0,
+        }
+    }
+
+    /// The unit's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether the unit can accept a new instruction at cycle `now`.
+    pub fn is_free(&self, now: Cycle) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Whether the unit is streaming elements at cycle `now` (used for the
+    /// Figure 1 state accounting).
+    pub fn is_busy_at(&self, now: Cycle) -> bool {
+        now < self.busy_until
+    }
+
+    /// The first cycle at which the unit frees.
+    pub fn free_at(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Occupies the unit for `cycles` cycles starting at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is busy at `now`.
+    pub fn reserve(&mut self, now: Cycle, cycles: u64) -> Cycle {
+        assert!(
+            self.is_free(now),
+            "{} busy until {} at cycle {now}",
+            self.name,
+            self.busy_until
+        );
+        self.busy_until = now + cycles;
+        self.busy_cycles += cycles;
+        self.ops += 1;
+        self.busy_until
+    }
+
+    /// Total cycles the unit has streamed elements.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Number of instructions executed by the unit.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Utilization over `total` elapsed cycles (0..=1).
+    pub fn utilization(&self, total: Cycle) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_tracks_busy_window_and_counts() {
+        let mut fu = FuPipe::new("FU2");
+        fu.reserve(5, 10);
+        assert!(fu.is_busy_at(5));
+        assert!(fu.is_busy_at(14));
+        assert!(!fu.is_busy_at(15));
+        assert_eq!(fu.free_at(), 15);
+        assert_eq!(fu.busy_cycles(), 10);
+        assert_eq!(fu.ops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy until")]
+    fn overlapping_reservation_panics() {
+        let mut fu = FuPipe::new("FU1");
+        fu.reserve(0, 8);
+        fu.reserve(7, 1);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_total() {
+        let mut fu = FuPipe::new("LD");
+        fu.reserve(0, 25);
+        assert!((fu.utilization(100) - 0.25).abs() < 1e-12);
+        assert_eq!(fu.utilization(0), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared microarchitecture substrate for the reference and decoupled
+//! vector architecture simulators.
+//!
+//! Both machines share the same vector engine building blocks (paper,
+//! Sections 2.1 and 4.3):
+//!
+//! * a [`VectorRegFile`] of eight 128-element registers arranged in four
+//!   two-register banks, each bank with two read ports and one write port;
+//! * fully pipelined [`FuPipe`] functional units that accept one element
+//!   per cycle (an instruction of length `VL` occupies its unit for `VL`
+//!   cycles);
+//! * **flexible chaining**: a dependent instruction may begin reading a
+//!   register while its producer is still writing it, as long as the
+//!   producer kind is chainable under the machine's [`ChainPolicy`] —
+//!   memory loads are never chainable on either machine;
+//! * a scalar [`Scoreboard`] for `A`/`S` register dependences.
+//!
+//! # Examples
+//!
+//! ```
+//! use dva_uarch::{ChainPolicy, Producer, UarchParams, VectorRegFile};
+//! use dva_isa::VectorReg;
+//!
+//! let params = UarchParams::default();
+//! let mut regs = VectorRegFile::new(&params);
+//! // A load writes v0: first element at cycle 10, complete at cycle 74.
+//! regs.begin_write(VectorReg::V0, 0, 10, 74, Producer::MemoryLoad);
+//! // Loads are not chainable: v0 is only readable once complete.
+//! let policy = ChainPolicy::reference();
+//! assert_eq!(regs.read_ready_at(VectorReg::V0, policy), 74);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fu;
+mod params;
+mod regfile;
+mod scoreboard;
+
+pub use fu::FuPipe;
+pub use params::{ChainPolicy, UarchParams};
+pub use regfile::{Producer, VectorRegFile};
+pub use scoreboard::Scoreboard;

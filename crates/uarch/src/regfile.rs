@@ -1,0 +1,325 @@
+//! The banked vector register file with chaining-aware hazard tracking.
+
+use crate::params::{ChainPolicy, UarchParams};
+use dva_isa::{Cycle, VectorReg, NUM_VECTOR_REGS, VECTOR_BANK_SIZE};
+
+/// The kind of unit currently (or last) writing a register; determines
+/// whether consumers may chain off it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Producer {
+    /// Register is architecturally idle (no in-flight writer).
+    Idle,
+    /// Written by `FU1`/`FU2`.
+    FunctionalUnit,
+    /// Written by a QMOV unit (decoupled machine).
+    Qmov,
+    /// Written by the memory load unit.
+    MemoryLoad,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VRegState {
+    /// Cycle at which the last element is written and the register is
+    /// fully architecturally valid.
+    ready_at: Cycle,
+    /// Cycle at which the first element is written (chaining window
+    /// start).
+    first_elem_at: Cycle,
+    /// Who is writing it.
+    producer: Producer,
+    /// Latest cycle at which an in-flight reader is still streaming the
+    /// register (write-after-read hazard bound).
+    readers_until: Cycle,
+}
+
+impl Default for VRegState {
+    fn default() -> Self {
+        VRegState {
+            ready_at: 0,
+            first_elem_at: 0,
+            producer: Producer::Idle,
+            readers_until: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankPorts {
+    /// Free-from cycles of the two read ports.
+    read_free: [Cycle; 2],
+    /// Free-from cycle of the single write port.
+    write_free: Cycle,
+}
+
+const NUM_BANKS: usize = NUM_VECTOR_REGS / VECTOR_BANK_SIZE;
+
+/// The eight-register vector register file.
+///
+/// Tracks read-after-write (with chaining), write-after-write and
+/// write-after-read hazards, plus the structural 2R/1W port limits of each
+/// two-register bank.
+#[derive(Debug, Clone)]
+pub struct VectorRegFile {
+    regs: [VRegState; NUM_VECTOR_REGS],
+    banks: [BankPorts; NUM_BANKS],
+    check_ports: bool,
+}
+
+impl VectorRegFile {
+    /// Creates a register file with all registers idle and ready.
+    pub fn new(params: &UarchParams) -> VectorRegFile {
+        VectorRegFile {
+            regs: [VRegState::default(); NUM_VECTOR_REGS],
+            banks: [BankPorts::default(); NUM_BANKS],
+            check_ports: params.check_bank_ports,
+        }
+    }
+
+    /// The earliest cycle at which `reg` may begin being *read* by a
+    /// consumer operating under `policy`.
+    ///
+    /// If the in-flight producer is chainable the consumer may start one
+    /// cycle after the first element lands; otherwise it must wait for the
+    /// register to be complete.
+    pub fn read_ready_at(&self, reg: VectorReg, policy: ChainPolicy) -> Cycle {
+        let st = &self.regs[reg.index()];
+        if policy.allows(st.producer) {
+            // Chained consumers run element-synchronous with the producer
+            // at one element per cycle, one cycle behind.
+            st.first_elem_at.saturating_add(1).min(st.ready_at)
+        } else {
+            st.ready_at
+        }
+    }
+
+    /// The earliest cycle at which `reg` may be *overwritten*: its current
+    /// write must have completed (WAW) and all in-flight readers drained
+    /// (WAR).
+    pub fn write_ready_at(&self, reg: VectorReg) -> Cycle {
+        let st = &self.regs[reg.index()];
+        st.ready_at.max(st.readers_until)
+    }
+
+    /// Whether all of `reads` are readable and `write` (if any) writable at
+    /// cycle `now`, including bank port availability for an operation that
+    /// would stream for `duration` cycles.
+    pub fn can_issue(
+        &self,
+        now: Cycle,
+        reads: &[VectorReg],
+        write: Option<VectorReg>,
+        policy: ChainPolicy,
+    ) -> bool {
+        for &r in reads {
+            if self.read_ready_at(r, policy) > now {
+                return false;
+            }
+        }
+        if let Some(w) = write {
+            if self.write_ready_at(w) > now {
+                return false;
+            }
+        }
+        if self.check_ports {
+            // Count read ports needed per bank (a register read twice by
+            // one instruction needs only one port).
+            let mut need = [0usize; NUM_BANKS];
+            let mut seen: [Option<VectorReg>; 2] = [None, None];
+            for &r in reads {
+                if seen.contains(&Some(r)) {
+                    continue;
+                }
+                if seen[0].is_none() {
+                    seen[0] = Some(r);
+                } else {
+                    seen[1] = Some(r);
+                }
+                need[r.bank()] += 1;
+            }
+            for (bank, &n) in need.iter().enumerate() {
+                let free = self.banks[bank]
+                    .read_free
+                    .iter()
+                    .filter(|&&f| f <= now)
+                    .count();
+                if free < n {
+                    return false;
+                }
+            }
+            if let Some(w) = write {
+                if self.banks[w.bank()].write_free > now {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Marks `reads` as being streamed for `duration` cycles starting at
+    /// `now`, allocating bank read ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a needed read port is unavailable (callers must gate on
+    /// [`VectorRegFile::can_issue`]).
+    pub fn begin_reads(&mut self, now: Cycle, reads: &[VectorReg], duration: u64) {
+        let until = now + duration;
+        let mut seen: [Option<VectorReg>; 2] = [None, None];
+        for &r in reads {
+            if seen.contains(&Some(r)) {
+                continue;
+            }
+            if seen[0].is_none() {
+                seen[0] = Some(r);
+            } else {
+                seen[1] = Some(r);
+            }
+            self.regs[r.index()].readers_until = self.regs[r.index()].readers_until.max(until);
+            if self.check_ports {
+                let bank = &mut self.banks[r.bank()];
+                let port = bank
+                    .read_free
+                    .iter_mut()
+                    .find(|f| **f <= now)
+                    .expect("read port unavailable; call can_issue first");
+                *port = until;
+            }
+        }
+    }
+
+    /// Marks `reg` as being written: first element at `first_elem_at`,
+    /// complete at `ready_at`, by a unit of kind `producer`. Allocates the
+    /// bank write port from `now` until `ready_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write port is unavailable.
+    pub fn begin_write(
+        &mut self,
+        reg: VectorReg,
+        now: Cycle,
+        first_elem_at: Cycle,
+        ready_at: Cycle,
+        producer: Producer,
+    ) {
+        debug_assert!(first_elem_at <= ready_at);
+        let st = &mut self.regs[reg.index()];
+        st.first_elem_at = first_elem_at;
+        st.ready_at = ready_at;
+        st.producer = producer;
+        if self.check_ports {
+            let bank = &mut self.banks[reg.bank()];
+            assert!(
+                bank.write_free <= now,
+                "write port of bank {} unavailable; call can_issue first",
+                reg.bank()
+            );
+            bank.write_free = ready_at;
+        }
+    }
+
+    /// The cycle at which `reg` is fully written.
+    pub fn ready_at(&self, reg: VectorReg) -> Cycle {
+        self.regs[reg.index()].ready_at
+    }
+
+    /// The producer kind of the in-flight (or last) write to `reg`.
+    pub fn producer(&self, reg: VectorReg) -> Producer {
+        self.regs[reg.index()].producer
+    }
+
+    /// The earliest cycle by which every register is idle: no pending
+    /// write and no in-flight reader. Used to detect end of execution.
+    pub fn quiesce_at(&self) -> Cycle {
+        self.regs
+            .iter()
+            .map(|st| st.ready_at.max(st.readers_until))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regfile() -> VectorRegFile {
+        VectorRegFile::new(&UarchParams::default())
+    }
+
+    #[test]
+    fn chainable_producer_opens_early_read_window() {
+        let mut rf = regfile();
+        rf.begin_write(VectorReg::V0, 0, 4, 68, Producer::FunctionalUnit);
+        let policy = ChainPolicy::reference();
+        assert_eq!(rf.read_ready_at(VectorReg::V0, policy), 5);
+        // Memory loads are not chainable under the same policy.
+        rf.begin_write(VectorReg::V2, 0, 10, 74, Producer::MemoryLoad);
+        assert_eq!(rf.read_ready_at(VectorReg::V2, policy), 74);
+    }
+
+    #[test]
+    fn waw_and_war_block_overwrites() {
+        let mut rf = regfile();
+        rf.begin_write(VectorReg::V1, 0, 4, 68, Producer::FunctionalUnit);
+        assert_eq!(rf.write_ready_at(VectorReg::V1), 68);
+        rf.begin_reads(10, &[VectorReg::V3], 50);
+        assert_eq!(rf.write_ready_at(VectorReg::V3), 60);
+    }
+
+    #[test]
+    fn bank_write_port_conflicts_block_issue() {
+        let mut rf = regfile();
+        // v0 and v1 share bank 0's single write port.
+        rf.begin_write(VectorReg::V0, 0, 4, 100, Producer::FunctionalUnit);
+        assert!(!rf.can_issue(10, &[], Some(VectorReg::V1), ChainPolicy::reference()));
+        // v2 lives in bank 1 and is fine.
+        assert!(rf.can_issue(10, &[], Some(VectorReg::V2), ChainPolicy::reference()));
+    }
+
+    #[test]
+    fn bank_read_ports_allow_two_concurrent_readers() {
+        let mut rf = regfile();
+        rf.begin_reads(0, &[VectorReg::V0], 100);
+        assert!(rf.can_issue(0, &[VectorReg::V1], None, ChainPolicy::reference()));
+        rf.begin_reads(0, &[VectorReg::V1], 100);
+        // Both ports of bank 0 are now streaming.
+        assert!(!rf.can_issue(50, &[VectorReg::V0], None, ChainPolicy::reference()));
+        // Ports free at cycle 100.
+        assert!(rf.can_issue(100, &[VectorReg::V0], None, ChainPolicy::reference()));
+    }
+
+    #[test]
+    fn duplicate_source_needs_one_port() {
+        let mut rf = regfile();
+        rf.begin_reads(0, &[VectorReg::V0], 100);
+        // vadd v2, v1, v1 needs only the second port of bank 0.
+        assert!(rf.can_issue(
+            0,
+            &[VectorReg::V1, VectorReg::V1],
+            Some(VectorReg::V2),
+            ChainPolicy::reference()
+        ));
+    }
+
+    #[test]
+    fn port_checks_can_be_disabled() {
+        let params = UarchParams {
+            check_bank_ports: false,
+            ..UarchParams::default()
+        };
+        let mut rf = VectorRegFile::new(&params);
+        rf.begin_write(VectorReg::V0, 0, 4, 100, Producer::FunctionalUnit);
+        // Full crossbar: the shared write port no longer matters.
+        assert!(rf.can_issue(10, &[], Some(VectorReg::V1), ChainPolicy::reference()));
+    }
+
+    #[test]
+    fn quiesce_tracks_latest_activity() {
+        let mut rf = regfile();
+        assert_eq!(rf.quiesce_at(), 0);
+        rf.begin_write(VectorReg::V4, 0, 4, 68, Producer::FunctionalUnit);
+        rf.begin_reads(0, &[VectorReg::V5], 90);
+        assert_eq!(rf.quiesce_at(), 90);
+    }
+}

@@ -1,0 +1,117 @@
+//! Scalar register scoreboard.
+
+use dva_isa::{Cycle, ScalarReg};
+
+/// Ready-time scoreboard over the `A` and `S` scalar register files.
+///
+/// Scalar instructions complete in one cycle on their processor (paper,
+/// Section 4.4), but loads, reductions and cross-processor queue moves
+/// complete later; the scoreboard tracks when each register's value is
+/// available.
+///
+/// # Examples
+///
+/// ```
+/// use dva_uarch::Scoreboard;
+/// use dva_isa::ScalarReg;
+///
+/// let mut sb = Scoreboard::new();
+/// sb.set_ready(ScalarReg::scalar(1), 42);
+/// assert_eq!(sb.ready_at(ScalarReg::scalar(1)), 42);
+/// assert!(!sb.is_ready(ScalarReg::scalar(1), 41));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    ready: [Cycle; ScalarReg::COUNT],
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Scoreboard::new()
+    }
+}
+
+impl Scoreboard {
+    /// Creates a scoreboard with every register ready at cycle 0.
+    pub fn new() -> Scoreboard {
+        Scoreboard {
+            ready: [0; ScalarReg::COUNT],
+        }
+    }
+
+    /// When `reg`'s value becomes available.
+    pub fn ready_at(&self, reg: ScalarReg) -> Cycle {
+        self.ready[reg.dense_index()]
+    }
+
+    /// Whether `reg` is available at cycle `now`.
+    pub fn is_ready(&self, reg: ScalarReg, now: Cycle) -> bool {
+        self.ready_at(reg) <= now
+    }
+
+    /// Whether every register in `regs` (ignoring `None`s) is available at
+    /// `now`.
+    pub fn all_ready(&self, regs: &[Option<ScalarReg>], now: Cycle) -> bool {
+        regs.iter()
+            .flatten()
+            .all(|&reg| self.is_ready(reg, now))
+    }
+
+    /// The latest ready time among `regs`, i.e. when an instruction reading
+    /// them could issue.
+    pub fn ready_after(&self, regs: &[Option<ScalarReg>]) -> Cycle {
+        regs.iter()
+            .flatten()
+            .map(|&reg| self.ready_at(reg))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Records that `reg` becomes available at cycle `at`.
+    pub fn set_ready(&mut self, reg: ScalarReg, at: Cycle) {
+        self.ready[reg.dense_index()] = at;
+    }
+
+    /// The latest ready time across all registers (quiesce bound).
+    pub fn quiesce_at(&self) -> Cycle {
+        self.ready.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_scoreboard_is_all_ready() {
+        let sb = Scoreboard::new();
+        assert!(sb.is_ready(ScalarReg::addr(0), 0));
+        assert_eq!(sb.quiesce_at(), 0);
+    }
+
+    #[test]
+    fn all_ready_ignores_none_slots() {
+        let mut sb = Scoreboard::new();
+        sb.set_ready(ScalarReg::scalar(2), 10);
+        assert!(sb.all_ready(&[None, Some(ScalarReg::addr(1))], 0));
+        assert!(!sb.all_ready(&[Some(ScalarReg::scalar(2)), None], 9));
+        assert!(sb.all_ready(&[Some(ScalarReg::scalar(2)), None], 10));
+    }
+
+    #[test]
+    fn ready_after_takes_max() {
+        let mut sb = Scoreboard::new();
+        sb.set_ready(ScalarReg::addr(0), 5);
+        sb.set_ready(ScalarReg::scalar(0), 9);
+        let deps = [Some(ScalarReg::addr(0)), Some(ScalarReg::scalar(0))];
+        assert_eq!(sb.ready_after(&deps), 9);
+        assert_eq!(sb.ready_after(&[None, None]), 0);
+    }
+
+    #[test]
+    fn banks_do_not_alias() {
+        let mut sb = Scoreboard::new();
+        sb.set_ready(ScalarReg::addr(3), 7);
+        assert_eq!(sb.ready_at(ScalarReg::scalar(3)), 0);
+    }
+}

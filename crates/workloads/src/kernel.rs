@@ -1,0 +1,502 @@
+//! The loop-kernel DSL.
+//!
+//! The paper traces Perfect Club programs compiled by the Convex Fortran
+//! compiler. We replace that pipeline with a small kernel language: a
+//! kernel describes one vectorized inner-loop body over *virtual* vector
+//! values; the [compiler](crate::compile) strip-mines it, allocates the
+//! eight architectural vector registers (spilling when pressure exceeds
+//! them, exactly the spill code the paper's Section 7 discusses), and emits
+//! a decoded instruction trace.
+
+use dva_isa::{ReduceOp, VectorOp};
+use std::fmt;
+
+/// A virtual vector value produced inside a kernel body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VVal(pub(crate) u32);
+
+impl fmt::Display for VVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The second operand of a binary vector operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KOperand {
+    /// Another virtual vector value.
+    Val(VVal),
+    /// A scalar (`S` register) broadcast. In the decoupled machine this
+    /// operand travels from the scalar processor to the vector processor
+    /// through a data queue.
+    Scalar,
+}
+
+/// How an array access advances between consecutive strips of the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advance {
+    /// The access walks forward through the array (the usual case).
+    Sequential,
+    /// The access re-reads the same region every strip (in-place update
+    /// loops; the source of cross-iteration store→load bypass hits).
+    InPlace,
+}
+
+/// One statement of a kernel body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KStmt {
+    /// Strided vector load from a named array.
+    Load {
+        /// Defined value.
+        dst: VVal,
+        /// Array name (bound to a base address at compile time).
+        array: String,
+        /// Stride in elements.
+        stride: i64,
+        /// Whether the access advances between strips.
+        advance: Advance,
+    },
+    /// Strided vector store to a named array.
+    Store {
+        /// Stored value.
+        src: VVal,
+        /// Array name.
+        array: String,
+        /// Stride in elements.
+        stride: i64,
+        /// Whether the access advances between strips.
+        advance: Advance,
+    },
+    /// Indexed gather through an index value.
+    Gather {
+        /// Defined value.
+        dst: VVal,
+        /// Index vector.
+        index: VVal,
+        /// Array name.
+        array: String,
+    },
+    /// Indexed scatter through an index value.
+    Scatter {
+        /// Stored value.
+        src: VVal,
+        /// Index vector.
+        index: VVal,
+        /// Array name.
+        array: String,
+    },
+    /// Unary vector operation.
+    Unary {
+        /// Opcode.
+        op: VectorOp,
+        /// Defined value.
+        dst: VVal,
+        /// Source value.
+        src: VVal,
+    },
+    /// Binary vector operation.
+    Binary {
+        /// Opcode.
+        op: VectorOp,
+        /// Defined value.
+        dst: VVal,
+        /// First source.
+        a: VVal,
+        /// Second source.
+        b: KOperand,
+    },
+    /// Reduction to a scalar.
+    Reduce {
+        /// Opcode.
+        op: ReduceOp,
+        /// Source value.
+        src: VVal,
+        /// Whether the scalar result feeds the *address computation* of
+        /// the next strip (a loop-carried dependence of distance one — the
+        /// DYFESM pattern that forces the processors into lockstep).
+        recurrent: bool,
+    },
+}
+
+impl KStmt {
+    /// The virtual value defined by this statement, if any.
+    pub fn def(&self) -> Option<VVal> {
+        match self {
+            KStmt::Load { dst, .. } | KStmt::Gather { dst, .. } => Some(*dst),
+            KStmt::Unary { dst, .. } | KStmt::Binary { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// The virtual values used by this statement (up to two).
+    pub fn uses(&self) -> [Option<VVal>; 2] {
+        match self {
+            KStmt::Store { src, .. } => [Some(*src), None],
+            KStmt::Gather { index, .. } => [Some(*index), None],
+            KStmt::Scatter { src, index, .. } => [Some(*src), Some(*index)],
+            KStmt::Unary { src, .. } => [Some(*src), None],
+            KStmt::Binary { a, b, .. } => {
+                let b = match b {
+                    KOperand::Val(v) => Some(*v),
+                    KOperand::Scalar => None,
+                };
+                [Some(*a), b]
+            }
+            KStmt::Reduce { src, .. } => [Some(*src), None],
+            KStmt::Load { .. } => [None, None],
+        }
+    }
+
+    /// Whether this statement is a vector memory access.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            KStmt::Load { .. } | KStmt::Store { .. } | KStmt::Gather { .. } | KStmt::Scatter { .. }
+        )
+    }
+}
+
+/// A vectorized inner-loop body over virtual values.
+///
+/// # Examples
+///
+/// A DAXPY-style kernel (`y = a*x + y`):
+///
+/// ```
+/// use dva_workloads::Kernel;
+///
+/// let mut k = Kernel::new("daxpy");
+/// let x = k.load("x");
+/// let ax = k.mul_scalar(x);
+/// let y = k.load("y");
+/// let s = k.add(ax, y);
+/// k.store(s, "y");
+/// assert_eq!(k.vector_stmt_count(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    name: String,
+    stmts: Vec<KStmt>,
+    next_val: u32,
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    pub fn new(name: impl Into<String>) -> Kernel {
+        Kernel {
+            name: name.into(),
+            stmts: Vec::new(),
+            next_val: 0,
+        }
+    }
+
+    /// The kernel name (used for spill-slot naming and diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The statement list.
+    pub fn stmts(&self) -> &[KStmt] {
+        &self.stmts
+    }
+
+    fn fresh(&mut self) -> VVal {
+        let v = VVal(self.next_val);
+        self.next_val += 1;
+        v
+    }
+
+    /// Validates that every use is dominated by its definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a use of an undefined value; kernels are built
+    /// programmatically, so this is a programming error.
+    pub fn validate(&self) {
+        let mut defined = vec![false; self.next_val as usize];
+        for (i, stmt) in self.stmts.iter().enumerate() {
+            for used in stmt.uses().into_iter().flatten() {
+                assert!(
+                    defined.get(used.0 as usize).copied().unwrap_or(false),
+                    "kernel {}: statement {i} uses undefined {used}",
+                    self.name
+                );
+            }
+            if let Some(def) = stmt.def() {
+                defined[def.0 as usize] = true;
+            }
+        }
+    }
+
+    /// Appends a sequential unit-stride load.
+    pub fn load(&mut self, array: impl Into<String>) -> VVal {
+        self.load_strided(array, 1)
+    }
+
+    /// Appends a sequential load with the given stride.
+    pub fn load_strided(&mut self, array: impl Into<String>, stride: i64) -> VVal {
+        let dst = self.fresh();
+        self.stmts.push(KStmt::Load {
+            dst,
+            array: array.into(),
+            stride,
+            advance: Advance::Sequential,
+        });
+        dst
+    }
+
+    /// Appends an in-place load: every strip re-reads the same addresses.
+    pub fn load_in_place(&mut self, array: impl Into<String>) -> VVal {
+        let dst = self.fresh();
+        self.stmts.push(KStmt::Load {
+            dst,
+            array: array.into(),
+            stride: 1,
+            advance: Advance::InPlace,
+        });
+        dst
+    }
+
+    /// Appends a sequential unit-stride store.
+    pub fn store(&mut self, src: VVal, array: impl Into<String>) {
+        self.store_strided(src, array, 1);
+    }
+
+    /// Appends a sequential store with the given stride.
+    pub fn store_strided(&mut self, src: VVal, array: impl Into<String>, stride: i64) {
+        self.stmts.push(KStmt::Store {
+            src,
+            array: array.into(),
+            stride,
+            advance: Advance::Sequential,
+        });
+    }
+
+    /// Appends an in-place store (pairs with [`Kernel::load_in_place`]).
+    pub fn store_in_place(&mut self, src: VVal, array: impl Into<String>) {
+        self.stmts.push(KStmt::Store {
+            src,
+            array: array.into(),
+            stride: 1,
+            advance: Advance::InPlace,
+        });
+    }
+
+    /// Appends a gather through `index`.
+    pub fn gather(&mut self, index: VVal, array: impl Into<String>) -> VVal {
+        let dst = self.fresh();
+        self.stmts.push(KStmt::Gather {
+            dst,
+            index,
+            array: array.into(),
+        });
+        dst
+    }
+
+    /// Appends a scatter of `src` through `index`.
+    pub fn scatter(&mut self, src: VVal, index: VVal, array: impl Into<String>) {
+        self.stmts.push(KStmt::Scatter {
+            src,
+            index,
+            array: array.into(),
+        });
+    }
+
+    /// Appends a unary operation.
+    pub fn unary(&mut self, op: VectorOp, src: VVal) -> VVal {
+        let dst = self.fresh();
+        self.stmts.push(KStmt::Unary { op, dst, src });
+        dst
+    }
+
+    /// Appends a binary operation over two vector values.
+    pub fn binary(&mut self, op: VectorOp, a: VVal, b: VVal) -> VVal {
+        let dst = self.fresh();
+        self.stmts.push(KStmt::Binary {
+            op,
+            dst,
+            a,
+            b: KOperand::Val(b),
+        });
+        dst
+    }
+
+    /// Appends a binary operation with a broadcast scalar operand.
+    pub fn binary_scalar(&mut self, op: VectorOp, a: VVal) -> VVal {
+        let dst = self.fresh();
+        self.stmts.push(KStmt::Binary {
+            op,
+            dst,
+            a,
+            b: KOperand::Scalar,
+        });
+        dst
+    }
+
+    /// Convenience: vector addition.
+    pub fn add(&mut self, a: VVal, b: VVal) -> VVal {
+        self.binary(VectorOp::Add, a, b)
+    }
+
+    /// Convenience: vector subtraction.
+    pub fn sub(&mut self, a: VVal, b: VVal) -> VVal {
+        self.binary(VectorOp::Sub, a, b)
+    }
+
+    /// Convenience: vector multiplication (FU2 only).
+    pub fn mul(&mut self, a: VVal, b: VVal) -> VVal {
+        self.binary(VectorOp::Mul, a, b)
+    }
+
+    /// Convenience: multiply by a broadcast scalar (FU2 only).
+    pub fn mul_scalar(&mut self, a: VVal) -> VVal {
+        self.binary_scalar(VectorOp::Mul, a)
+    }
+
+    /// Convenience: add a broadcast scalar.
+    pub fn add_scalar(&mut self, a: VVal) -> VVal {
+        self.binary_scalar(VectorOp::Add, a)
+    }
+
+    /// Appends a reduction whose result stays on the scalar processor.
+    pub fn reduce(&mut self, op: ReduceOp, src: VVal) {
+        self.stmts.push(KStmt::Reduce {
+            op,
+            src,
+            recurrent: false,
+        });
+    }
+
+    /// Appends a *recurrent* reduction: its scalar result feeds the next
+    /// strip's address computation, creating a distance-1 loop-carried
+    /// dependence through the scalar and address processors.
+    pub fn reduce_recurrent(&mut self, op: ReduceOp, src: VVal) {
+        self.stmts.push(KStmt::Reduce {
+            op,
+            src,
+            recurrent: true,
+        });
+    }
+
+    /// Number of vector instructions one strip of this kernel expands to,
+    /// *excluding* spill code (which depends on register allocation).
+    pub fn vector_stmt_count(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Number of virtual values defined.
+    pub fn num_vals(&self) -> u32 {
+        self.next_val
+    }
+
+    /// Whether the kernel contains a recurrent reduction.
+    pub fn has_recurrence(&self) -> bool {
+        self.stmts
+            .iter()
+            .any(|s| matches!(s, KStmt::Reduce { recurrent: true, .. }))
+    }
+
+    /// Maximum number of simultaneously live virtual values, assuming
+    /// statements execute in order and values die at their last use.
+    ///
+    /// A statement's destination is counted as live *alongside* its
+    /// operands (the allocator never assigns a destination register that
+    /// is still sourcing the same instruction), so e.g. `c = a + b`
+    /// contributes pressure 3.
+    pub fn max_pressure(&self) -> usize {
+        let n = self.next_val as usize;
+        let mut last_use = vec![0usize; n];
+        for (i, stmt) in self.stmts.iter().enumerate() {
+            for used in stmt.uses().into_iter().flatten() {
+                last_use[used.0 as usize] = i;
+            }
+        }
+        let mut live = vec![false; n];
+        let mut max = 0usize;
+        for (i, stmt) in self.stmts.iter().enumerate() {
+            if let Some(def) = stmt.def() {
+                live[def.0 as usize] = true;
+            }
+            max = max.max(live.iter().filter(|&&l| l).count());
+            for used in stmt.uses().into_iter().flatten() {
+                if last_use[used.0 as usize] == i {
+                    live[used.0 as usize] = false;
+                }
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daxpy() -> Kernel {
+        let mut k = Kernel::new("daxpy");
+        let x = k.load("x");
+        let ax = k.mul_scalar(x);
+        let y = k.load("y");
+        let s = k.add(ax, y);
+        k.store(s, "y");
+        k
+    }
+
+    #[test]
+    fn def_use_chains_are_tracked() {
+        let k = daxpy();
+        k.validate();
+        assert_eq!(k.num_vals(), 4);
+        let defs: Vec<Option<VVal>> = k.stmts().iter().map(KStmt::def).collect();
+        assert_eq!(defs[0], Some(VVal(0)));
+        assert_eq!(defs[4], None); // store defines nothing
+        assert_eq!(k.stmts()[4].uses()[0], Some(VVal(3)));
+    }
+
+    #[test]
+    fn max_pressure_counts_overlapping_lifetimes() {
+        // daxpy peaks at `s = ax + y`: ax, y and the destination s.
+        assert_eq!(daxpy().max_pressure(), 3);
+
+        // Four loads live at once, plus the first combining destination.
+        let mut k = Kernel::new("wide");
+        let a = k.load("a");
+        let b = k.load("b");
+        let c = k.load("c");
+        let d = k.load("d");
+        let ab = k.add(a, b);
+        let cd = k.add(c, d);
+        let r = k.add(ab, cd);
+        k.store(r, "out");
+        assert_eq!(k.max_pressure(), 5);
+    }
+
+    #[test]
+    fn recurrence_detection() {
+        let mut k = Kernel::new("rec");
+        let v = k.load_in_place("s");
+        let t = k.add_scalar(v);
+        k.reduce_recurrent(dva_isa::ReduceOp::Sum, t);
+        k.store_in_place(t, "s");
+        assert!(k.has_recurrence());
+        assert!(!daxpy().has_recurrence());
+    }
+
+    #[test]
+    #[should_panic(expected = "uses undefined")]
+    fn validate_rejects_use_before_def() {
+        let mut a = Kernel::new("a");
+        let va = a.load("x");
+        let mut b = Kernel::new("b");
+        // Smuggle a value from another kernel (undefined in `b`).
+        b.store(va, "y");
+        b.validate();
+    }
+
+    #[test]
+    fn memory_statements_are_classified() {
+        let k = daxpy();
+        let mems: Vec<bool> = k.stmts().iter().map(KStmt::is_memory).collect();
+        assert_eq!(mems, vec![true, false, true, false, true]);
+    }
+}

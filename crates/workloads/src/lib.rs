@@ -1,0 +1,40 @@
+//! Synthetic workload generation for the *Decoupled Vector Architectures*
+//! reproduction.
+//!
+//! The paper drives its simulators with Dixie-generated traces of the
+//! Perfect Club programs compiled by the Convex Fortran compiler. This
+//! crate replaces that pipeline end to end:
+//!
+//! 1. loop bodies are written in a small [`Kernel`] DSL over virtual
+//!    vector values;
+//! 2. the [compiler](crate::compile) strip-mines each loop, allocates the
+//!    eight architectural vector registers (inserting spill stores and
+//!    reloads — the bypass fodder of the paper's Section 7), optionally
+//!    software-pipelines the loads, and adds per-strip scalar overhead;
+//! 3. the six [`Benchmark`] models mix kernels and scalar sections so
+//!    that the resulting traces match the paper's own characterization of
+//!    each program (Table 1 ratios, spill fractions, loop structure).
+//!
+//! # Examples
+//!
+//! ```
+//! use dva_workloads::{Benchmark, Scale};
+//!
+//! let program = Benchmark::Arc2d.program(Scale::Quick);
+//! let summary = program.summary();
+//! assert!(summary.vectorization() > 90.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrays;
+pub mod compile;
+mod kernel;
+mod programs;
+pub mod stats;
+
+pub use arrays::{ArrayAllocator, ARRAY_REGION_BYTES, SPILL_SLOT_BYTES};
+pub use compile::{LoopSpec, Phase, ProgramSpec, ScalarSection, StripOverhead};
+pub use kernel::{Advance, KOperand, KStmt, Kernel, VVal};
+pub use programs::{Benchmark, PaperRow, Scale};

@@ -1,0 +1,128 @@
+//! Trace statistics: the raw material of the paper's Table 1.
+
+use dva_isa::{Inst, Program};
+
+/// Address above which generated traces place vector spill slots (see
+/// `ArrayAllocator`).
+const SPILL_REGION_START: u64 = 0x8000_0000;
+const SPILL_REGION_END: u64 = 0xC000_0000;
+
+/// Whether an instruction is a vector spill access (load or store of a
+/// compiler-generated spill slot).
+pub fn is_spill_access(inst: &Inst) -> bool {
+    let base = match inst {
+        Inst::VLoad { access, .. } | Inst::VStore { access, .. } => access.base,
+        _ => return false,
+    };
+    (SPILL_REGION_START..SPILL_REGION_END).contains(&base)
+}
+
+/// Fraction of vector memory *operations* (elements moved) that are spill
+/// loads/stores — the quantity the paper quotes in Section 7 (e.g. 69.5%
+/// for BDNA). Spills of vector registers are themselves vector memory
+/// operations, so the fraction is taken over vector memory traffic.
+pub fn spill_fraction(program: &Program) -> f64 {
+    let mut mem_ops = 0u64;
+    let mut spill_ops = 0u64;
+    for inst in program.insts() {
+        if inst.is_memory() && inst.is_vector() {
+            mem_ops += inst.operations();
+            if is_spill_access(inst) {
+                spill_ops += inst.operations();
+            }
+        }
+    }
+    if mem_ops == 0 {
+        0.0
+    } else {
+        spill_ops as f64 / mem_ops as f64
+    }
+}
+
+/// Count of vector memory instructions that re-access an address range
+/// written by an earlier vector store of the *identical* shape — an upper
+/// bound on bypass opportunities in a trace.
+pub fn identical_reuse_pairs(program: &Program) -> u64 {
+    use std::collections::HashMap;
+    let mut last_store: HashMap<(u64, i64, u32), u64> = HashMap::new();
+    let mut pairs = 0;
+    for inst in program.insts() {
+        match inst {
+            Inst::VStore { access, .. } => {
+                let key = (access.base, access.stride.elems(), access.vl.get());
+                *last_store.entry(key).or_insert(0) += 1;
+            }
+            Inst::VLoad { access, .. } => {
+                let key = (access.base, access.stride.elems(), access.vl.get());
+                if let Some(count) = last_store.get_mut(&key) {
+                    if *count > 0 {
+                        *count -= 1;
+                        pairs += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dva_isa::{ProgramBuilder, VectorAccess, VectorLength, VectorReg};
+
+    fn vl(n: u32) -> VectorLength {
+        VectorLength::new(n).unwrap()
+    }
+
+    #[test]
+    fn spill_fraction_counts_only_spill_region() {
+        let mut b = ProgramBuilder::new("p");
+        b.push(Inst::VLoad {
+            dst: VectorReg::V0,
+            access: VectorAccess::unit(0x0100_0000, vl(8)),
+        });
+        b.push(Inst::VStore {
+            src: VectorReg::V0,
+            access: VectorAccess::unit(0x8000_0000, vl(8)),
+        });
+        b.push(Inst::VLoad {
+            dst: VectorReg::V1,
+            access: VectorAccess::unit(0x8000_0000, vl(8)),
+        });
+        b.push(Inst::SLoad {
+            dst: dva_isa::ScalarReg::scalar(0),
+            addr: 0xC000_0000,
+        });
+        let p = b.finish();
+        // Vector memory ops: 8 real + 16 spill (the scalar load does not
+        // count); spill fraction = 16/24.
+        assert!((spill_fraction(&p) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_reuse_requires_matching_shape() {
+        let mut b = ProgramBuilder::new("p");
+        b.push(Inst::VStore {
+            src: VectorReg::V0,
+            access: VectorAccess::unit(0x1000, vl(16)),
+        });
+        b.push(Inst::VLoad {
+            dst: VectorReg::V1,
+            access: VectorAccess::unit(0x1000, vl(16)),
+        });
+        b.push(Inst::VLoad {
+            dst: VectorReg::V2,
+            access: VectorAccess::unit(0x1000, vl(8)), // different VL
+        });
+        let p = b.finish();
+        assert_eq!(identical_reuse_pairs(&p), 1);
+    }
+
+    #[test]
+    fn empty_program_has_zero_spill_fraction() {
+        let p = ProgramBuilder::new("e").finish();
+        assert_eq!(spill_fraction(&p), 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+use dva_workloads::{Benchmark, Scale};
+use dva_workloads::stats::spill_fraction;
+
+#[test]
+fn calibration_dump() {
+    for b in Benchmark::ALL {
+        let p = b.program(Scale::Default);
+        let s = p.summary();
+        let t = b.paper_row();
+        println!(
+            "{:8} insts={:7} bbs={:6} S={:7} V={:6} vops={:9} vect={:5.1} (paper {:5.1}) VL={:5.1} (paper {:5.1}) spill={:.3} (paper {:?}) S:V={:.2} (paper {:.2})",
+            b.name(), p.len(), p.basic_blocks(), s.scalar_insts, s.vector_insts, s.vector_ops,
+            s.vectorization(), t.vectorization, s.avg_vector_length(), t.avg_vl,
+            spill_fraction(&p), b.paper_spill_fraction(), 
+            s.scalar_insts as f64 / s.vector_insts as f64,
+            t.scalar_insts / t.vector_insts,
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Define a custom loop kernel with the DSL and measure how decoupling
+//! treats it: a well-behaved streaming loop versus a loop with a
+//! reduction recurrence that forces the processors into lockstep.
+//!
+//! ```text
+//! cargo run --release -p dva-examples --bin custom_kernel
+//! ```
+
+use dva_core::{DvaConfig, DvaSim};
+use dva_isa::ReduceOp;
+use dva_ref::{RefParams, RefSim};
+use dva_workloads::{Kernel, LoopSpec, Phase, ProgramSpec, StripOverhead};
+
+/// Builds a one-loop program around `kernel`.
+fn one_loop(kernel: Kernel, strips: u32, vl: u32) -> dva_isa::Program {
+    let spec = ProgramSpec {
+        name: kernel.name().to_string(),
+        repeat: 1,
+        phases: vec![Phase::Loop(LoopSpec {
+            kernel,
+            strips,
+            vl,
+            software_pipeline: false,
+            overhead: StripOverhead::default(),
+        })],
+    };
+    spec.compile(0xC0FFEE)
+}
+
+fn main() {
+    // A streaming kernel: z = (x * s + y), all accesses independent.
+    let mut stream = Kernel::new("stream");
+    let x = stream.load("x");
+    let y = stream.load("y");
+    let xs = stream.mul_scalar(x);
+    let z = stream.add(xs, y);
+    stream.store(z, "z");
+
+    // The same computation, but every strip also reduces its result into
+    // a scalar that feeds the next strip's addressing: a loop-carried
+    // dependence through the scalar and address processors (the DYFESM
+    // pattern from the paper's Section 5).
+    let mut lockstep = Kernel::new("lockstep");
+    let x = lockstep.load_in_place("state");
+    let xs = lockstep.mul_scalar(x);
+    lockstep.reduce_recurrent(ReduceOp::Sum, xs);
+    lockstep.store_in_place(xs, "state");
+
+    let latency = 80;
+    println!("memory latency: {latency} cycles\n");
+    for kernel in [stream, lockstep] {
+        let name = kernel.name().to_string();
+        let program = one_loop(kernel, 64, 64);
+        let r = RefSim::new(RefParams::with_latency(latency)).run(&program);
+        let d = DvaSim::new(DvaConfig::dva(latency)).run(&program);
+        dva_examples::print_comparison(&name, &r, &d);
+    }
+    println!("\nThe streaming loop decouples: the address processor runs ahead");
+    println!("and the speedup is large. The lockstep loop cannot: every strip");
+    println!("waits for a value that crosses VP -> SP -> AP, so decoupling");
+    println!("buys (almost) nothing — exactly the paper's DYFESM analysis.");
+}

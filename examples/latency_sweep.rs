@@ -1,0 +1,38 @@
+//! The paper's central experiment on one program: execution time and
+//! speedup as memory latency grows from 1 to 100 cycles.
+//!
+//! ```text
+//! cargo run --release -p dva-examples --bin latency_sweep [PROGRAM]
+//! ```
+
+use dva_core::{ideal_bound, DvaConfig, DvaSim};
+use dva_ref::{RefParams, RefSim};
+use dva_workloads::{Benchmark, Scale};
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .and_then(|name| Benchmark::from_name(&name))
+        .unwrap_or(Benchmark::Spec77);
+    let program = which.program(Scale::Default);
+    let ideal = ideal_bound(&program).cycles();
+
+    println!("{}: IDEAL bound {ideal} cycles", which.name());
+    println!(
+        "{:>4} {:>10} {:>10} {:>8} {:>10}",
+        "L", "REF", "DVA", "speedup", "REF idle%"
+    );
+    for latency in [1u64, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let r = RefSim::new(RefParams::with_latency(latency)).run(&program);
+        let d = DvaSim::new(DvaConfig::dva(latency)).run(&program);
+        println!(
+            "{latency:>4} {:>10} {:>10} {:>7.2}x {:>9.1}%",
+            r.cycles,
+            d.cycles,
+            r.cycles as f64 / d.cycles as f64,
+            100.0 * r.idle_cycles() as f64 / r.cycles as f64,
+        );
+    }
+    println!("\nNote how the DVA column barely moves while REF climbs: the");
+    println!("address processor slips ahead and hides the memory latency.");
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The binaries in this package exercise the public API of the DVA
+//! reproduction end to end:
+//!
+//! * `quickstart` — build a workload, run both machines, print a summary;
+//! * `latency_sweep` — the paper's central experiment on one program;
+//! * `custom_kernel` — define your own loop kernel and watch the effect
+//!   of decoupling on it;
+//! * `bypass_study` — spill-heavy code with and without the store→load
+//!   bypass.
+//!
+//! Run them with `cargo run --release -p dva-examples --bin <name>`.
+
+#![forbid(unsafe_code)]
+
+use dva_core::DvaResult;
+use dva_ref::RefResult;
+
+/// Prints a compact one-line comparison of the two machines.
+pub fn print_comparison(label: &str, reference: &RefResult, dva: &DvaResult) {
+    println!(
+        "{label:>10}: REF {:>9} cycles | DVA {:>9} cycles | speedup {:.2}x | bus {:.0}%/{:.0}%",
+        reference.cycles,
+        dva.cycles,
+        reference.cycles as f64 / dva.cycles as f64,
+        100.0 * reference.bus_utilization,
+        100.0 * dva.bus_utilization,
+    );
+}

@@ -1,0 +1,40 @@
+//! Quickstart: simulate one Perfect Club model on both architectures.
+//!
+//! ```text
+//! cargo run --release -p dva-examples --bin quickstart
+//! ```
+
+use dva_core::{ideal_bound, DvaConfig, DvaSim};
+use dva_ref::{RefParams, RefSim};
+use dva_workloads::{Benchmark, Scale};
+
+fn main() {
+    // 1. Build a workload trace (the stand-in for the paper's Dixie
+    //    traces of Convex-compiled Perfect Club programs).
+    let program = Benchmark::Trfd.program(Scale::Default);
+    let summary = program.summary();
+    println!("workload: {summary}");
+
+    // 2. Pick a memory latency and run the reference (coupled) machine.
+    let latency = 50;
+    let reference = RefSim::new(RefParams::with_latency(latency)).run(&program);
+
+    // 3. Run the decoupled machine on the same trace.
+    let dva = DvaSim::new(DvaConfig::dva(latency)).run(&program);
+
+    // 4. Compare against each other and against the IDEAL resource bound.
+    let ideal = ideal_bound(&program);
+    println!("memory latency: {latency} cycles");
+    println!(
+        "IDEAL bound: {} cycles (bottleneck: {})",
+        ideal.cycles(),
+        ideal.bottleneck()
+    );
+    dva_examples::print_comparison("TRFD", &reference, &dva);
+    println!(
+        "stall state ( , , ): REF {} cycles vs DVA {} cycles ({:.1}x reduction)",
+        reference.idle_cycles(),
+        dva.idle_cycles(),
+        reference.idle_cycles() as f64 / dva.idle_cycles().max(1) as f64
+    );
+}

@@ -1,0 +1,5 @@
+//! Integration test crate for the DVA reproduction workspace.
+//!
+//! All content lives in `tests/tests/*.rs`; this library is intentionally
+//! empty.
+#![forbid(unsafe_code)]

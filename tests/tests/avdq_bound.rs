@@ -1,0 +1,82 @@
+//! Section 6 of the paper: the vector load data queue never needs more
+//! than a handful of slots, because the 16-entry VPIQ back-pressures the
+//! fetch processor — a compute-bound loop can hold at most 9 computation
+//! instructions and 7 QMOVs, capping the AVDQ at 8-9 slots.
+
+use dva_core::{DvaConfig, DvaSim, QueueConfig};
+use dva_workloads::{Benchmark, Scale};
+
+#[test]
+fn avdq_occupancy_is_bounded_despite_256_slots() {
+    // The paper observes a hard bound of 9 for its traces. Our
+    // software-pipelined loops put proportionally more QMOV-loads in the
+    // VPIQ than the paper's compute-bound example (which mixes 9 compute
+    // instructions with 7 QMOVs), so the same back-pressure argument
+    // yields a slightly larger cap — still a dozen slots, not 256.
+    for b in Benchmark::ALL {
+        let p = b.program(Scale::Quick);
+        for latency in [1u64, 30, 100] {
+            let d = DvaSim::new(DvaConfig::dva(latency)).run(&p);
+            assert!(
+                d.max_avdq <= 12,
+                "{} at L={latency}: AVDQ hit {} slots",
+                b.name(),
+                d.max_avdq
+            );
+        }
+    }
+}
+
+#[test]
+fn occupancy_rises_with_latency() {
+    // The paper reads Figure 6 as: the longer the memory latency, the
+    // more outstanding slots the queue holds.
+    let p = Benchmark::Arc2d.program(Scale::Quick);
+    let mean = |l: u64| {
+        DvaSim::new(DvaConfig::dva(l))
+            .run(&p)
+            .avdq_occupancy
+            .mean()
+    };
+    assert!(mean(100) > mean(1));
+}
+
+#[test]
+fn four_slot_avdq_preserves_most_performance() {
+    // Section 7's conclusion: a 4-slot load queue reaches a high fraction
+    // of the 256-slot performance (SPEC77 is the exception — it needs the
+    // depth).
+    for b in [Benchmark::Arc2d, Benchmark::Trfd, Benchmark::Flo52] {
+        let p = b.program(Scale::Quick);
+        let mut small = DvaConfig::dva(50);
+        small.queues = QueueConfig {
+            avdq: 4,
+            ..small.queues
+        };
+        let c_small = DvaSim::new(small).run(&p).cycles;
+        let c_big = DvaSim::new(DvaConfig::dva(50)).run(&p).cycles;
+        let ratio = c_small as f64 / c_big as f64;
+        assert!(
+            ratio < 1.10,
+            "{}: AVDQ=4 is {ratio:.3}x of AVDQ=256",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn deeper_vpiq_allows_deeper_avdq() {
+    // The bound is a *consequence of the VPIQ size*: widen the VPIQ and a
+    // compute-bound program fills more AVDQ slots.
+    let p = Benchmark::Spec77.program(Scale::Quick);
+    let base = DvaSim::new(DvaConfig::dva(100)).run(&p);
+    let mut wide = DvaConfig::dva(100);
+    wide.queues.instruction_queue = 64;
+    let wide = DvaSim::new(wide).run(&p);
+    assert!(
+        wide.max_avdq >= base.max_avdq,
+        "wider VPIQ reduced AVDQ occupancy: {} < {}",
+        wide.max_avdq,
+        base.max_avdq
+    );
+}
