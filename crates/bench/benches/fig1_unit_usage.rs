@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dva_bench::bench_programs;
-use dva_ref::{RefParams, RefSim};
+use dva_sim_api::Machine;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_unit_usage");
@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
     for (benchmark, program) in bench_programs() {
         for latency in [1u64, 100] {
             group.bench_function(format!("{}_L{latency}", benchmark.name()), |b| {
-                b.iter(|| RefSim::new(RefParams::with_latency(latency)).run(&program))
+                b.iter(|| Machine::reference(latency).simulate(&program))
             });
         }
     }

@@ -2,21 +2,20 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dva_bench::bench_programs;
-use dva_core::{ideal_bound, DvaConfig, DvaSim};
-use dva_ref::{RefParams, RefSim};
+use dva_sim_api::Machine;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_exec_time");
     group.sample_size(10);
     for (benchmark, program) in bench_programs() {
         group.bench_function(format!("{}_ideal", benchmark.name()), |b| {
-            b.iter(|| ideal_bound(&program))
+            b.iter(|| Machine::ideal().simulate(&program))
         });
         group.bench_function(format!("{}_ref_L30", benchmark.name()), |b| {
-            b.iter(|| RefSim::new(RefParams::with_latency(30)).run(&program))
+            b.iter(|| Machine::reference(30).simulate(&program))
         });
         group.bench_function(format!("{}_dva_L30", benchmark.name()), |b| {
-            b.iter(|| DvaSim::new(DvaConfig::dva(30)).run(&program))
+            b.iter(|| Machine::dva(30).simulate(&program))
         });
     }
     group.finish();

@@ -1,8 +1,9 @@
-//! Bench: Figure 4 — all-idle cycle ratio between the machines.
+//! Bench: Figure 4 — all-idle cycle ratio between the machines, plus the
+//! parallel sweep session that backs Figures 3–5.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dva_bench::BENCH_SCALE;
-use dva_experiments::common::{run_point, LatencySweep};
+use dva_sim_api::{Machine, Sweep};
 use dva_workloads::Benchmark;
 
 fn bench(c: &mut Criterion) {
@@ -10,11 +11,25 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let program = Benchmark::Flo52.program(BENCH_SCALE);
     group.bench_function("flo52_point_L50", |b| {
-        b.iter(|| run_point(Benchmark::Flo52, &program, 50).idle_ratio())
+        b.iter(|| {
+            let r = Machine::reference(50).simulate(&program);
+            let d = Machine::dva(50).simulate(&program);
+            r.idle_cycles() as f64 / d.idle_cycles().max(1) as f64
+        })
     });
-    group.bench_function("sweep_two_latencies", |b| {
-        b.iter(|| LatencySweep::run(BENCH_SCALE, &[1, 100]))
-    });
+    for threads in [1usize, 4] {
+        group.bench_function(format!("sweep_two_latencies_t{threads}"), |b| {
+            b.iter(|| {
+                Sweep::new()
+                    .machines([Machine::reference(1), Machine::dva(1)])
+                    .benchmarks(Benchmark::ALL)
+                    .latencies([1, 100])
+                    .scale(BENCH_SCALE)
+                    .threads(threads)
+                    .run()
+            })
+        });
+    }
     group.finish();
 }
 

@@ -2,14 +2,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dva_bench::bench_programs;
-use dva_experiments::common::run_point;
+use dva_sim_api::Machine;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_speedup");
     group.sample_size(10);
     for (benchmark, program) in bench_programs() {
         group.bench_function(format!("{}_speedup_L100", benchmark.name()), |b| {
-            b.iter(|| run_point(benchmark, &program, 100).speedup())
+            b.iter(|| {
+                let d = Machine::dva(100).simulate(&program);
+                let r = Machine::reference(100).simulate(&program);
+                d.speedup_over(&r)
+            })
         });
     }
     group.finish();

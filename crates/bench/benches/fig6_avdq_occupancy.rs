@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dva_bench::BENCH_SCALE;
-use dva_core::{DvaConfig, DvaSim};
+use dva_sim_api::Machine;
 use dva_workloads::Benchmark;
 
 fn bench(c: &mut Criterion) {
@@ -13,8 +13,11 @@ fn bench(c: &mut Criterion) {
     for latency in [1u64, 100] {
         group.bench_function(format!("spec77_L{latency}"), |b| {
             b.iter(|| {
-                let r = DvaSim::new(DvaConfig::dva(latency)).run(&program);
-                (r.avdq_occupancy.mean(), r.max_avdq)
+                let r = Machine::dva(latency).simulate(&program);
+                (
+                    r.avdq_occupancy().expect("DVA histogram").mean(),
+                    r.max_avdq(),
+                )
             })
         });
     }

@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dva_bench::BENCH_SCALE;
-use dva_core::{DvaConfig, DvaSim};
 use dva_experiments::fig7::BYP_CONFIGS;
+use dva_sim_api::Machine;
 use dva_workloads::Benchmark;
 
 fn bench(c: &mut Criterion) {
@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     let program = Benchmark::Trfd.program(BENCH_SCALE);
     for (load_q, store_q) in BYP_CONFIGS {
         group.bench_function(format!("trfd_byp_{load_q}_{store_q}_L1"), |b| {
-            b.iter(|| DvaSim::new(DvaConfig::byp(1, load_q, store_q)).run(&program))
+            b.iter(|| Machine::byp(1, load_q, store_q).simulate(&program))
         });
     }
     group.finish();

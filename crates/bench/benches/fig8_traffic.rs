@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dva_bench::BENCH_SCALE;
-use dva_core::{DvaConfig, DvaSim};
+use dva_sim_api::Machine;
 use dva_workloads::Benchmark;
 
 fn bench(c: &mut Criterion) {
@@ -11,8 +11,8 @@ fn bench(c: &mut Criterion) {
     let program = Benchmark::Bdna.program(BENCH_SCALE);
     group.bench_function("bdna_traffic_ratio", |b| {
         b.iter(|| {
-            let dva = DvaSim::new(DvaConfig::dva(1)).run(&program);
-            let byp = DvaSim::new(DvaConfig::byp(1, 256, 16)).run(&program);
+            let dva = Machine::dva(1).simulate(&program);
+            let byp = Machine::byp(1, 256, 16).simulate(&program);
             byp.traffic.ratio_to(&dva.traffic)
         })
     });

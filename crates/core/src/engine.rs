@@ -1,6 +1,11 @@
 //! The cycle-stepped decoupled-machine engine: four processors, the
 //! architectural queues, the two-step store engine and the bypass unit.
 
+// Issue checks are written as guard chains where every arm names one
+// distinct stall reason and yields `false`; clippy would fold the arms
+// together and lose that structure.
+#![allow(clippy::if_same_then_else)]
+
 use crate::config::DvaConfig;
 use crate::queues::{Fifo, Timed};
 use crate::result::DvaResult;
@@ -196,7 +201,11 @@ impl Engine {
     /// Returns the youngest conflicting store's sequence number and
     /// whether that youngest conflict is an *identical* vector access
     /// (bypass candidate).
-    fn disambiguate(&self, range: MemRange, identical_to: Option<&dva_isa::VectorAccess>) -> Option<(StoreSeq, bool)> {
+    fn disambiguate(
+        &self,
+        range: MemRange,
+        identical_to: Option<&dva_isa::VectorAccess>,
+    ) -> Option<(StoreSeq, bool)> {
         let mut youngest: Option<(StoreSeq, bool)> = None;
         for entry in self.vsaq.iter() {
             if entry.access.range().overlaps(&range) {
@@ -204,14 +213,14 @@ impl Engine {
                     (Some(load), Some(store)) => load.is_identical(store),
                     _ => false,
                 };
-                if youngest.map_or(true, |(s, _)| entry.seq > s) {
+                if youngest.is_none_or(|(s, _)| entry.seq > s) {
                     youngest = Some((entry.seq, identical));
                 }
             }
         }
         for entry in self.ssaq.iter() {
             let store_range = MemRange::new(entry.addr, entry.addr + 8);
-            if store_range.overlaps(&range) && youngest.map_or(true, |(s, _)| entry.seq > s) {
+            if store_range.overlaps(&range) && youngest.is_none_or(|(s, _)| entry.seq > s) {
                 youngest = Some((entry.seq, false));
             }
         }
@@ -325,7 +334,10 @@ impl Engine {
         let now = self.now;
         // Drain mode blocks the AP until the offending stores commit.
         if let Some(limit) = self.ap_drain_until {
-            if self.oldest_pending_store().is_some_and(|oldest| oldest <= limit) {
+            if self
+                .oldest_pending_store()
+                .is_some_and(|oldest| oldest <= limit)
+            {
                 self.drain_stall_cycles += 1;
                 return false;
             }
@@ -631,7 +643,7 @@ impl Engine {
             }
             VpOp::QmovLoad { dst, index, vl } => {
                 let reads: Vec<_> = index.into_iter().collect();
-                if !self.avdq.front().is_some_and(|s| s.ready_at <= now) {
+                if self.avdq.front().is_none_or(|s| s.ready_at > now) {
                     false
                 } else if !self.vregs.can_issue(now, &reads, Some(dst), self.chain) {
                     false

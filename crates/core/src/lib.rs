@@ -32,10 +32,26 @@
 //! use dva_workloads::{Benchmark, Scale};
 //!
 //! let program = Benchmark::Dyfesm.program(Scale::Quick);
-//! let result = DvaSim::new(DvaConfig::dva(30)).run(&program);
+//! let config = DvaConfig::builder().latency(30).build();
+//! let result = DvaSim::new(config).run(&program);
 //! assert!(result.cycles > 0);
 //! assert_eq!(result.states.total_cycles(), result.cycles);
+//!
+//! // A Section 7 bypass configuration via the same builder:
+//! let byp = DvaConfig::builder()
+//!     .latency(30)
+//!     .avdq(4)
+//!     .store_queue(8)
+//!     .bypass(true)
+//!     .build();
+//! let bypassed = DvaSim::new(byp).run(&program);
+//! assert!(bypassed.cycles > 0);
 //! ```
+//!
+//! For experiments over several machines, prefer the unified `Machine`
+//! and `Sweep` API of the `dva-sim-api` crate, which wraps this
+//! simulator, the reference machine and the IDEAL bound behind one front
+//! door.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,7 +63,7 @@ mod queues;
 mod result;
 mod uops;
 
-pub use config::{DvaConfig, QueueConfig};
+pub use config::{DvaConfig, DvaConfigBuilder, QueueConfig};
 pub use ideal::{ideal_bound, IdealBound};
 pub use queues::{Fifo, Timed};
 pub use result::DvaResult;

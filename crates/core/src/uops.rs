@@ -9,7 +9,9 @@
 //! QMOVs are implementation details, not part of the programmer-visible
 //! ISA.
 
-use dva_isa::{Inst, ReduceOp, ScalarBank, ScalarReg, VectorAccess, VectorLength, VectorOp, VectorReg};
+use dva_isa::{
+    Inst, ReduceOp, ScalarBank, ScalarReg, VectorAccess, VectorLength, VectorOp, VectorReg,
+};
 
 /// Sequence number identifying a store in global program order (both
 /// scalar and vector stores; the machine executes stores strictly in this
@@ -352,10 +354,7 @@ pub fn translate(inst: &Inst, next_store_seq: &mut StoreSeq) -> Bundle {
                 match operand {
                     Some(dva_isa::VOperand::Reg(v)) => srcs[i] = Some(*v),
                     Some(dva_isa::VOperand::Scalar(s)) => {
-                        assert!(
-                            !is_a(*s),
-                            "vector broadcast operands must be S registers"
-                        );
+                        assert!(!is_a(*s), "vector broadcast operands must be S registers");
                         b.sp.push(SpOp::PushSvdq { src: *s });
                         pops_svdq = true;
                     }
@@ -518,13 +517,7 @@ mod tests {
             },
             &mut seq,
         );
-        assert!(matches!(
-            b.ap,
-            Some(ApOp::Alu {
-                pops_sadq: 1,
-                ..
-            })
-        ));
+        assert!(matches!(b.ap, Some(ApOp::Alu { pops_sadq: 1, .. })));
         assert!(matches!(b.sp[0], SpOp::PushSadq { .. }));
     }
 

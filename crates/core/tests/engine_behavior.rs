@@ -34,7 +34,11 @@ fn single_load_pays_fetch_queue_and_memory_latency() {
     // Lower bound: bus VL + latency + QMOV move; upper bound adds only a
     // handful of queue-hop cycles.
     assert!(d.cycles >= 30 + 64 + 64);
-    assert!(d.cycles <= 30 + 64 + 64 + 16, "too much overhead: {}", d.cycles);
+    assert!(
+        d.cycles <= 30 + 64 + 64 + 16,
+        "too much overhead: {}",
+        d.cycles
+    );
 }
 
 #[test]
@@ -42,7 +46,13 @@ fn independent_loads_pipeline_on_the_bus() {
     // Six independent loads: the bus serializes them but latency is paid
     // once, not six times.
     let insts: Vec<Inst> = (0..6)
-        .map(|i| vload(VectorReg::from_index(i).unwrap(), 0x10000 * (i as u64 + 1), 64))
+        .map(|i| {
+            vload(
+                VectorReg::from_index(i).unwrap(),
+                0x10000 * (i as u64 + 1),
+                64,
+            )
+        })
         .collect();
     let p = Program::from_insts("loads", insts);
     let d = DvaSim::new(DvaConfig::dva(100)).run(&p);
@@ -58,7 +68,13 @@ fn fetch_stalls_on_full_instruction_queue_but_completes() {
         ..config.queues
     };
     let insts: Vec<Inst> = (0..12)
-        .map(|i| vload(VectorReg::from_index(i % 8).unwrap(), 0x10000 * (i as u64 + 1), 32))
+        .map(|i| {
+            vload(
+                VectorReg::from_index(i % 8).unwrap(),
+                0x10000 * (i as u64 + 1),
+                32,
+            )
+        })
         .collect();
     let p = Program::from_insts("fp-stall", insts);
     let d = DvaSim::new(config).run(&p);
@@ -129,7 +145,11 @@ fn store_data_queue_backpressure_blocks_vp_not_ap() {
     // but the AP keeps prefetching loads.
     let mut insts = Vec::new();
     for i in 0..4 {
-        insts.push(vload(VectorReg::from_index(i).unwrap(), 0x10000 * (i as u64 + 1), 32));
+        insts.push(vload(
+            VectorReg::from_index(i).unwrap(),
+            0x10000 * (i as u64 + 1),
+            32,
+        ));
     }
     for i in 0..4 {
         insts.push(Inst::VStore {

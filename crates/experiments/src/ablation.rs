@@ -2,11 +2,13 @@
 //! of chaining on the reference machine and of the second QMOV unit on
 //! the decoupled machine.
 
-use dva_core::{DvaConfig, DvaSim};
+use crate::common::RunOpts;
+use dva_core::DvaConfig;
 use dva_metrics::Table;
 use dva_ref::{RefParams, RefSim};
-use dva_uarch::ChainPolicy;
-use dva_workloads::{Benchmark, Scale};
+use dva_sim_api::Machine;
+use dva_uarch::{ChainPolicy, UarchParams};
+use dva_workloads::Benchmark;
 
 /// Latency the ablations run at.
 pub const LATENCY: u64 = 30;
@@ -14,12 +16,17 @@ pub const LATENCY: u64 = 30;
 /// Chaining ablation: the reference machine with its flexible FU→FU /
 /// FU→store chaining versus no chaining at all (Section 2.1 motivates the
 /// machine's chaining model).
-pub fn chaining(scale: Scale) -> Table {
+///
+/// The chain policy is an engine internal rather than part of
+/// [`RefParams`], so this study drives [`RefSim`] directly instead of
+/// going through [`Machine`].
+pub fn chaining(opts: RunOpts) -> Table {
     let mut table = Table::new(["Program", "chained", "unchained", "chaining gain %"]);
     for benchmark in Benchmark::ALL {
-        let program = benchmark.program(scale);
-        let with = RefSim::new(RefParams::with_latency(LATENCY)).run(&program);
-        let without = RefSim::new(RefParams::with_latency(LATENCY))
+        let program = benchmark.program(opts.scale);
+        let params = RefParams::builder().latency(LATENCY).build();
+        let with = RefSim::new(params).run(&program);
+        let without = RefSim::new(params)
             .with_chain_policy(ChainPolicy::none())
             .run(&program);
         table.row([
@@ -37,22 +44,38 @@ pub fn chaining(scale: Scale) -> Table {
 
 /// Bank-port ablation: the 2-read/1-write ports per two-register bank
 /// versus a full crossbar (Section 2.1's "restricted crossbar").
-pub fn bank_ports(scale: Scale) -> Table {
+pub fn bank_ports(opts: RunOpts) -> Table {
     let mut table = Table::new(["Program", "banked ports", "full crossbar", "port cost %"]);
+    let crossbar_uarch = UarchParams {
+        check_bank_ports: false,
+        ..UarchParams::default()
+    };
+    let machines = vec![
+        Machine::dva(LATENCY),
+        Machine::Dva(
+            DvaConfig::builder()
+                .latency(LATENCY)
+                .uarch(crossbar_uarch)
+                .build(),
+        ),
+    ];
+    let sweep = opts
+        .sweep()
+        .machines(machines)
+        .benchmarks(Benchmark::ALL)
+        .latencies([LATENCY])
+        .run();
     for benchmark in Benchmark::ALL {
-        let program = benchmark.program(scale);
-        let banked = DvaSim::new(DvaConfig::dva(LATENCY)).run(&program);
-        let mut free = DvaConfig::dva(LATENCY);
-        free.uarch.check_bank_ports = false;
-        let crossbar = DvaSim::new(free).run(&program);
+        // Both machines label as "DVA", so the lookup is positional: the
+        // sweep returns points in machine-declaration order.
+        let cycles: Vec<u64> = sweep.of(benchmark).map(|p| p.result.cycles).collect();
+        assert_eq!(cycles.len(), 2, "one point per declared machine");
+        let (banked, crossbar) = (cycles[0], cycles[1]);
         table.row([
             benchmark.name().to_string(),
-            banked.cycles.to_string(),
-            crossbar.cycles.to_string(),
-            format!(
-                "{:+.1}",
-                100.0 * (banked.cycles as f64 / crossbar.cycles as f64 - 1.0)
-            ),
+            banked.to_string(),
+            crossbar.to_string(),
+            format!("{:+.1}", 100.0 * (banked as f64 / crossbar as f64 - 1.0)),
         ]);
     }
     table
@@ -61,12 +84,14 @@ pub fn bank_ports(scale: Scale) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dva_workloads::Scale;
 
     #[test]
     fn chaining_always_helps_or_is_neutral() {
         let program = Benchmark::Arc2d.program(Scale::Quick);
-        let with = RefSim::new(RefParams::with_latency(LATENCY)).run(&program);
-        let without = RefSim::new(RefParams::with_latency(LATENCY))
+        let params = RefParams::builder().latency(LATENCY).build();
+        let with = RefSim::new(params).run(&program);
+        let without = RefSim::new(params)
             .with_chain_policy(ChainPolicy::none())
             .run(&program);
         assert!(without.cycles >= with.cycles);
@@ -75,15 +100,22 @@ mod tests {
     #[test]
     fn full_crossbar_never_slows_execution() {
         let program = Benchmark::Flo52.program(Scale::Quick);
-        let banked = DvaSim::new(DvaConfig::dva(LATENCY)).run(&program);
-        let mut free = DvaConfig::dva(LATENCY);
-        free.uarch.check_bank_ports = false;
-        let crossbar = DvaSim::new(free).run(&program);
+        let banked = Machine::dva(LATENCY).simulate(&program);
+        let crossbar = Machine::Dva(
+            DvaConfig::builder()
+                .latency(LATENCY)
+                .uarch(UarchParams {
+                    check_bank_ports: false,
+                    ..UarchParams::default()
+                })
+                .build(),
+        )
+        .simulate(&program);
         assert!(crossbar.cycles <= banked.cycles);
     }
 
     #[test]
     fn tables_cover_every_program() {
-        assert_eq!(chaining(Scale::Quick).len(), Benchmark::ALL.len());
+        assert_eq!(chaining(RunOpts::quick()).len(), Benchmark::ALL.len());
     }
 }

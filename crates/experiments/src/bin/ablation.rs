@@ -1,9 +1,9 @@
 //! Ablation studies: chaining and register bank ports.
 
 fn main() {
-    let scale = dva_experiments::scale_from_args();
+    let opts = dva_experiments::parse_args();
     println!("Chaining ablation on the reference machine (Section 2.1)\n");
-    println!("{}", dva_experiments::ablation::chaining(scale));
+    println!("{}", dva_experiments::ablation::chaining(opts));
     println!("\nRegister-bank port ablation on the decoupled machine\n");
-    println!("{}", dva_experiments::ablation::bank_ports(scale));
+    println!("{}", dva_experiments::ablation::bank_ports(opts));
 }

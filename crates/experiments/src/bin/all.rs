@@ -1,21 +1,20 @@
 //! Runs every experiment in sequence — the full evaluation of the paper.
 //!
-//! A shared REF/DVA latency sweep feeds Figures 3, 4 and 5 so the heavy
-//! simulations run once.
+//! A shared REF/DVA/IDEAL latency sweep feeds Figures 3, 4 and 5 so the
+//! heavy simulations run once (and in parallel across the grid).
 
 use dva_experiments::{common, fig1, fig3, fig4, fig5, fig6, fig7, fig8, queues, table1};
 
 fn main() {
-    let scale = dva_experiments::scale_from_args();
-    let full = std::env::args().any(|a| a == "--full");
+    let opts = common::parse_args();
 
     println!("== Table 1: basic operation counts ==\n");
-    println!("{}", table1::run(scale));
+    println!("{}", table1::run(opts.scale));
 
     println!("== Figure 1: REF state breakdown (% of cycles) ==\n");
-    println!("{}", fig1::run(scale));
+    println!("{}", fig1::run(opts));
 
-    let sweep = common::LatencySweep::run(scale, &common::latencies(full));
+    let sweep = common::latency_sweep(opts, &common::latencies(opts.full));
     println!("== Figure 3: execution time vs latency (kcycles) ==\n");
     println!("{}", fig3::render(&sweep));
     println!("== Figure 4: ( , , ) cycle ratio REF/DVA ==\n");
@@ -24,18 +23,18 @@ fn main() {
     println!("{}", fig5::render(&sweep));
 
     println!("== Figure 6: AVDQ busy-slot distribution (kcycles) ==\n");
-    println!("{}", fig6::run(scale));
+    println!("{}", fig6::run(opts));
 
     println!("== Figure 7: bypassing performance (kcycles) ==\n");
-    println!("{}", fig7::run(scale, full));
+    println!("{}", fig7::run(opts));
 
     println!("== Figure 8: memory traffic ratio ==\n");
-    println!("{}", fig8::run(scale));
+    println!("{}", fig8::run(opts));
 
     println!("== Queue sizing (Sections 5-7) ==\n");
-    println!("{}", queues::instruction_queues(scale));
+    println!("{}", queues::instruction_queues(opts));
     println!();
-    println!("{}", queues::store_queue(scale));
+    println!("{}", queues::store_queue(opts));
     println!();
-    println!("{}", queues::load_queue(scale));
+    println!("{}", queues::load_queue(opts));
 }

@@ -1,8 +1,7 @@
 //! Regenerates Figure 3: IDEAL / REF / DVA execution time vs latency.
 
 fn main() {
-    let scale = dva_experiments::scale_from_args();
-    let full = std::env::args().any(|a| a == "--full");
+    let opts = dva_experiments::parse_args();
     println!("Figure 3: execution time vs memory latency (kcycles)\n");
-    println!("{}", dva_experiments::fig3::run(scale, full));
+    println!("{}", dva_experiments::fig3::run(opts));
 }

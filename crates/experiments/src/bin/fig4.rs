@@ -1,8 +1,7 @@
 //! Regenerates Figure 4: REF/DVA ratio of all-idle cycles.
 
 fn main() {
-    let scale = dva_experiments::scale_from_args();
-    let full = std::env::args().any(|a| a == "--full");
+    let opts = dva_experiments::parse_args();
     println!("Figure 4: ratio of cycles in state ( , , ), REF over DVA\n");
-    println!("{}", dva_experiments::fig4::run(scale, full));
+    println!("{}", dva_experiments::fig4::run(opts));
 }

@@ -1,9 +1,8 @@
 //! Regenerates Figure 5: DVA speedup over REF.
 
 fn main() {
-    let scale = dva_experiments::scale_from_args();
-    let full = std::env::args().any(|a| a == "--full");
+    let opts = dva_experiments::parse_args();
     println!("Figure 5: speedup of the DVA over the reference architecture");
     println!("(paper at L=100: 1.35 ARC2D .. 2.05 SPEC77, DYFESM ~1.0)\n");
-    println!("{}", dva_experiments::fig5::run(scale, full));
+    println!("{}", dva_experiments::fig5::run(opts));
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 6: AVDQ busy-slot distributions.
 
 fn main() {
-    let scale = dva_experiments::scale_from_args();
+    let opts = dva_experiments::parse_args();
     println!("Figure 6: AVDQ busy slots (kcycles at each occupancy)\n");
-    println!("{}", dva_experiments::fig6::run(scale));
+    println!("{}", dva_experiments::fig6::run(opts));
 }

@@ -1,8 +1,7 @@
 //! Regenerates Figure 7: bypass configurations vs DVA and IDEAL.
 
 fn main() {
-    let scale = dva_experiments::scale_from_args();
-    let full = std::env::args().any(|a| a == "--full");
+    let opts = dva_experiments::parse_args();
     println!("Figure 7: performance of the bypassing scheme (kcycles)\n");
-    println!("{}", dva_experiments::fig7::run(scale, full));
+    println!("{}", dva_experiments::fig7::run(opts));
 }

@@ -1,7 +1,7 @@
 //! Regenerates Table 1 of the paper.
 
 fn main() {
-    let scale = dva_experiments::scale_from_args();
+    let opts = dva_experiments::parse_args();
     println!("Table 1: basic operation counts (measured vs paper ratios)\n");
-    println!("{}", dva_experiments::table1::run(scale));
+    println!("{}", dva_experiments::table1::run(opts.scale));
 }

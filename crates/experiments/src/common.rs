@@ -1,9 +1,10 @@
-//! Shared experiment plumbing: latency grids, the REF/DVA latency sweep
-//! and command-line scale selection.
+//! Shared experiment plumbing: latency grids, the standard machine line-up,
+//! command-line parsing and the REF/DVA/IDEAL sweep shared by Figures 3–5.
+//!
+//! All heavy lifting is delegated to [`dva_sim_api::Sweep`], which fans
+//! the (machine × program × latency) grid out over worker threads.
 
-use dva_core::{ideal_bound, DvaConfig, DvaResult, DvaSim};
-use dva_isa::Program;
-use dva_ref::{RefParams, RefResult, RefSim};
+use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_workloads::{Benchmark, Scale};
 
 /// The memory latencies swept, mirroring the paper's x axis (1 to 100
@@ -22,100 +23,116 @@ pub const FIG1_LATENCIES: [u64; 4] = [1, 30, 70, 100];
 /// The latencies Figure 6 uses for its occupancy histograms.
 pub const FIG6_LATENCIES: [u64; 3] = [1, 30, 100];
 
-/// Parses `--quick` / `--full` from the process arguments (used by every
-/// experiment binary; default is [`Scale::Default`]).
+/// Options shared by every experiment binary, parsed from the command
+/// line by [`parse_args`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Trace size the workloads are generated at.
+    pub scale: Scale,
+    /// Whether to sweep the full latency grid.
+    pub full: bool,
+    /// Sweep worker threads (`0` = the machine's available parallelism).
+    pub threads: usize,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            scale: Scale::Default,
+            full: false,
+            threads: 0,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Quick single-threaded options for tests.
+    pub fn quick() -> RunOpts {
+        RunOpts {
+            scale: Scale::Quick,
+            full: false,
+            threads: 1,
+        }
+    }
+
+    /// A [`Sweep`] session preconfigured with these options.
+    pub fn sweep(&self) -> Sweep {
+        Sweep::new().scale(self.scale).threads(self.threads)
+    }
+}
+
+/// Parses the shared experiment flags (`--quick`, `--full`,
+/// `--threads N`) from the process arguments.
+///
+/// Unknown arguments are an error: the process prints a usage message and
+/// exits with a nonzero status rather than silently measuring something
+/// other than what was asked for.
+pub fn parse_args() -> RunOpts {
+    match try_parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: [--quick | --full] [--threads N]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses `--quick` / `--full` from the process arguments, exiting
+/// nonzero on anything it does not understand (including `--threads`,
+/// which it accepts and applies to nothing — prefer [`parse_args`]).
 pub fn scale_from_args() -> Scale {
-    let mut scale = Scale::Default;
-    for arg in std::env::args().skip(1) {
+    parse_args().scale
+}
+
+fn try_parse_args(args: impl Iterator<Item = String>) -> Result<RunOpts, String> {
+    let mut opts = RunOpts::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--full" => scale = Scale::Full,
-            other => eprintln!("ignoring unknown argument {other:?}"),
-        }
-    }
-    scale
-}
-
-/// One (program, latency) measurement of both machines.
-#[derive(Debug, Clone)]
-pub struct SweepPoint {
-    /// The benchmark program.
-    pub benchmark: Benchmark,
-    /// Memory latency in cycles.
-    pub latency: u64,
-    /// Reference-machine measurement.
-    pub reference: RefResult,
-    /// Decoupled-machine measurement.
-    pub dva: DvaResult,
-}
-
-impl SweepPoint {
-    /// DVA speedup over the reference machine.
-    pub fn speedup(&self) -> f64 {
-        dva_metrics::speedup(self.reference.cycles, self.dva.cycles)
-    }
-
-    /// Ratio of all-idle `( , , )` cycles, REF over DVA (Figure 4).
-    pub fn idle_ratio(&self) -> f64 {
-        if self.dva.idle_cycles() == 0 {
-            0.0
-        } else {
-            self.reference.idle_cycles() as f64 / self.dva.idle_cycles() as f64
-        }
-    }
-}
-
-/// A full REF-vs-DVA sweep over programs and latencies, shared by Figures
-/// 3, 4 and 5.
-#[derive(Debug, Clone)]
-pub struct LatencySweep {
-    /// All measured points, grouped by program in [`Benchmark::ALL`]
-    /// order.
-    pub points: Vec<SweepPoint>,
-    /// IDEAL lower bound per program (latency-independent).
-    pub ideal: Vec<(Benchmark, u64)>,
-}
-
-impl LatencySweep {
-    /// Runs the sweep.
-    pub fn run(scale: Scale, latencies: &[u64]) -> LatencySweep {
-        let mut points = Vec::new();
-        let mut ideal = Vec::new();
-        for benchmark in Benchmark::ALL {
-            let program = benchmark.program(scale);
-            ideal.push((benchmark, ideal_bound(&program).cycles()));
-            for &latency in latencies {
-                points.push(run_point(benchmark, &program, latency));
+            "--quick" => opts.scale = Scale::Quick,
+            "--full" => {
+                opts.scale = Scale::Full;
+                opts.full = true;
             }
+            "--threads" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--threads needs a value".to_string())?;
+                opts.threads = value
+                    .parse()
+                    .map_err(|_| format!("invalid thread count {value:?}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
         }
-        LatencySweep { points, ideal }
     }
-
-    /// The points of one program.
-    pub fn of(&self, benchmark: Benchmark) -> impl Iterator<Item = &SweepPoint> {
-        self.points.iter().filter(move |p| p.benchmark == benchmark)
-    }
-
-    /// The IDEAL bound of one program.
-    pub fn ideal_of(&self, benchmark: Benchmark) -> u64 {
-        self.ideal
-            .iter()
-            .find(|(b, _)| *b == benchmark)
-            .map(|(_, c)| *c)
-            .expect("all benchmarks measured")
-    }
+    Ok(opts)
 }
 
-/// Runs both machines on one program at one latency.
-pub fn run_point(benchmark: Benchmark, program: &Program, latency: u64) -> SweepPoint {
-    let reference = RefSim::new(RefParams::with_latency(latency)).run(program);
-    let dva = DvaSim::new(DvaConfig::dva(latency)).run(program);
-    SweepPoint {
-        benchmark,
-        latency,
-        reference,
-        dva,
-    }
+/// The three machines of the paper's central comparison.
+pub fn core_machines() -> [Machine; 3] {
+    [Machine::reference(1), Machine::dva(1), Machine::ideal()]
+}
+
+/// The full REF/DVA/IDEAL sweep over every benchmark and `latencies`,
+/// shared by Figures 3, 4 and 5.
+pub fn latency_sweep(opts: RunOpts, latencies: &[u64]) -> SweepResults {
+    opts.sweep()
+        .machines(core_machines())
+        .benchmarks(Benchmark::ALL)
+        .latencies(latencies.iter().copied())
+        .run()
+}
+
+/// The IDEAL bound of one benchmark in a sweep that included
+/// [`Machine::ideal`] (the bound is latency independent; any measured
+/// latency serves).
+pub fn ideal_of(sweep: &SweepResults, benchmark: Benchmark) -> u64 {
+    sweep
+        .of(benchmark)
+        .find(|p| p.label == "IDEAL")
+        .map(|p| p.result.cycles)
+        .expect("sweep includes the IDEAL machine")
 }
 
 /// Formats a cycle count in thousands with one decimal, as the paper's
@@ -141,15 +158,16 @@ mod tests {
 
     #[test]
     fn sweep_collects_every_point() {
-        let sweep = LatencySweep::run(Scale::Quick, &[1, 100]);
-        assert_eq!(sweep.points.len(), Benchmark::ALL.len() * 2);
+        let sweep = latency_sweep(RunOpts::quick(), &[1, 100]);
+        assert_eq!(sweep.points.len(), 3 * Benchmark::ALL.len() * 2);
         for b in Benchmark::ALL {
-            assert_eq!(sweep.of(b).count(), 2);
-            assert!(sweep.ideal_of(b) > 0);
+            assert_eq!(sweep.of(b).count(), 6);
+            let ideal = ideal_of(&sweep, b);
+            assert!(ideal > 0);
             // The bound never exceeds either machine's time.
-            for p in sweep.of(b) {
-                assert!(sweep.ideal_of(b) <= p.reference.cycles);
-                assert!(sweep.ideal_of(b) <= p.dva.cycles);
+            for latency in [1, 100] {
+                assert!(ideal <= sweep.cycles("REF", b, latency).unwrap());
+                assert!(ideal <= sweep.cycles("DVA", b, latency).unwrap());
             }
         }
     }
@@ -158,5 +176,19 @@ mod tests {
     fn kcycles_formats_thousands() {
         assert_eq!(kcycles(1500), "1.5");
         assert_eq!(kcycles(0), "0.0");
+    }
+
+    #[test]
+    fn arg_parser_rejects_unknown_arguments() {
+        let parse = |args: &[&str]| try_parse_args(args.iter().map(|s| s.to_string()));
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "zero"]).is_err());
+        let opts = parse(&["--quick", "--threads", "4"]).unwrap();
+        assert_eq!(opts.scale, Scale::Quick);
+        assert_eq!(opts.threads, 4);
+        let opts = parse(&["--full"]).unwrap();
+        assert!(opts.full);
+        assert_eq!(opts.scale, Scale::Full);
     }
 }

@@ -2,37 +2,40 @@
 //! the eight (FU2, FU1, LD) machine states, per program and memory
 //! latency.
 
-use crate::common::FIG1_LATENCIES;
+use crate::common::{RunOpts, FIG1_LATENCIES};
 use dva_metrics::{Table, UnitState};
-use dva_ref::{RefParams, RefSim};
-use dva_workloads::{Benchmark, Scale};
+use dva_sim_api::Machine;
+use dva_workloads::Benchmark;
 
 /// Builds the Figure 1 data: one row per (program, latency) with the total
 /// cycles, the share of each of the eight states, and the paper's headline
 /// quantity — the fraction of cycles in which the memory port sits idle.
-pub fn run(scale: Scale) -> Table {
+pub fn run(opts: RunOpts) -> Table {
     let mut headers = vec!["Program".to_string(), "L".to_string(), "cycles".to_string()];
     headers.extend(UnitState::all().iter().map(|s| s.to_string()));
     headers.push("LD idle %".to_string());
     let mut table = Table::new(headers);
-    for benchmark in Benchmark::ALL {
-        let program = benchmark.program(scale);
-        for latency in FIG1_LATENCIES {
-            let result = RefSim::new(RefParams::with_latency(latency)).run(&program);
-            let mut row = vec![
-                benchmark.name().to_string(),
-                latency.to_string(),
-                result.cycles.to_string(),
-            ];
-            for state in UnitState::all() {
-                row.push(format!("{:.1}", 100.0 * result.states.fraction(state)));
-            }
-            row.push(format!(
-                "{:.1}",
-                100.0 * result.states.memory_port_idle_cycles() as f64 / result.cycles as f64
-            ));
-            table.row(row);
+    let sweep = opts
+        .sweep()
+        .machine(Machine::reference(1))
+        .benchmarks(Benchmark::ALL)
+        .latencies(FIG1_LATENCIES)
+        .run();
+    for point in &sweep.points {
+        let result = &point.result;
+        let mut row = vec![
+            point.program.clone(),
+            point.latency.to_string(),
+            result.cycles.to_string(),
+        ];
+        for state in UnitState::all() {
+            row.push(format!("{:.1}", 100.0 * result.states.fraction(state)));
         }
+        row.push(format!(
+            "{:.1}",
+            100.0 * result.states.memory_port_idle_cycles() as f64 / result.cycles as f64
+        ));
+        table.row(row);
     }
     table
 }
@@ -40,10 +43,11 @@ pub fn run(scale: Scale) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dva_workloads::Scale;
 
     #[test]
     fn breakdown_rows_cover_all_latencies() {
-        let t = run(Scale::Quick);
+        let t = run(RunOpts::quick());
         assert_eq!(t.len(), Benchmark::ALL.len() * FIG1_LATENCIES.len());
     }
 
@@ -53,7 +57,7 @@ mod tests {
         // the all-idle state.
         let program = Benchmark::Trfd.program(Scale::Quick);
         let idle_at = |l: u64| {
-            let r = RefSim::new(RefParams::with_latency(l)).run(&program);
+            let r = Machine::reference(l).simulate(&program);
             r.states.fraction(UnitState::empty())
         };
         assert!(idle_at(100) > idle_at(1));

@@ -1,29 +1,30 @@
 //! Figure 3: execution time versus memory latency for the IDEAL bound,
 //! the reference architecture and the decoupled architecture.
 
-use crate::common::{kcycles, latencies, LatencySweep};
+use crate::common::{ideal_of, kcycles, latencies, latency_sweep, RunOpts};
 use dva_metrics::Table;
-use dva_workloads::{Benchmark, Scale};
+use dva_sim_api::SweepResults;
+use dva_workloads::Benchmark;
 
 /// Builds the Figure 3 series: per program, one row per latency with
 /// IDEAL/REF/DVA cycle counts (in thousands).
-pub fn run(scale: Scale, full: bool) -> Table {
-    render(&LatencySweep::run(scale, &latencies(full)))
+pub fn run(opts: RunOpts) -> Table {
+    render(&latency_sweep(opts, &latencies(opts.full)))
 }
 
 /// Renders a precomputed sweep (lets the `all` binary reuse one sweep for
 /// Figures 3, 4 and 5).
-pub fn render(sweep: &LatencySweep) -> Table {
+pub fn render(sweep: &SweepResults) -> Table {
     let mut table = Table::new(["Program", "L", "IDEAL (kcyc)", "REF (kcyc)", "DVA (kcyc)"]);
     for benchmark in Benchmark::ALL {
-        let ideal = sweep.ideal_of(benchmark);
-        for point in sweep.of(benchmark) {
+        let ideal = ideal_of(sweep, benchmark);
+        for latency in sweep.latencies() {
             table.row([
                 benchmark.name().to_string(),
-                point.latency.to_string(),
+                latency.to_string(),
                 kcycles(ideal),
-                kcycles(point.reference.cycles),
-                kcycles(point.dva.cycles),
+                kcycles(sweep.cycles("REF", benchmark, latency).expect("grid point")),
+                kcycles(sweep.cycles("DVA", benchmark, latency).expect("grid point")),
             ]);
         }
     }
@@ -33,16 +34,17 @@ pub fn render(sweep: &LatencySweep) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::common::SweepPoint;
 
     #[test]
     fn dva_curves_are_flatter_than_ref() {
         // The paper's second headline: the slopes differ substantially.
-        let sweep = LatencySweep::run(Scale::Quick, &[1, 100]);
+        let sweep = latency_sweep(RunOpts::quick(), &[1, 100]);
         for benchmark in Benchmark::ALL {
-            let pts: Vec<&SweepPoint> = sweep.of(benchmark).collect();
-            let ref_growth = pts[1].reference.cycles as f64 / pts[0].reference.cycles as f64;
-            let dva_growth = pts[1].dva.cycles as f64 / pts[0].dva.cycles as f64;
+            let growth = |label: &str| {
+                sweep.cycles(label, benchmark, 100).unwrap() as f64
+                    / sweep.cycles(label, benchmark, 1).unwrap() as f64
+            };
+            let (ref_growth, dva_growth) = (growth("REF"), growth("DVA"));
             assert!(
                 dva_growth < ref_growth,
                 "{}: DVA slope {dva_growth:.2} not flatter than REF {ref_growth:.2}",
@@ -53,7 +55,7 @@ mod tests {
 
     #[test]
     fn table_shape_is_programs_by_latencies() {
-        let t = run(Scale::Quick, false);
+        let t = run(RunOpts::quick());
         assert_eq!(t.len(), Benchmark::ALL.len() * latencies(false).len());
     }
 }

@@ -1,27 +1,52 @@
 //! Figure 4: ratio of cycles spent in the all-idle `( , , )` state between
 //! the reference and the decoupled architecture.
 
-use crate::common::{latencies, LatencySweep};
+use crate::common::{latencies, latency_sweep, RunOpts};
 use dva_metrics::Table;
-use dva_workloads::{Benchmark, Scale};
+use dva_sim_api::SweepResults;
+use dva_workloads::Benchmark;
 
 /// Builds the Figure 4 series: per program and latency, the REF/DVA ratio
 /// of all-idle cycles (the paper observes up to 5:1 for ARC2D).
-pub fn run(scale: Scale, full: bool) -> Table {
-    render(&LatencySweep::run(scale, &latencies(full)))
+pub fn run(opts: RunOpts) -> Table {
+    render(&latency_sweep(opts, &latencies(opts.full)))
+}
+
+/// REF-over-DVA idle-cycle ratio at one grid point.
+pub fn idle_ratio(sweep: &SweepResults, benchmark: Benchmark, latency: u64) -> f64 {
+    let idle = |label: &str| {
+        sweep
+            .get(label, benchmark, latency)
+            .expect("grid point")
+            .result
+            .idle_cycles()
+    };
+    let dva = idle("DVA");
+    if dva == 0 {
+        0.0
+    } else {
+        idle("REF") as f64 / dva as f64
+    }
 }
 
 /// Renders a precomputed sweep.
-pub fn render(sweep: &LatencySweep) -> Table {
+pub fn render(sweep: &SweepResults) -> Table {
     let mut table = Table::new(["Program", "L", "REF idle", "DVA idle", "ratio"]);
     for benchmark in Benchmark::ALL {
-        for point in sweep.of(benchmark) {
+        for latency in sweep.latencies() {
+            let idle = |label: &str| {
+                sweep
+                    .get(label, benchmark, latency)
+                    .expect("grid point")
+                    .result
+                    .idle_cycles()
+            };
             table.row([
                 benchmark.name().to_string(),
-                point.latency.to_string(),
-                point.reference.idle_cycles().to_string(),
-                point.dva.idle_cycles().to_string(),
-                format!("{:.2}", point.idle_ratio()),
+                latency.to_string(),
+                idle("REF").to_string(),
+                idle("DVA").to_string(),
+                format!("{:.2}", idle_ratio(sweep, benchmark, latency)),
             ]);
         }
     }
@@ -34,15 +59,12 @@ mod tests {
 
     #[test]
     fn decoupling_reduces_idle_cycles() {
-        let sweep = LatencySweep::run(Scale::Quick, &[30]);
+        let sweep = latency_sweep(RunOpts::quick(), &[30]);
         // At moderate latency every program should stall less on the DVA;
         // require a clear reduction for most.
         let reduced = Benchmark::ALL
             .into_iter()
-            .filter(|b| {
-                let p = sweep.of(*b).next().unwrap();
-                p.idle_ratio() > 1.0
-            })
+            .filter(|&b| idle_ratio(&sweep, b, 30) > 1.0)
             .count();
         assert!(reduced >= 4, "only {reduced} programs reduced idle cycles");
     }

@@ -1,39 +1,35 @@
 //! Figure 5: speedup of the decoupled architecture over the reference
 //! architecture, per memory latency.
 
-use crate::common::{latencies, LatencySweep};
+use crate::common::{latencies, latency_sweep, RunOpts};
 use dva_metrics::Table;
-use dva_workloads::{Benchmark, Scale};
+use dva_sim_api::SweepResults;
+use dva_workloads::Benchmark;
 
 /// Builds the Figure 5 series (paper: speedups at latency 100 range from
 /// 1.35 for ARC2D to 2.05 for SPEC77; DYFESM stays at ~1.0).
-pub fn run(scale: Scale, full: bool) -> Table {
-    render(&LatencySweep::run(scale, &latencies(full)))
+pub fn run(opts: RunOpts) -> Table {
+    render(&latency_sweep(opts, &latencies(opts.full)))
+}
+
+/// DVA-over-REF speedup at one grid point.
+pub fn speedup(sweep: &SweepResults, benchmark: Benchmark, latency: u64) -> f64 {
+    dva_metrics::speedup(
+        sweep.cycles("REF", benchmark, latency).expect("grid point"),
+        sweep.cycles("DVA", benchmark, latency).expect("grid point"),
+    )
 }
 
 /// Renders a precomputed sweep: one row per latency, one column per
 /// program, exactly like the paper's plot.
-pub fn render(sweep: &LatencySweep) -> Table {
+pub fn render(sweep: &SweepResults) -> Table {
     let mut headers = vec!["L".to_string()];
     headers.extend(Benchmark::ALL.iter().map(|b| b.name().to_string()));
     let mut table = Table::new(headers);
-    let lats: Vec<u64> = {
-        let mut seen = Vec::new();
-        for p in &sweep.points {
-            if !seen.contains(&p.latency) {
-                seen.push(p.latency);
-            }
-        }
-        seen
-    };
-    for latency in lats {
+    for latency in sweep.latencies() {
         let mut row = vec![latency.to_string()];
         for benchmark in Benchmark::ALL {
-            let point = sweep
-                .of(benchmark)
-                .find(|p| p.latency == latency)
-                .expect("sweep covers the grid");
-            row.push(format!("{:.2}", point.speedup()));
+            row.push(format!("{:.2}", speedup(sweep, benchmark, latency)));
         }
         table.row(row);
     }
@@ -46,8 +42,8 @@ mod tests {
 
     #[test]
     fn speedup_ordering_matches_the_paper_at_high_latency() {
-        let sweep = LatencySweep::run(Scale::Quick, &[100]);
-        let sp = |b: Benchmark| sweep.of(b).next().unwrap().speedup();
+        let sweep = latency_sweep(RunOpts::quick(), &[100]);
+        let sp = |b: Benchmark| speedup(&sweep, b, 100);
         // SPEC77 and TRFD lead; DYFESM trails near 1.0 (paper Section 5).
         assert!(sp(Benchmark::Spec77) > sp(Benchmark::Dyfesm));
         assert!(sp(Benchmark::Trfd) > sp(Benchmark::Dyfesm));
@@ -59,7 +55,7 @@ mod tests {
 
     #[test]
     fn table_has_one_row_per_latency() {
-        let t = run(Scale::Quick, false);
+        let t = run(RunOpts::quick());
         assert_eq!(t.len(), latencies(false).len());
     }
 }

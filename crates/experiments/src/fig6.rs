@@ -1,10 +1,10 @@
 //! Figure 6: busy-slot distribution of the vector load data queue (AVDQ)
 //! at three memory latencies.
 
-use crate::common::FIG6_LATENCIES;
-use dva_core::{DvaConfig, DvaSim};
+use crate::common::{RunOpts, FIG6_LATENCIES};
 use dva_metrics::Table;
-use dva_workloads::{Benchmark, Scale};
+use dva_sim_api::Machine;
+use dva_workloads::Benchmark;
 
 /// How many occupancy buckets the table reports (the paper plots 0..=9;
 /// occupancy never exceeds 9 because the 16-entry VPIQ back-pressures the
@@ -14,25 +14,31 @@ pub const BUCKETS: usize = 10;
 /// Builds the Figure 6 histograms: cycles (in thousands) spent at each
 /// AVDQ occupancy, per program and latency, plus the maximum occupancy
 /// ever observed.
-pub fn run(scale: Scale) -> Table {
+pub fn run(opts: RunOpts) -> Table {
     let mut headers = vec!["Program".to_string(), "L".to_string()];
     headers.extend((0..BUCKETS).map(|v| format!("{v}")));
     headers.push("max".to_string());
     let mut table = Table::new(headers);
-    for benchmark in Benchmark::ALL {
-        let program = benchmark.program(scale);
-        for latency in FIG6_LATENCIES {
-            let result = DvaSim::new(DvaConfig::dva(latency)).run(&program);
-            let mut row = vec![benchmark.name().to_string(), latency.to_string()];
-            for v in 0..BUCKETS {
-                row.push(format!(
-                    "{:.1}",
-                    result.avdq_occupancy.count(v) as f64 / 1000.0
-                ));
-            }
-            row.push(result.max_avdq.to_string());
-            table.row(row);
+    let sweep = opts
+        .sweep()
+        .machine(Machine::dva(1))
+        .benchmarks(Benchmark::ALL)
+        .latencies(FIG6_LATENCIES)
+        .run();
+    for point in &sweep.points {
+        let mut row = vec![point.program.clone(), point.latency.to_string()];
+        let occupancy = point.result.avdq_occupancy().expect("DVA measures AVDQ");
+        for v in 0..BUCKETS {
+            row.push(format!("{:.1}", occupancy.count(v) as f64 / 1000.0));
         }
+        row.push(
+            point
+                .result
+                .max_avdq()
+                .expect("DVA tracks AVDQ")
+                .to_string(),
+        );
+        table.row(row);
     }
     table
 }
@@ -40,6 +46,7 @@ pub fn run(scale: Scale) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dva_workloads::Scale;
 
     #[test]
     fn occupancy_grows_with_latency() {
@@ -47,9 +54,10 @@ mod tests {
         // (the paper's reading of Figure 6).
         let program = Benchmark::Arc2d.program(Scale::Quick);
         let mean_at = |l: u64| {
-            DvaSim::new(DvaConfig::dva(l))
-                .run(&program)
-                .avdq_occupancy
+            Machine::dva(l)
+                .simulate(&program)
+                .avdq_occupancy()
+                .expect("DVA histogram")
                 .mean()
         };
         assert!(mean_at(100) > mean_at(1));
@@ -62,13 +70,9 @@ mod tests {
         // queue.
         for benchmark in [Benchmark::Spec77, Benchmark::Arc2d] {
             let program = benchmark.program(Scale::Quick);
-            let result = DvaSim::new(DvaConfig::dva(100)).run(&program);
-            assert!(
-                result.max_avdq <= 9,
-                "{}: AVDQ reached {}",
-                benchmark.name(),
-                result.max_avdq
-            );
+            let result = Machine::dva(100).simulate(&program);
+            let max = result.max_avdq().expect("DVA tracks AVDQ");
+            assert!(max <= 9, "{}: AVDQ reached {max}", benchmark.name());
         }
     }
 }

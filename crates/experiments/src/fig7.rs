@@ -1,35 +1,49 @@
 //! Figure 7: performance of the bypassing scheme — `BYP load/store`
 //! configurations against the base DVA and the IDEAL bound.
 
-use crate::common::{kcycles, latencies};
-use dva_core::{ideal_bound, DvaConfig, DvaSim};
+use crate::common::{kcycles, latencies, RunOpts};
 use dva_metrics::Table;
-use dva_workloads::{Benchmark, Scale};
+use dva_sim_api::Machine;
+use dva_workloads::Benchmark;
 
 /// The `(load queue, store queue)` configurations of the paper's Figure 7.
 pub const BYP_CONFIGS: [(usize, usize); 4] = [(4, 4), (4, 8), (4, 16), (256, 16)];
 
+/// The machine line-up of Figure 7: DVA, the bypass configurations, and
+/// the IDEAL bound.
+pub fn machines() -> Vec<Machine> {
+    let mut machines = vec![Machine::dva(1)];
+    machines.extend(
+        BYP_CONFIGS
+            .iter()
+            .map(|&(load_q, store_q)| Machine::byp(1, load_q, store_q)),
+    );
+    machines.push(Machine::ideal());
+    machines
+}
+
 /// Builds the Figure 7 series: per program and latency, cycles (in
 /// thousands) for DVA, each bypass configuration, and the IDEAL bound.
-pub fn run(scale: Scale, full: bool) -> Table {
-    let mut table = Table::new([
-        "Program", "L", "DVA", "BYP 4/4", "BYP 4/8", "BYP 4/16", "BYP 256/16", "IDEAL",
-    ]);
+pub fn run(opts: RunOpts) -> Table {
+    let machine_list = machines();
+    let mut headers = vec!["Program".to_string(), "L".to_string()];
+    headers.extend(machine_list.iter().map(|m| m.label()));
+    let mut table = Table::new(headers);
+    let sweep = opts
+        .sweep()
+        .machines(machine_list.iter().copied())
+        .benchmarks(Benchmark::ALL)
+        .latencies(latencies(opts.full))
+        .run();
     for benchmark in Benchmark::ALL {
-        let program = benchmark.program(scale);
-        let ideal = ideal_bound(&program).cycles();
-        for latency in latencies(full) {
-            let dva = DvaSim::new(DvaConfig::dva(latency)).run(&program);
-            let mut row = vec![
-                benchmark.name().to_string(),
-                latency.to_string(),
-                kcycles(dva.cycles),
-            ];
-            for (load_q, store_q) in BYP_CONFIGS {
-                let byp = DvaSim::new(DvaConfig::byp(latency, load_q, store_q)).run(&program);
-                row.push(kcycles(byp.cycles));
+        for latency in sweep.latencies() {
+            let mut row = vec![benchmark.name().to_string(), latency.to_string()];
+            for machine in &machine_list {
+                let cycles = sweep
+                    .cycles(&machine.label(), benchmark, latency)
+                    .expect("grid point");
+                row.push(kcycles(cycles));
             }
-            row.push(kcycles(ideal));
             table.row(row);
         }
     }
@@ -39,6 +53,7 @@ pub fn run(scale: Scale, full: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dva_workloads::Scale;
 
     #[test]
     fn bypass_never_slows_the_full_queue_configuration() {
@@ -46,8 +61,8 @@ mod tests {
         // match or beat the DVA everywhere.
         for benchmark in [Benchmark::Trfd, Benchmark::Dyfesm, Benchmark::Bdna] {
             let program = benchmark.program(Scale::Quick);
-            let dva = DvaSim::new(DvaConfig::dva(1)).run(&program);
-            let byp = DvaSim::new(DvaConfig::byp(1, 256, 16)).run(&program);
+            let dva = Machine::dva(1).simulate(&program);
+            let byp = Machine::byp(1, 256, 16).simulate(&program);
             assert!(
                 byp.cycles <= dva.cycles,
                 "{}: BYP 256/16 {} slower than DVA {}",
@@ -63,8 +78,8 @@ mod tests {
         // Paper Section 7: eight slots reach >95% of the 16-slot
         // performance for most programs.
         let program = Benchmark::Trfd.program(Scale::Quick);
-        let byp8 = DvaSim::new(DvaConfig::byp(1, 4, 8)).run(&program);
-        let byp16 = DvaSim::new(DvaConfig::byp(1, 4, 16)).run(&program);
+        let byp8 = Machine::byp(1, 4, 8).simulate(&program);
+        let byp16 = Machine::byp(1, 4, 16).simulate(&program);
         let gap = byp8.cycles as f64 / byp16.cycles as f64;
         assert!(gap < 1.10, "4/8 is {gap:.3}x of 4/16");
     }
@@ -74,8 +89,14 @@ mod tests {
         // SPEC77 makes heavy use of the load queue slots: shrinking the
         // AVDQ to 4 costs it performance (the paper's special case).
         let program = Benchmark::Spec77.program(Scale::Quick);
-        let byp4 = DvaSim::new(DvaConfig::byp(30, 4, 16)).run(&program);
-        let byp256 = DvaSim::new(DvaConfig::byp(30, 256, 16)).run(&program);
+        let byp4 = Machine::byp(30, 4, 16).simulate(&program);
+        let byp256 = Machine::byp(30, 256, 16).simulate(&program);
         assert!(byp4.cycles >= byp256.cycles);
+    }
+
+    #[test]
+    fn figure_covers_all_machines() {
+        let t = run(RunOpts::quick());
+        assert_eq!(t.len(), Benchmark::ALL.len() * latencies(false).len());
     }
 }

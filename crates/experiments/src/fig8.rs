@@ -1,9 +1,10 @@
 //! Figure 8: ratio of total memory traffic between the DVA 256/16 and the
 //! BYP 256/16 configurations.
 
-use dva_core::{DvaConfig, DvaSim};
+use crate::common::RunOpts;
 use dva_metrics::Table;
-use dva_workloads::{Benchmark, Scale};
+use dva_sim_api::Machine;
+use dva_workloads::Benchmark;
 
 /// The latency Figure 8 is evaluated at (traffic is nearly latency
 /// independent; the paper plots a single bar per program).
@@ -12,7 +13,7 @@ pub const LATENCY: u64 = 1;
 /// Builds the Figure 8 bars: memory words moved with and without bypass
 /// and their ratio (the paper reports >30% reduction for DYFESM and TRFD,
 /// ~10% for BDNA and FLO52).
-pub fn run(scale: Scale) -> Table {
+pub fn run(opts: RunOpts) -> Table {
     let mut table = Table::new([
         "Program",
         "DVA words",
@@ -21,16 +22,27 @@ pub fn run(scale: Scale) -> Table {
         "ratio",
         "reduction %",
     ]);
+    let sweep = opts
+        .sweep()
+        .machines([Machine::dva(1), Machine::byp(1, 256, 16)])
+        .benchmarks(Benchmark::ALL)
+        .latencies([LATENCY])
+        .run();
     for benchmark in Benchmark::ALL {
-        let program = benchmark.program(scale);
-        let dva = DvaSim::new(DvaConfig::dva(LATENCY)).run(&program);
-        let byp = DvaSim::new(DvaConfig::byp(LATENCY, 256, 16)).run(&program);
-        let ratio = byp.traffic.ratio_to(&dva.traffic);
+        let traffic = |label: &str| {
+            sweep
+                .get(label, benchmark, LATENCY)
+                .expect("grid point")
+                .result
+                .traffic
+        };
+        let (dva, byp) = (traffic("DVA"), traffic("BYP 256/16"));
+        let ratio = byp.ratio_to(&dva);
         table.row([
             benchmark.name().to_string(),
-            dva.traffic.memory_elems().to_string(),
-            byp.traffic.memory_elems().to_string(),
-            byp.traffic.bypassed_elems.to_string(),
+            dva.memory_elems().to_string(),
+            byp.memory_elems().to_string(),
+            byp.bypassed_elems.to_string(),
             format!("{ratio:.3}"),
             format!("{:.1}", 100.0 * (1.0 - ratio)),
         ]);
@@ -41,13 +53,14 @@ pub fn run(scale: Scale) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dva_workloads::Scale;
 
     #[test]
     fn bypass_reduces_traffic_for_reuse_heavy_programs() {
         for benchmark in [Benchmark::Trfd, Benchmark::Bdna, Benchmark::Dyfesm] {
             let program = benchmark.program(Scale::Quick);
-            let dva = DvaSim::new(DvaConfig::dva(1)).run(&program);
-            let byp = DvaSim::new(DvaConfig::byp(1, 256, 16)).run(&program);
+            let dva = Machine::dva(1).simulate(&program);
+            let byp = Machine::byp(1, 256, 16).simulate(&program);
             assert!(
                 byp.traffic.memory_elems() < dva.traffic.memory_elems(),
                 "{}: no traffic reduction",
@@ -61,8 +74,8 @@ mod tests {
         // Bypassing changes where loads are served, not how many words
         // the program asks for.
         let program = Benchmark::Trfd.program(Scale::Quick);
-        let dva = DvaSim::new(DvaConfig::dva(1)).run(&program);
-        let byp = DvaSim::new(DvaConfig::byp(1, 256, 16)).run(&program);
+        let dva = Machine::dva(1).simulate(&program);
+        let byp = Machine::byp(1, 256, 16).simulate(&program);
         assert_eq!(
             dva.traffic.total_request_elems(),
             byp.traffic.total_request_elems()

@@ -3,12 +3,13 @@
 //!
 //! Each module reproduces one artifact and returns a [`dva_metrics::Table`]
 //! whose rows mirror what the paper plots; the `src/bin` binaries print
-//! them. Run with `--release` — the sweeps simulate hundreds of millions
-//! of cycles:
+//! them. All simulation fans out through [`dva_sim_api::Sweep`], so every
+//! figure parallelizes across the (machine × program × latency) grid. Run
+//! with `--release` — the sweeps simulate hundreds of millions of cycles:
 //!
 //! ```text
 //! cargo run --release -p dva-experiments --bin table1
-//! cargo run --release -p dva-experiments --bin fig3 [--quick|--full]
+//! cargo run --release -p dva-experiments --bin fig3 -- [--quick|--full] [--threads N]
 //! cargo run --release -p dva-experiments --bin all
 //! ```
 //!
@@ -39,5 +40,6 @@ pub mod fig8;
 pub mod queues;
 pub mod table1;
 
-pub use common::{latencies, scale_from_args, LatencySweep, SweepPoint};
+pub use common::{latencies, latency_sweep, parse_args, scale_from_args, RunOpts};
+pub use dva_sim_api::{Machine, SimResult, Sweep, SweepPoint, SweepResults};
 pub use dva_workloads::{Benchmark, Scale};

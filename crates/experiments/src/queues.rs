@@ -1,32 +1,60 @@
 //! Queue-sizing sensitivity (Sections 5 and 6): the paper's rationale for
 //! 16-entry instruction queues and a 16-slot store queue.
+//!
+//! Each study is one [`dva_sim_api::Sweep`] whose machine axis is the
+//! queue size under test; the sweep points come back in
+//! machine-declaration order, so the cycles of one benchmark line up with
+//! the size grid positionally.
 
-use dva_core::{DvaConfig, DvaSim, QueueConfig};
+use crate::common::RunOpts;
+use dva_core::DvaConfig;
 use dva_metrics::Table;
-use dva_workloads::{Benchmark, Scale};
+use dva_sim_api::Machine;
+use dva_workloads::Benchmark;
 
 /// The latency at which the sizing study is run (the paper uses its full
 /// sweep; sensitivity is widest at high latency).
 pub const LATENCY: u64 = 50;
 
+/// Runs `machines` over every benchmark at [`LATENCY`] and returns the
+/// per-benchmark cycle counts in machine order.
+fn cycles_by_machine(opts: RunOpts, machines: Vec<Machine>) -> Vec<(Benchmark, Vec<u64>)> {
+    let count = machines.len();
+    let sweep = opts
+        .sweep()
+        .machines(machines)
+        .benchmarks(Benchmark::ALL)
+        .latencies([LATENCY])
+        .run();
+    Benchmark::ALL
+        .into_iter()
+        .map(|benchmark| {
+            let cycles: Vec<u64> = sweep.of(benchmark).map(|p| p.result.cycles).collect();
+            assert_eq!(cycles.len(), count, "one point per machine");
+            (benchmark, cycles)
+        })
+        .collect()
+}
+
 /// Instruction-queue sizing: the paper found 16 entries within 2% of 512.
-pub fn instruction_queues(scale: Scale) -> Table {
+pub fn instruction_queues(opts: RunOpts) -> Table {
     let sizes = [4usize, 8, 16, 64, 512];
     let mut headers = vec!["Program".to_string()];
     headers.extend(sizes.iter().map(|s| format!("IQ={s}")));
     headers.push("16 vs 512 (%)".to_string());
     let mut table = Table::new(headers);
-    for benchmark in Benchmark::ALL {
-        let program = benchmark.program(scale);
-        let mut cycles = Vec::new();
-        for &size in &sizes {
-            let mut config = DvaConfig::dva(LATENCY);
-            config.queues = QueueConfig {
-                instruction_queue: size,
-                ..config.queues
-            };
-            cycles.push(DvaSim::new(config).run(&program).cycles);
-        }
+    let machines = sizes
+        .iter()
+        .map(|&size| {
+            Machine::Dva(
+                DvaConfig::builder()
+                    .latency(LATENCY)
+                    .instruction_queue(size)
+                    .build(),
+            )
+        })
+        .collect();
+    for (benchmark, cycles) in cycles_by_machine(opts, machines) {
         let c16 = cycles[2] as f64;
         let c512 = cycles[4] as f64;
         let mut row = vec![benchmark.name().to_string()];
@@ -39,22 +67,25 @@ pub fn instruction_queues(scale: Scale) -> Table {
 
 /// Store-queue sizing: the paper found almost no difference between 16,
 /// 32 and 256 slots for the base DVA.
-pub fn store_queue(scale: Scale) -> Table {
+pub fn store_queue(opts: RunOpts) -> Table {
     let sizes = [4usize, 8, 16, 32, 256];
     let mut headers = vec!["Program".to_string()];
     headers.extend(sizes.iter().map(|s| format!("SQ={s}")));
     let mut table = Table::new(headers);
-    for benchmark in Benchmark::ALL {
-        let program = benchmark.program(scale);
+    let machines = sizes
+        .iter()
+        .map(|&size| {
+            Machine::Dva(
+                DvaConfig::builder()
+                    .latency(LATENCY)
+                    .store_queue(size)
+                    .build(),
+            )
+        })
+        .collect();
+    for (benchmark, cycles) in cycles_by_machine(opts, machines) {
         let mut row = vec![benchmark.name().to_string()];
-        for &size in &sizes {
-            let mut config = DvaConfig::dva(LATENCY);
-            config.queues = QueueConfig {
-                store_queue: size,
-                ..config.queues
-            };
-            row.push(DvaSim::new(config).run(&program).cycles.to_string());
-        }
+        row.extend(cycles.iter().map(|c| c.to_string()));
         table.row(row);
     }
     table
@@ -62,19 +93,17 @@ pub fn store_queue(scale: Scale) -> Table {
 
 /// Load-queue sizing with bypass enabled (Section 7's conclusion: four
 /// slots capture most of an infinite queue).
-pub fn load_queue(scale: Scale) -> Table {
+pub fn load_queue(opts: RunOpts) -> Table {
     let sizes = [2usize, 4, 8, 16, 256];
     let mut headers = vec!["Program".to_string()];
     headers.extend(sizes.iter().map(|s| format!("AVDQ={s}")));
     headers.push("4 vs 256 (%)".to_string());
     let mut table = Table::new(headers);
-    for benchmark in Benchmark::ALL {
-        let program = benchmark.program(scale);
-        let mut cycles = Vec::new();
-        for &size in &sizes {
-            let config = DvaConfig::byp(LATENCY, size, 16);
-            cycles.push(DvaSim::new(config).run(&program).cycles);
-        }
+    let machines = sizes
+        .iter()
+        .map(|&size| Machine::byp(LATENCY, size, 16))
+        .collect();
+    for (benchmark, cycles) in cycles_by_machine(opts, machines) {
         let c4 = cycles[1] as f64;
         let c256 = cycles[4] as f64;
         let mut row = vec![benchmark.name().to_string()];
@@ -88,6 +117,7 @@ pub fn load_queue(scale: Scale) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dva_workloads::Scale;
 
     #[test]
     fn sixteen_entry_instruction_queues_are_near_infinite() {
@@ -97,9 +127,14 @@ mod tests {
         // bound plus monotonicity.
         let program = Benchmark::Arc2d.program(Scale::Quick);
         let run = |iq: usize| {
-            let mut config = DvaConfig::dva(LATENCY);
-            config.queues.instruction_queue = iq;
-            DvaSim::new(config).run(&program).cycles
+            Machine::Dva(
+                DvaConfig::builder()
+                    .latency(LATENCY)
+                    .instruction_queue(iq)
+                    .build(),
+            )
+            .simulate(&program)
+            .cycles
         };
         let c4 = run(4) as f64;
         let c16 = run(16) as f64;
@@ -112,9 +147,14 @@ mod tests {
     fn store_queue_sixteen_matches_larger_queues() {
         let program = Benchmark::Flo52.program(Scale::Quick);
         let run = |sq: usize| {
-            let mut config = DvaConfig::dva(LATENCY);
-            config.queues.store_queue = sq;
-            DvaSim::new(config).run(&program).cycles
+            Machine::Dva(
+                DvaConfig::builder()
+                    .latency(LATENCY)
+                    .store_queue(sq)
+                    .build(),
+            )
+            .simulate(&program)
+            .cycles
         };
         let c16 = run(16) as f64;
         let c256 = run(256) as f64;
@@ -123,6 +163,6 @@ mod tests {
 
     #[test]
     fn tables_have_a_row_per_program() {
-        assert_eq!(load_queue(Scale::Quick).len(), Benchmark::ALL.len());
+        assert_eq!(load_queue(RunOpts::quick()).len(), Benchmark::ALL.len());
     }
 }

@@ -85,8 +85,16 @@ impl fmt::Display for UnitState {
         write!(
             f,
             "<{},{},{}>",
-            if self.contains(Self::FU2) { "FU2" } else { "   " },
-            if self.contains(Self::FU1) { "FU1" } else { "   " },
+            if self.contains(Self::FU2) {
+                "FU2"
+            } else {
+                "   "
+            },
+            if self.contains(Self::FU1) {
+                "FU1"
+            } else {
+                "   "
+            },
             if self.contains(Self::LD) { "LD" } else { "  " },
         )
     }

@@ -101,11 +101,15 @@ mod tests {
 
     #[test]
     fn bypass_reduces_memory_but_not_requests() {
-        let mut with_bypass = Traffic::default();
-        with_bypass.vector_load_elems = 70;
-        with_bypass.bypassed_elems = 30;
-        let mut without = Traffic::default();
-        without.vector_load_elems = 100;
+        let with_bypass = Traffic {
+            vector_load_elems: 70,
+            bypassed_elems: 30,
+            ..Traffic::default()
+        };
+        let without = Traffic {
+            vector_load_elems: 100,
+            ..Traffic::default()
+        };
         assert_eq!(with_bypass.memory_elems(), 70);
         assert_eq!(
             with_bypass.total_request_elems(),

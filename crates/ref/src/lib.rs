@@ -23,9 +23,15 @@
 //! use dva_workloads::{Benchmark, Scale};
 //!
 //! let program = Benchmark::Dyfesm.program(Scale::Quick);
-//! let result = RefSim::new(RefParams::with_latency(30)).run(&program);
+//! let params = RefParams::builder().latency(30).build();
+//! let result = RefSim::new(params).run(&program);
 //! assert!(result.cycles > 0);
 //! ```
+//!
+//! For experiments over several machines, prefer the unified `Machine`
+//! and `Sweep` API of the `dva-sim-api` crate, which wraps this
+//! simulator, the decoupled machine and the IDEAL bound behind one front
+//! door.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,4 +40,4 @@ mod result;
 mod sim;
 
 pub use result::RefResult;
-pub use sim::{RefParams, RefSim};
+pub use sim::{RefParams, RefParamsBuilder, RefSim};

@@ -7,7 +7,7 @@ use dva_metrics::{StateTracker, UnitState};
 use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, UarchParams, VectorRegFile};
 
 /// Configuration of the reference machine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RefParams {
     /// Vector engine timing.
     pub uarch: UarchParams,
@@ -22,6 +22,53 @@ impl RefParams {
             uarch: UarchParams::default(),
             memory: MemoryParams::with_latency(latency),
         }
+    }
+
+    /// Starts an ergonomic builder from the default configuration,
+    /// mirroring [`DvaConfig::builder`](https://docs.rs/dva-core) on the
+    /// decoupled machine's side.
+    ///
+    /// ```
+    /// use dva_ref::RefParams;
+    ///
+    /// let params = RefParams::builder().latency(30).build();
+    /// assert_eq!(params.memory.latency, 30);
+    /// ```
+    pub fn builder() -> RefParamsBuilder {
+        RefParamsBuilder {
+            params: RefParams::with_latency(1),
+        }
+    }
+}
+
+/// Builder for [`RefParams`], created by [`RefParams::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct RefParamsBuilder {
+    params: RefParams,
+}
+
+impl RefParamsBuilder {
+    /// Sets the main memory latency `L` in cycles.
+    pub fn latency(mut self, latency: u64) -> Self {
+        self.params.memory.latency = latency;
+        self
+    }
+
+    /// Replaces the whole memory configuration.
+    pub fn memory(mut self, memory: MemoryParams) -> Self {
+        self.params.memory = memory;
+        self
+    }
+
+    /// Replaces the vector engine timing.
+    pub fn uarch(mut self, uarch: UarchParams) -> Self {
+        self.params.uarch = uarch;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> RefParams {
+        self.params
     }
 }
 
@@ -184,8 +231,7 @@ impl Engine {
                 true
             }
             Inst::VLoad { dst, access } => {
-                if !self.mem.bus_free(now)
-                    || !self.regs.can_issue(now, &[], Some(*dst), self.chain)
+                if !self.mem.bus_free(now) || !self.regs.can_issue(now, &[], Some(*dst), self.chain)
                 {
                     return false;
                 }
@@ -200,18 +246,14 @@ impl Engine {
                 true
             }
             Inst::VStore { src, access } => {
-                if !self.mem.bus_free(now)
-                    || !self.regs.can_issue(now, &[*src], None, self.chain)
-                {
+                if !self.mem.bus_free(now) || !self.regs.can_issue(now, &[*src], None, self.chain) {
                     return false;
                 }
                 self.mem.issue_vector_store(now, access.vl);
                 self.regs.begin_reads(now, &[*src], access.vl.cycles());
                 true
             }
-            Inst::VGather {
-                dst, index, vl, ..
-            } => {
+            Inst::VGather { dst, index, vl, .. } => {
                 if !self.mem.bus_free(now)
                     || !self.regs.can_issue(now, &[*index], Some(*dst), self.chain)
                 {
@@ -228,9 +270,7 @@ impl Engine {
                 );
                 true
             }
-            Inst::VScatter {
-                src, index, vl, ..
-            } => {
+            Inst::VScatter { src, index, vl, .. } => {
                 if !self.mem.bus_free(now)
                     || !self.regs.can_issue(now, &[*src, *index], None, self.chain)
                 {

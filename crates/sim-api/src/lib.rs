@@ -1,0 +1,50 @@
+//! Unified simulation API over every machine of the paper's evaluation.
+//!
+//! The paper's results are a cross-product of *machines* (REF, DVA,
+//! BYP n/m, IDEAL) × *programs* × *memory latencies*. The underlying
+//! crates expose one front door per machine ([`dva_ref::RefSim`],
+//! [`dva_core::DvaSim`], [`dva_core::ideal_bound`]); this crate folds them
+//! into a single [`Machine`] abstraction with a uniform
+//! [`Machine::simulate`] returning one [`SimResult`] type, and a parallel
+//! [`Sweep`] session that fans the whole cross-product out over OS
+//! threads.
+//!
+//! # Examples
+//!
+//! Simulate one program on every machine:
+//!
+//! ```
+//! use dva_sim_api::Machine;
+//! use dva_workloads::{Benchmark, Scale};
+//!
+//! let program = Benchmark::Trfd.program(Scale::Quick);
+//! let machines = [Machine::reference(30), Machine::dva(30), Machine::ideal()];
+//! let cycles: Vec<u64> = machines.iter().map(|m| m.simulate(&program).cycles).collect();
+//! assert!(cycles[2] <= cycles[1]); // IDEAL bounds the DVA
+//! ```
+//!
+//! Run a parallel sweep session:
+//!
+//! ```
+//! use dva_sim_api::{Machine, Sweep};
+//! use dva_workloads::{Benchmark, Scale};
+//!
+//! let results = Sweep::new()
+//!     .machines([Machine::reference(1), Machine::dva(1)])
+//!     .benchmarks([Benchmark::Trfd])
+//!     .latencies([1, 30])
+//!     .scale(Scale::Quick)
+//!     .run();
+//! assert_eq!(results.points.len(), 4); // 2 machines × 1 program × 2 latencies
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod result;
+mod sweep;
+
+pub use machine::Machine;
+pub use result::{MachineDetail, SimResult};
+pub use sweep::{Sweep, SweepPoint, SweepResults};

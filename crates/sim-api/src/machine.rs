@@ -1,0 +1,153 @@
+//! The unified machine abstraction.
+
+use crate::result::SimResult;
+use dva_core::{ideal_bound, DvaConfig, DvaSim};
+use dva_isa::Program;
+use dva_ref::{RefParams, RefSim};
+
+/// One of the paper's machines, ready to simulate any [`Program`].
+///
+/// `Machine` unifies the three front doors of the workspace —
+/// [`RefSim`], [`DvaSim`] and [`ideal_bound`] — behind one
+/// [`simulate`](Machine::simulate) method returning one [`SimResult`]
+/// type, so experiment code can treat "which machine" as data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Machine {
+    /// The reference (coupled) vector architecture — a Convex C3400 model.
+    Ref(RefParams),
+    /// The decoupled vector architecture, with or without the bypass unit.
+    Dva(DvaConfig),
+    /// The IDEAL resource lower bound of Section 5 (latency independent).
+    Ideal,
+}
+
+impl Machine {
+    /// The reference machine at the given memory latency.
+    pub fn reference(latency: u64) -> Machine {
+        Machine::Ref(RefParams::with_latency(latency))
+    }
+
+    /// The paper's base DVA (256-slot AVDQ, 16-slot store queue, no
+    /// bypass) at the given memory latency.
+    pub fn dva(latency: u64) -> Machine {
+        Machine::Dva(DvaConfig::dva(latency))
+    }
+
+    /// A `BYP load/store` bypass configuration of Section 7.
+    pub fn byp(latency: u64, load_queue: usize, store_queue: usize) -> Machine {
+        Machine::Dva(DvaConfig::byp(latency, load_queue, store_queue))
+    }
+
+    /// The IDEAL lower bound.
+    pub fn ideal() -> Machine {
+        Machine::Ideal
+    }
+
+    /// This machine with its memory latency replaced (no-op for IDEAL,
+    /// which has no memory system). Used by sweeps to stamp one machine
+    /// template across a latency grid.
+    #[must_use]
+    pub fn with_latency(mut self, latency: u64) -> Machine {
+        match &mut self {
+            Machine::Ref(params) => params.memory.latency = latency,
+            Machine::Dva(config) => config.memory.latency = latency,
+            Machine::Ideal => {}
+        }
+        self
+    }
+
+    /// The configured memory latency, if the machine has a memory system.
+    pub fn latency(&self) -> Option<u64> {
+        match self {
+            Machine::Ref(params) => Some(params.memory.latency),
+            Machine::Dva(config) => Some(config.memory.latency),
+            Machine::Ideal => None,
+        }
+    }
+
+    /// A short display label: `REF`, `DVA`, `BYP 4/8` or `IDEAL`.
+    ///
+    /// The label deliberately omits the latency — sweeps use it as the
+    /// machine axis of the (machine, program, latency) grid. It is *not*
+    /// unique across every configuration: non-bypass DVA variants that
+    /// differ only in queue sizes or uarch knobs all label as `DVA`.
+    /// Sweeps over such variants should read their points positionally
+    /// (declaration order) rather than by label.
+    pub fn label(&self) -> String {
+        match self {
+            Machine::Ref(_) => "REF".to_string(),
+            Machine::Dva(config) if config.bypass => {
+                format!("BYP {}/{}", config.queues.avdq, config.queues.store_queue)
+            }
+            Machine::Dva(_) => "DVA".to_string(),
+            Machine::Ideal => "IDEAL".to_string(),
+        }
+    }
+
+    /// Runs `program` to completion on this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decoupled engine detects a deadlock (an internal
+    /// invariant violation — valid traces always complete).
+    pub fn simulate(&self, program: &Program) -> SimResult {
+        match self {
+            Machine::Ref(params) => RefSim::new(*params).run(program).into(),
+            Machine::Dva(config) => DvaSim::new(*config).run(program).into(),
+            Machine::Ideal => SimResult::from_ideal(ideal_bound(program), program),
+        }
+    }
+}
+
+impl From<RefParams> for Machine {
+    fn from(params: RefParams) -> Machine {
+        Machine::Ref(params)
+    }
+}
+
+impl From<DvaConfig> for Machine {
+    fn from(config: DvaConfig) -> Machine {
+        Machine::Dva(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dva_workloads::{Benchmark, Scale};
+
+    #[test]
+    fn labels_name_the_paper_configurations() {
+        assert_eq!(Machine::reference(30).label(), "REF");
+        assert_eq!(Machine::dva(30).label(), "DVA");
+        assert_eq!(Machine::byp(30, 4, 8).label(), "BYP 4/8");
+        assert_eq!(Machine::ideal().label(), "IDEAL");
+    }
+
+    #[test]
+    fn with_latency_restamps_the_memory_system() {
+        assert_eq!(Machine::reference(1).with_latency(70).latency(), Some(70));
+        assert_eq!(Machine::dva(1).with_latency(70).latency(), Some(70));
+        assert_eq!(Machine::ideal().with_latency(70).latency(), None);
+        // Everything else is preserved.
+        let byp = Machine::byp(1, 4, 8).with_latency(50);
+        assert_eq!(byp.label(), "BYP 4/8");
+    }
+
+    #[test]
+    fn simulate_agrees_with_the_native_front_doors() {
+        let program = Benchmark::Trfd.program(Scale::Quick);
+        let unified = Machine::reference(30).simulate(&program);
+        let native = RefSim::new(RefParams::with_latency(30)).run(&program);
+        assert_eq!(unified.cycles, native.cycles);
+        assert_eq!(unified.insts, native.insts);
+
+        let unified = Machine::dva(30).simulate(&program);
+        let native = DvaSim::new(DvaConfig::dva(30)).run(&program);
+        assert_eq!(unified.cycles, native.cycles);
+        assert_eq!(unified.traffic, native.traffic);
+
+        let unified = Machine::ideal().simulate(&program);
+        assert_eq!(unified.cycles, ideal_bound(&program).cycles());
+    }
+}

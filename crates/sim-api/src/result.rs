@@ -1,0 +1,210 @@
+//! The unified simulation result.
+
+use dva_core::{DvaResult, IdealBound};
+use dva_isa::{Cycle, Program};
+use dva_metrics::{Histogram, StateTracker, Traffic};
+use dva_ref::RefResult;
+
+/// Measurements every machine reports, plus machine-specific detail.
+///
+/// The common fields unify [`RefResult`] and [`DvaResult`]; quantities
+/// that only one machine produces (the AVDQ histogram, bypass counters,
+/// the IDEAL resource split) live behind [`MachineDetail`] and the typed
+/// accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Total execution time in cycles (for IDEAL: the lower bound).
+    pub cycles: Cycle,
+    /// Architectural instructions executed (for IDEAL: trace length).
+    pub insts: u64,
+    /// Per-cycle occupancy of the (FU2, FU1, LD) state tuple. Empty for
+    /// IDEAL, which models resources without a timeline.
+    pub states: StateTracker,
+    /// Memory traffic counters. Zero for IDEAL.
+    pub traffic: Traffic,
+    /// Address bus utilization over the run (0..=1; 0 for IDEAL).
+    pub bus_utilization: f64,
+    /// Scalar cache hit rate (0..=1; 0 for IDEAL).
+    pub cache_hit_rate: f64,
+    /// Front-end stall cycles: dispatch stalls on REF, fetch-processor
+    /// stalls on the DVA, zero for IDEAL.
+    pub stall_cycles: u64,
+    /// Whatever only this machine measures.
+    pub detail: MachineDetail,
+}
+
+/// Machine-specific measurements carried inside a [`SimResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineDetail {
+    /// The reference machine reports nothing beyond the common fields.
+    Reference,
+    /// Decoupled-machine extras (queues, bypass, drain stalls).
+    Decoupled {
+        /// Busy-slot histogram of the vector load data queue (Figure 6).
+        avdq_occupancy: Histogram,
+        /// Vector loads fully satisfied by the VADQ→AVDQ bypass.
+        bypassed_loads: u64,
+        /// Cycles the address processor spent draining stores to resolve
+        /// memory hazards.
+        drain_stall_cycles: u64,
+        /// Highest VPIQ occupancy observed.
+        max_vpiq: usize,
+        /// Highest APIQ occupancy observed.
+        max_apiq: usize,
+        /// Highest AVDQ busy-slot count observed.
+        max_avdq: usize,
+    },
+    /// The IDEAL bound's per-resource operation totals.
+    Ideal(IdealBound),
+}
+
+impl SimResult {
+    /// Cycles spent in the all-idle `( , , )` state.
+    pub fn idle_cycles(&self) -> Cycle {
+        self.states.idle_cycles()
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this result over `baseline` (baseline cycles / ours).
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        dva_metrics::speedup(baseline.cycles, self.cycles)
+    }
+
+    /// The AVDQ busy-slot histogram, if this machine has the queue.
+    pub fn avdq_occupancy(&self) -> Option<&Histogram> {
+        match &self.detail {
+            MachineDetail::Decoupled { avdq_occupancy, .. } => Some(avdq_occupancy),
+            _ => None,
+        }
+    }
+
+    /// Vector loads served by the bypass unit (zero on machines without
+    /// one).
+    pub fn bypassed_loads(&self) -> u64 {
+        match &self.detail {
+            MachineDetail::Decoupled { bypassed_loads, .. } => *bypassed_loads,
+            _ => 0,
+        }
+    }
+
+    /// Cycles the address processor spent draining stores (zero on other
+    /// machines).
+    pub fn drain_stall_cycles(&self) -> u64 {
+        match &self.detail {
+            MachineDetail::Decoupled {
+                drain_stall_cycles, ..
+            } => *drain_stall_cycles,
+            _ => 0,
+        }
+    }
+
+    /// Highest AVDQ busy-slot count observed, if the machine has the
+    /// queue.
+    pub fn max_avdq(&self) -> Option<usize> {
+        match &self.detail {
+            MachineDetail::Decoupled { max_avdq, .. } => Some(*max_avdq),
+            _ => None,
+        }
+    }
+
+    /// The IDEAL per-resource totals, if this result is the bound.
+    pub fn ideal_bound(&self) -> Option<&IdealBound> {
+        match &self.detail {
+            MachineDetail::Ideal(bound) => Some(bound),
+            _ => None,
+        }
+    }
+
+    /// Builds the IDEAL pseudo-result for `program`.
+    pub(crate) fn from_ideal(bound: IdealBound, program: &Program) -> SimResult {
+        SimResult {
+            cycles: bound.cycles(),
+            insts: program.len() as u64,
+            states: StateTracker::new(),
+            traffic: Traffic::default(),
+            bus_utilization: 0.0,
+            cache_hit_rate: 0.0,
+            stall_cycles: 0,
+            detail: MachineDetail::Ideal(bound),
+        }
+    }
+}
+
+impl From<RefResult> for SimResult {
+    fn from(r: RefResult) -> SimResult {
+        SimResult {
+            cycles: r.cycles,
+            insts: r.insts,
+            states: r.states,
+            traffic: r.traffic,
+            bus_utilization: r.bus_utilization,
+            cache_hit_rate: r.cache_hit_rate,
+            stall_cycles: r.dispatch_stalls,
+            detail: MachineDetail::Reference,
+        }
+    }
+}
+
+impl From<DvaResult> for SimResult {
+    fn from(d: DvaResult) -> SimResult {
+        SimResult {
+            cycles: d.cycles,
+            insts: d.insts,
+            states: d.states,
+            traffic: d.traffic,
+            bus_utilization: d.bus_utilization,
+            cache_hit_rate: d.cache_hit_rate,
+            stall_cycles: d.fp_stalls,
+            detail: MachineDetail::Decoupled {
+                avdq_occupancy: d.avdq_occupancy,
+                bypassed_loads: d.bypassed_loads,
+                drain_stall_cycles: d.drain_stall_cycles,
+                max_vpiq: d.max_vpiq,
+                max_apiq: d.max_apiq,
+                max_avdq: d.max_avdq,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Machine;
+    use dva_workloads::{Benchmark, Scale};
+
+    #[test]
+    fn detail_accessors_match_machine_kind() {
+        let program = Benchmark::Dyfesm.program(Scale::Quick);
+        let r = Machine::reference(1).simulate(&program);
+        assert!(r.avdq_occupancy().is_none());
+        assert_eq!(r.bypassed_loads(), 0);
+        assert!(r.ideal_bound().is_none());
+
+        let d = Machine::byp(1, 256, 16).simulate(&program);
+        assert!(d.avdq_occupancy().is_some());
+        assert!(d.max_avdq().is_some());
+
+        let i = Machine::ideal().simulate(&program);
+        assert!(i.ideal_bound().is_some());
+        assert_eq!(i.idle_cycles(), 0);
+        assert_eq!(i.cycles, i.ideal_bound().unwrap().cycles());
+    }
+
+    #[test]
+    fn common_fields_survive_the_conversion() {
+        let program = Benchmark::Trfd.program(Scale::Quick);
+        let d = Machine::dva(30).simulate(&program);
+        assert_eq!(d.states.total_cycles(), d.cycles);
+        assert!(d.ipc() > 0.0);
+        let r = Machine::reference(30).simulate(&program);
+        assert!(r.speedup_over(&d) <= 1.0 + 1e-9 || r.cycles >= d.cycles);
+    }
+}

@@ -1,0 +1,380 @@
+//! Parallel sweep sessions over machines × programs × latencies.
+
+use crate::{Machine, SimResult};
+use dva_isa::Program;
+use dva_workloads::{Benchmark, Scale};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A sweep session: the cross-product of machines, programs and memory
+/// latencies, executed by a pool of OS threads.
+///
+/// Results come back as typed [`SweepPoint`]s in a deterministic order
+/// (program-major, then latency, then machine) that is **independent of
+/// the thread count** — a parallel run is byte-identical to a sequential
+/// one.
+///
+/// ```
+/// use dva_sim_api::{Machine, Sweep};
+/// use dva_workloads::{Benchmark, Scale};
+///
+/// let results = Sweep::new()
+///     .machines([Machine::reference(1), Machine::dva(1), Machine::ideal()])
+///     .benchmarks([Benchmark::Trfd, Benchmark::Dyfesm])
+///     .latencies([1, 100])
+///     .scale(Scale::Quick)
+///     .run();
+/// assert_eq!(results.points.len(), 3 * 2 * 2);
+/// let speedup = results.cycles("REF", Benchmark::Trfd, 100).unwrap() as f64
+///     / results.cycles("DVA", Benchmark::Trfd, 100).unwrap() as f64;
+/// assert!(speedup > 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    machines: Vec<Machine>,
+    benchmarks: Vec<Benchmark>,
+    programs: Vec<Arc<Program>>,
+    latencies: Vec<u64>,
+    scale: Scale,
+    threads: usize,
+}
+
+/// One measurement of one machine on one program at one latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The machine that ran, already stamped with [`SweepPoint::latency`].
+    pub machine: Machine,
+    /// The machine's display label (`REF`, `DVA`, `BYP 4/8`, `IDEAL`).
+    pub label: String,
+    /// The benchmark, when the program came from the benchmark suite.
+    pub benchmark: Option<Benchmark>,
+    /// The program's name (benchmark name or custom program name).
+    pub program: String,
+    /// Memory latency this point ran at.
+    pub latency: u64,
+    /// The unified measurement.
+    pub result: SimResult,
+}
+
+impl SweepPoint {
+    /// Speedup of this point over `baseline` (baseline cycles / ours).
+    pub fn speedup_over(&self, baseline: &SweepPoint) -> f64 {
+        self.result.speedup_over(&baseline.result)
+    }
+}
+
+/// All points of a completed [`Sweep`], in deterministic order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResults {
+    /// Program-major, then latency, then machine — the order the grid was
+    /// declared in, regardless of thread count.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// An empty session; add machines, programs and latencies, then
+    /// [`run`](Sweep::run).
+    pub fn new() -> Sweep {
+        Sweep::default()
+    }
+
+    /// Adds machines to the sweep.
+    #[must_use]
+    pub fn machines(mut self, machines: impl IntoIterator<Item = Machine>) -> Sweep {
+        self.machines.extend(machines);
+        self
+    }
+
+    /// Adds one machine to the sweep.
+    #[must_use]
+    pub fn machine(mut self, machine: Machine) -> Sweep {
+        self.machines.push(machine);
+        self
+    }
+
+    /// Adds benchmark programs (generated at the session's
+    /// [`scale`](Sweep::scale) when the sweep runs).
+    #[must_use]
+    pub fn benchmarks(mut self, benchmarks: impl IntoIterator<Item = Benchmark>) -> Sweep {
+        self.benchmarks.extend(benchmarks);
+        self
+    }
+
+    /// Adds one benchmark program.
+    #[must_use]
+    pub fn benchmark(mut self, benchmark: Benchmark) -> Sweep {
+        self.benchmarks.push(benchmark);
+        self
+    }
+
+    /// Adds a custom (non-benchmark) program; its [`Program::name`] labels
+    /// the points.
+    #[must_use]
+    pub fn program(mut self, program: Program) -> Sweep {
+        self.programs.push(Arc::new(program));
+        self
+    }
+
+    /// Sets the memory latency grid. When the grid is empty (the default)
+    /// each machine runs once at its own configured latency.
+    #[must_use]
+    pub fn latencies(mut self, latencies: impl IntoIterator<Item = u64>) -> Sweep {
+        self.latencies.extend(latencies);
+        self
+    }
+
+    /// Sets the trace scale benchmarks are generated at.
+    #[must_use]
+    pub fn scale(mut self, scale: Scale) -> Sweep {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the worker thread count; `0` (the default) uses the machine's
+    /// available parallelism. `1` forces a sequential run.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Sweep {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of points the session will measure.
+    pub fn len(&self) -> usize {
+        let programs = self.benchmarks.len() + self.programs.len();
+        let latencies = self.latencies.len().max(1);
+        self.machines.len() * programs * latencies
+    }
+
+    /// Whether the session has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs every point of the session, fanning out across worker
+    /// threads, and returns the points in deterministic grid order.
+    pub fn run(&self) -> SweepResults {
+        // Resolve the program axis once; simulations share the traces.
+        let mut targets: Vec<(Option<Benchmark>, Arc<Program>)> = Vec::new();
+        for &benchmark in &self.benchmarks {
+            targets.push((Some(benchmark), Arc::new(benchmark.program(self.scale))));
+        }
+        for program in &self.programs {
+            targets.push((None, Arc::clone(program)));
+        }
+
+        // The job grid, in the order the points are returned. An empty
+        // latency grid means "each machine at its own latency".
+        let mut jobs: Vec<(Option<Benchmark>, Arc<Program>, Machine, u64)> = Vec::new();
+        for (benchmark, program) in &targets {
+            if self.latencies.is_empty() {
+                for &machine in &self.machines {
+                    let latency = machine.latency().unwrap_or(0);
+                    jobs.push((*benchmark, Arc::clone(program), machine, latency));
+                }
+            } else {
+                for &latency in &self.latencies {
+                    for &machine in &self.machines {
+                        jobs.push((
+                            *benchmark,
+                            Arc::clone(program),
+                            machine.with_latency(latency),
+                            latency,
+                        ));
+                    }
+                }
+            }
+        }
+
+        let workers = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+        .clamp(1, jobs.len().max(1));
+
+        let run_job = |(benchmark, program, machine, latency): &(
+            Option<Benchmark>,
+            Arc<Program>,
+            Machine,
+            u64,
+        )| SweepPoint {
+            machine: *machine,
+            label: machine.label(),
+            benchmark: *benchmark,
+            program: program.name().to_string(),
+            latency: *latency,
+            result: machine.simulate(program),
+        };
+
+        if workers <= 1 {
+            return SweepResults {
+                points: jobs.iter().map(run_job).collect(),
+            };
+        }
+
+        // Work-stealing by atomic index: each worker claims the next
+        // unclaimed job, keeps (index, point) pairs locally, and the
+        // merge re-establishes grid order — identical to the sequential
+        // path byte for byte.
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, SweepPoint)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(idx) else { break };
+                            local.push((idx, run_job(job)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(idx, _)| *idx);
+        SweepResults {
+            points: indexed.into_iter().map(|(_, point)| point).collect(),
+        }
+    }
+}
+
+impl SweepResults {
+    /// The points of one benchmark, in latency-then-machine order.
+    pub fn of(&self, benchmark: Benchmark) -> impl Iterator<Item = &SweepPoint> {
+        self.points
+            .iter()
+            .filter(move |p| p.benchmark == Some(benchmark))
+    }
+
+    /// The points of one machine label, in program-then-latency order.
+    pub fn of_machine<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a SweepPoint> {
+        self.points.iter().filter(move |p| p.label == label)
+    }
+
+    /// Looks up one grid point by machine label, benchmark and latency.
+    ///
+    /// When a sweep declares several machines with the same label (e.g.
+    /// base-DVA variants differing only in queue sizes), this returns the
+    /// first match in declaration order — iterate [`of`](Self::of)
+    /// positionally instead. For custom programs added via
+    /// [`Sweep::program`], use [`named`](Self::named).
+    pub fn get(&self, label: &str, benchmark: Benchmark, latency: u64) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .find(|p| p.label == label && p.benchmark == Some(benchmark) && p.latency == latency)
+    }
+
+    /// Looks up one grid point by machine label, program name and
+    /// latency. Works for benchmark programs (named after the benchmark)
+    /// and custom programs alike.
+    pub fn named(&self, label: &str, program: &str, latency: u64) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .find(|p| p.label == label && p.program == program && p.latency == latency)
+    }
+
+    /// Cycle count of one grid point (same lookup rules as
+    /// [`get`](Self::get)).
+    pub fn cycles(&self, label: &str, benchmark: Benchmark, latency: u64) -> Option<u64> {
+        self.get(label, benchmark, latency).map(|p| p.result.cycles)
+    }
+
+    /// The distinct latencies measured, in first-seen order.
+    pub fn latencies(&self) -> Vec<u64> {
+        let mut seen = Vec::new();
+        for p in &self.points {
+            if !seen.contains(&p.latency) {
+                seen.push(p.latency);
+            }
+        }
+        seen
+    }
+
+    /// The distinct machine labels measured, in first-seen order.
+    pub fn labels(&self) -> Vec<String> {
+        let mut seen: Vec<String> = Vec::new();
+        for p in &self.points {
+            if !seen.iter().any(|l| l == &p.label) {
+                seen.push(p.label.clone());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep(threads: usize) -> SweepResults {
+        Sweep::new()
+            .machines([Machine::reference(1), Machine::dva(1), Machine::ideal()])
+            .benchmarks([Benchmark::Trfd, Benchmark::Dyfesm])
+            .latencies([1, 30])
+            .scale(Scale::Quick)
+            .threads(threads)
+            .run()
+    }
+
+    #[test]
+    fn grid_is_complete_and_ordered() {
+        let results = small_sweep(1);
+        assert_eq!(results.points.len(), 3 * 2 * 2);
+        assert_eq!(results.latencies(), vec![1, 30]);
+        assert_eq!(results.labels(), vec!["REF", "DVA", "IDEAL"]);
+        // Program-major order: all TRFD points precede all DYFESM points.
+        let first_dyfesm = results
+            .points
+            .iter()
+            .position(|p| p.benchmark == Some(Benchmark::Dyfesm))
+            .unwrap();
+        assert!(results.points[..first_dyfesm]
+            .iter()
+            .all(|p| p.benchmark == Some(Benchmark::Trfd)));
+        assert_eq!(results.of(Benchmark::Trfd).count(), 6);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_run() {
+        let sequential = small_sweep(1);
+        let parallel = small_sweep(4);
+        assert_eq!(sequential, parallel);
+        assert_eq!(
+            format!("{sequential:?}"),
+            format!("{parallel:?}"),
+            "parallel sweep must be byte-identical to sequential"
+        );
+    }
+
+    #[test]
+    fn empty_latency_grid_uses_each_machines_own_latency() {
+        let results = Sweep::new()
+            .machines([Machine::reference(42), Machine::ideal()])
+            .benchmark(Benchmark::Trfd)
+            .scale(Scale::Quick)
+            .run();
+        assert_eq!(results.points.len(), 2);
+        assert_eq!(results.points[0].latency, 42);
+        assert_eq!(results.points[1].latency, 0); // IDEAL has no memory
+    }
+
+    #[test]
+    fn custom_programs_ride_alongside_benchmarks() {
+        let program = Benchmark::Trfd.program(Scale::Quick);
+        let custom = Program::from_insts("custom", program.insts().to_vec());
+        let results = Sweep::new()
+            .machine(Machine::dva(1))
+            .program(custom)
+            .latencies([1])
+            .run();
+        assert_eq!(results.points.len(), 1);
+        assert_eq!(results.points[0].program, "custom");
+        assert_eq!(results.points[0].benchmark, None);
+    }
+}

@@ -52,9 +52,7 @@ impl Scoreboard {
     /// Whether every register in `regs` (ignoring `None`s) is available at
     /// `now`.
     pub fn all_ready(&self, regs: &[Option<ScalarReg>], now: Cycle) -> bool {
-        regs.iter()
-            .flatten()
-            .all(|&reg| self.is_ready(reg, now))
+        regs.iter().flatten().all(|&reg| self.is_ready(reg, now))
     }
 
     /// The latest ready time among `regs`, i.e. when an instruction reading

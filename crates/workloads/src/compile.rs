@@ -133,9 +133,13 @@ impl ProgramSpec {
                     Phase::Loop(spec) => {
                         compile_loop(&mut builder, &mut alloc, &mut scalar_pool, spec, &mut rng)
                     }
-                    Phase::Scalar(sec) => {
-                        emit_scalar_section(&mut builder, &mut alloc, &mut scalar_pool, sec, &mut rng)
-                    }
+                    Phase::Scalar(sec) => emit_scalar_section(
+                        &mut builder,
+                        &mut alloc,
+                        &mut scalar_pool,
+                        sec,
+                        &mut rng,
+                    ),
                 }
             }
         }
@@ -358,7 +362,7 @@ impl<'a> StripAlloc<'a> {
                 continue;
             }
             let nu = self.next_use_after(*v, pos).unwrap_or(usize::MAX);
-            if victim.map_or(true, |(_, _, best)| nu > best) {
+            if victim.is_none_or(|(_, _, best)| nu > best) {
                 victim = Some((reg, *v, nu));
             }
         }
@@ -418,7 +422,13 @@ impl<'a> StripAlloc<'a> {
         }
     }
 
-    fn access(&self, alloc: &mut ArrayAllocator, array: &str, stride: i64, advance: Advance) -> VectorAccess {
+    fn access(
+        &self,
+        alloc: &mut ArrayAllocator,
+        array: &str,
+        stride: i64,
+        advance: Advance,
+    ) -> VectorAccess {
         let base = alloc.array_base(array);
         let offset = match advance {
             Advance::Sequential => {
@@ -676,8 +686,8 @@ fn compile_loop_depth2(
     let emit_loads = |builder: &mut ProgramBuilder, alloc: &mut ArrayAllocator, s: u32| {
         let group = LOAD_GROUPS[(s as usize) % 3];
         for (i, (array, stride)) in arrays.iter().enumerate() {
-            let base = alloc.array_base(array)
-                + u64::from(s) * vl.cycles() * stride.unsigned_abs() * 8;
+            let base =
+                alloc.array_base(array) + u64::from(s) * vl.cycles() * stride.unsigned_abs() * 8;
             builder.push(Inst::VLoad {
                 dst: group[i],
                 access: VectorAccess::new(base, Stride::new(*stride), vl),
@@ -714,8 +724,7 @@ fn compile_loop_depth2(
             vl,
         });
         let (array, stride) = &store_array;
-        let base =
-            alloc.array_base(array) + u64::from(s) * vl.cycles() * stride.unsigned_abs() * 8;
+        let base = alloc.array_base(array) + u64::from(s) * vl.cycles() * stride.unsigned_abs() * 8;
         builder.push(Inst::VStore {
             src: result,
             access: VectorAccess::new(base, Stride::new(*stride), vl),
@@ -767,7 +776,7 @@ fn compile_loop(
 
     if pipelined {
         let pool_for = |s: u32| -> &[VectorReg] {
-            if s % 2 == 0 {
+            if s.is_multiple_of(2) {
                 &HALF_A
             } else {
                 &HALF_B

@@ -391,9 +391,15 @@ impl Kernel {
 
     /// Whether the kernel contains a recurrent reduction.
     pub fn has_recurrence(&self) -> bool {
-        self.stmts
-            .iter()
-            .any(|s| matches!(s, KStmt::Reduce { recurrent: true, .. }))
+        self.stmts.iter().any(|s| {
+            matches!(
+                s,
+                KStmt::Reduce {
+                    recurrent: true,
+                    ..
+                }
+            )
+        })
     }
 
     /// Maximum number of simultaneously live virtual values, assuming

@@ -21,11 +21,12 @@ use crate::kernel::Kernel;
 use dva_isa::{Program, ReduceOp, VectorOp};
 
 /// Trace volume knob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
     /// Very small traces for unit tests and Criterion benches.
     Quick,
     /// The default experiment size (tens of thousands of instructions).
+    #[default]
     Default,
     /// Four times the default, for smoother statistics.
     Full,
@@ -147,18 +148,18 @@ impl Benchmark {
             Benchmark::Dyfesm => PaperRow {
                 basic_blocks: 34.5,
                 scalar_insts: 236.1,
-                vector_insts: 50.9,   // estimated
-                vector_ops: 1731.4,   // estimated
-                vectorization: 88.0,  // estimated
-                avg_vl: 34.0,         // estimated
+                vector_insts: 50.9,  // estimated
+                vector_ops: 1731.4,  // estimated
+                vectorization: 88.0, // estimated
+                avg_vl: 34.0,        // estimated
             },
             Benchmark::Spec77 => PaperRow {
                 basic_blocks: 166.2,
                 scalar_insts: 1147.8,
-                vector_insts: 158.3,  // estimated
-                vector_ops: 4591.2,   // estimated
-                vectorization: 80.0,  // estimated
-                avg_vl: 29.0,         // estimated
+                vector_insts: 158.3, // estimated
+                vector_ops: 4591.2,  // estimated
+                vectorization: 80.0, // estimated
+                avg_vl: 29.0,        // estimated
             },
         }
     }
@@ -268,9 +269,7 @@ fn k_compute_bound(tag: &str) -> Kernel {
 /// the same-iteration store→reload pairs the bypass mechanism feeds on.
 fn k_fat(tag: &str, loads: usize) -> Kernel {
     let mut k = Kernel::new(format!("fat{loads}_{tag}"));
-    let ls: Vec<_> = (0..loads)
-        .map(|i| k.load(format!("{tag}_l{i}")))
-        .collect();
+    let ls: Vec<_> = (0..loads).map(|i| k.load(format!("{tag}_l{i}"))).collect();
     // First phase: scale every input (keeps all inputs live — they are
     // re-read in the reversed second phase).
     let ms: Vec<_> = ls.iter().map(|&l| k.mul_scalar(l)).collect();

@@ -1,5 +1,5 @@
-use dva_workloads::{Benchmark, Scale};
 use dva_workloads::stats::spill_fraction;
+use dva_workloads::{Benchmark, Scale};
 
 #[test]
 fn calibration_dump() {
@@ -11,7 +11,7 @@ fn calibration_dump() {
             "{:8} insts={:7} bbs={:6} S={:7} V={:6} vops={:9} vect={:5.1} (paper {:5.1}) VL={:5.1} (paper {:5.1}) spill={:.3} (paper {:?}) S:V={:.2} (paper {:.2})",
             b.name(), p.len(), p.basic_blocks(), s.scalar_insts, s.vector_insts, s.vector_ops,
             s.vectorization(), t.vectorization, s.avg_vector_length(), t.avg_vl,
-            spill_fraction(&p), b.paper_spill_fraction(), 
+            spill_fraction(&p), b.paper_spill_fraction(),
             s.scalar_insts as f64 / s.vector_insts as f64,
             t.scalar_insts / t.vector_insts,
         );

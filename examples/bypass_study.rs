@@ -6,7 +6,7 @@
 //! cargo run --release -p dva-examples --bin bypass_study
 //! ```
 
-use dva_core::{DvaConfig, DvaSim};
+use dva_sim_api::{Machine, Sweep};
 use dva_workloads::{Kernel, LoopSpec, Phase, ProgramSpec, StripOverhead};
 
 fn main() {
@@ -44,19 +44,32 @@ fn main() {
         100.0 * spill
     );
 
+    // One sweep session: custom program × {DVA, BYP 4/8} × three
+    // latencies, fanned out over worker threads.
+    let results = Sweep::new()
+        .machines([Machine::dva(1), Machine::byp(1, 4, 8)])
+        .program(program)
+        .latencies([1, 30, 100])
+        .run();
+
     println!(
         "{:>4} {:>12} {:>12} {:>7} {:>10} {:>12}",
         "L", "DVA", "BYP 4/8", "gain", "bypassed", "traffic cut"
     );
-    for latency in [1u64, 30, 100] {
-        let dva = DvaSim::new(DvaConfig::dva(latency)).run(&program);
-        let byp = DvaSim::new(DvaConfig::byp(latency, 4, 8)).run(&program);
+    for latency in results.latencies() {
+        let by_label = |label: &str| {
+            &results
+                .named(label, "bypass-study", latency)
+                .expect("grid point")
+                .result
+        };
+        let (dva, byp) = (by_label("DVA"), by_label("BYP 4/8"));
         println!(
             "{latency:>4} {:>12} {:>12} {:>6.1}% {:>10} {:>11.1}%",
             dva.cycles,
             byp.cycles,
             100.0 * (dva.cycles as f64 / byp.cycles as f64 - 1.0),
-            byp.bypassed_loads,
+            byp.bypassed_loads(),
             100.0 * (1.0 - byp.traffic.ratio_to(&dva.traffic)),
         );
     }

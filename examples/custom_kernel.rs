@@ -6,9 +6,8 @@
 //! cargo run --release -p dva-examples --bin custom_kernel
 //! ```
 
-use dva_core::{DvaConfig, DvaSim};
 use dva_isa::ReduceOp;
-use dva_ref::{RefParams, RefSim};
+use dva_sim_api::Machine;
 use dva_workloads::{Kernel, LoopSpec, Phase, ProgramSpec, StripOverhead};
 
 /// Builds a one-loop program around `kernel`.
@@ -51,8 +50,8 @@ fn main() {
     for kernel in [stream, lockstep] {
         let name = kernel.name().to_string();
         let program = one_loop(kernel, 64, 64);
-        let r = RefSim::new(RefParams::with_latency(latency)).run(&program);
-        let d = DvaSim::new(DvaConfig::dva(latency)).run(&program);
+        let r = Machine::reference(latency).simulate(&program);
+        let d = Machine::dva(latency).simulate(&program);
         dva_examples::print_comparison(&name, &r, &d);
     }
     println!("\nThe streaming loop decouples: the address processor runs ahead");

@@ -1,12 +1,12 @@
 //! The paper's central experiment on one program: execution time and
-//! speedup as memory latency grows from 1 to 100 cycles.
+//! speedup as memory latency grows from 1 to 100 cycles — one parallel
+//! [`Sweep`] session.
 //!
 //! ```text
 //! cargo run --release -p dva-examples --bin latency_sweep [PROGRAM]
 //! ```
 
-use dva_core::{ideal_bound, DvaConfig, DvaSim};
-use dva_ref::{RefParams, RefSim};
+use dva_sim_api::{Machine, Sweep};
 use dva_workloads::{Benchmark, Scale};
 
 fn main() {
@@ -14,22 +14,30 @@ fn main() {
         .nth(1)
         .and_then(|name| Benchmark::from_name(&name))
         .unwrap_or(Benchmark::Spec77);
-    let program = which.program(Scale::Default);
-    let ideal = ideal_bound(&program).cycles();
 
+    let results = Sweep::new()
+        .machines([Machine::reference(1), Machine::dva(1), Machine::ideal()])
+        .benchmark(which)
+        .latencies([1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100])
+        .scale(Scale::Default)
+        .run();
+
+    let ideal = results
+        .cycles("IDEAL", which, 1)
+        .expect("IDEAL in the sweep");
     println!("{}: IDEAL bound {ideal} cycles", which.name());
     println!(
         "{:>4} {:>10} {:>10} {:>8} {:>10}",
         "L", "REF", "DVA", "speedup", "REF idle%"
     );
-    for latency in [1u64, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
-        let r = RefSim::new(RefParams::with_latency(latency)).run(&program);
-        let d = DvaSim::new(DvaConfig::dva(latency)).run(&program);
+    for latency in results.latencies() {
+        let r = &results.get("REF", which, latency).expect("grid").result;
+        let d = &results.get("DVA", which, latency).expect("grid").result;
         println!(
             "{latency:>4} {:>10} {:>10} {:>7.2}x {:>9.1}%",
             r.cycles,
             d.cycles,
-            r.cycles as f64 / d.cycles as f64,
+            d.speedup_over(r),
             100.0 * r.idle_cycles() as f64 / r.cycles as f64,
         );
     }

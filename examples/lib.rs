@@ -1,9 +1,10 @@
 //! Shared helpers for the runnable examples.
 //!
 //! The binaries in this package exercise the public API of the DVA
-//! reproduction end to end:
+//! reproduction end to end — all of them through the unified
+//! [`dva_sim_api::Machine`] / [`dva_sim_api::Sweep`] front door:
 //!
-//! * `quickstart` — build a workload, run both machines, print a summary;
+//! * `quickstart` — build a workload, run every machine, print a summary;
 //! * `latency_sweep` — the paper's central experiment on one program;
 //! * `custom_kernel` — define your own loop kernel and watch the effect
 //!   of decoupling on it;
@@ -14,16 +15,15 @@
 
 #![forbid(unsafe_code)]
 
-use dva_core::DvaResult;
-use dva_ref::RefResult;
+use dva_sim_api::SimResult;
 
 /// Prints a compact one-line comparison of the two machines.
-pub fn print_comparison(label: &str, reference: &RefResult, dva: &DvaResult) {
+pub fn print_comparison(label: &str, reference: &SimResult, dva: &SimResult) {
     println!(
         "{label:>10}: REF {:>9} cycles | DVA {:>9} cycles | speedup {:.2}x | bus {:.0}%/{:.0}%",
         reference.cycles,
         dva.cycles,
-        reference.cycles as f64 / dva.cycles as f64,
+        dva.speedup_over(reference),
         100.0 * reference.bus_utilization,
         100.0 * dva.bus_utilization,
     );

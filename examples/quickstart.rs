@@ -1,11 +1,10 @@
-//! Quickstart: simulate one Perfect Club model on both architectures.
+//! Quickstart: simulate one Perfect Club model on every machine.
 //!
 //! ```text
 //! cargo run --release -p dva-examples --bin quickstart
 //! ```
 
-use dva_core::{ideal_bound, DvaConfig, DvaSim};
-use dva_ref::{RefParams, RefSim};
+use dva_sim_api::Machine;
 use dva_workloads::{Benchmark, Scale};
 
 fn main() {
@@ -15,20 +14,20 @@ fn main() {
     let summary = program.summary();
     println!("workload: {summary}");
 
-    // 2. Pick a memory latency and run the reference (coupled) machine.
+    // 2. Pick a memory latency; every machine is just a value now.
     let latency = 50;
-    let reference = RefSim::new(RefParams::with_latency(latency)).run(&program);
+    let reference = Machine::reference(latency).simulate(&program);
+    let dva = Machine::dva(latency).simulate(&program);
+    let ideal = Machine::ideal().simulate(&program);
 
-    // 3. Run the decoupled machine on the same trace.
-    let dva = DvaSim::new(DvaConfig::dva(latency)).run(&program);
-
-    // 4. Compare against each other and against the IDEAL resource bound.
-    let ideal = ideal_bound(&program);
+    // 3. Compare the machines against each other and against the IDEAL
+    //    resource bound.
+    let bound = ideal.ideal_bound().expect("IDEAL carries its bound");
     println!("memory latency: {latency} cycles");
     println!(
         "IDEAL bound: {} cycles (bottleneck: {})",
-        ideal.cycles(),
-        ideal.bottleneck()
+        ideal.cycles,
+        bound.bottleneck()
     );
     dva_examples::print_comparison("TRFD", &reference, &dva);
     println!(

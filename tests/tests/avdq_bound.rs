@@ -32,12 +32,7 @@ fn occupancy_rises_with_latency() {
     // The paper reads Figure 6 as: the longer the memory latency, the
     // more outstanding slots the queue holds.
     let p = Benchmark::Arc2d.program(Scale::Quick);
-    let mean = |l: u64| {
-        DvaSim::new(DvaConfig::dva(l))
-            .run(&p)
-            .avdq_occupancy
-            .mean()
-    };
+    let mean = |l: u64| DvaSim::new(DvaConfig::dva(l)).run(&p).avdq_occupancy.mean();
     assert!(mean(100) > mean(1));
 }
 

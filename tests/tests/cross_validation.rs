@@ -15,17 +15,20 @@ fn machines_agree_on_memory_traffic() {
         let r = RefSim::new(RefParams::with_latency(30)).run(&p);
         let d = DvaSim::new(DvaConfig::dva(30)).run(&p);
         assert_eq!(
-            r.traffic.vector_load_elems, d.traffic.vector_load_elems,
+            r.traffic.vector_load_elems,
+            d.traffic.vector_load_elems,
             "{}: vector load traffic differs",
             b.name()
         );
         assert_eq!(
-            r.traffic.vector_store_elems, d.traffic.vector_store_elems,
+            r.traffic.vector_store_elems,
+            d.traffic.vector_store_elems,
             "{}: vector store traffic differs",
             b.name()
         );
         assert_eq!(
-            r.traffic.scalar_store_words, d.traffic.scalar_store_words,
+            r.traffic.scalar_store_words,
+            d.traffic.scalar_store_words,
             "{}: scalar store traffic differs",
             b.name()
         );

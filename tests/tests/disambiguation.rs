@@ -3,7 +3,7 @@
 //! gathers/scatters conflict with everything.
 
 use dva_core::{DvaConfig, DvaSim};
-use dva_isa::{Inst, Program, Stride, VectorAccess, VectorLength, VectorReg, VOperand, VectorOp};
+use dva_isa::{Inst, Program, Stride, VOperand, VectorAccess, VectorLength, VectorOp, VectorReg};
 
 fn vl(n: u32) -> VectorLength {
     VectorLength::new(n).unwrap()

@@ -12,12 +12,12 @@ use proptest::prelude::*;
 /// values, optional reduction, stores.
 fn arb_kernel() -> impl Strategy<Value = Kernel> {
     (
-        1usize..=6,            // loads
-        0usize..=8,            // compute ops
-        1usize..=2,            // stores
-        any::<bool>(),         // scalar operand flavor
-        any::<bool>(),         // include a reduction
-        any::<u64>(),          // mixing seed
+        1usize..=6,    // loads
+        0usize..=8,    // compute ops
+        1usize..=2,    // stores
+        any::<bool>(), // scalar operand flavor
+        any::<bool>(), // include a reduction
+        any::<u64>(),  // mixing seed
     )
         .prop_map(|(loads, computes, stores, use_scalar, reduce, seed)| {
             let mut k = Kernel::new(format!("prop{seed:x}"));
@@ -52,10 +52,10 @@ fn arb_kernel() -> impl Strategy<Value = Kernel> {
 fn arb_program() -> impl Strategy<Value = dva_isa::Program> {
     (
         arb_kernel(),
-        1u32..=5,     // strips
-        1u32..=128,   // vl
+        1u32..=5,   // strips
+        1u32..=128, // vl
         any::<bool>(),
-        0u32..=40,    // scalar section
+        0u32..=40, // scalar section
         any::<u64>(),
     )
         .prop_map(|(kernel, strips, vl, pipeline, scalar, seed)| {
