@@ -1,0 +1,124 @@
+//! Bench: fast-forward (next-event skip) engine vs naive stepping.
+//!
+//! The first entry in the workspace's performance trajectory: times both
+//! simulators with and without fast-forward at the two ends of the
+//! paper's latency sweep. With `BENCH_UPDATE` set it rewrites the
+//! `BENCH_engine.json` baseline at the workspace root; otherwise (and
+//! always under `BENCH_SMOKE`) the checked-in baseline is left
+//! untouched, so a plain `cargo bench --workspace` never dirties the
+//! tree.
+
+use dva_sim_api::Machine;
+use dva_workloads::{Benchmark, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PROGRAM: Benchmark = Benchmark::Arc2d;
+const LATENCIES: [u64; 2] = [1, 100];
+
+struct Point {
+    machine: &'static str,
+    latency: u64,
+    cycles: u64,
+    naive_ticks: u64,
+    fast_ticks: u64,
+    naive_secs: f64,
+    fast_secs: f64,
+}
+
+impl Point {
+    fn speedup(&self) -> f64 {
+        self.naive_secs / self.fast_secs
+    }
+}
+
+fn median_secs(samples: usize, mut run: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let smoke = criterion::smoke_mode();
+    let samples = if smoke { 1 } else { 7 };
+    let program = PROGRAM.program(Scale::Quick);
+
+    let mut points = Vec::new();
+    for (name, machine) in [("REF", Machine::reference(1)), ("DVA", Machine::dva(1))] {
+        for latency in LATENCIES {
+            let machine = machine.with_latency(latency);
+            let naive = machine.simulate_with(&program, false);
+            let fast = machine.simulate_with(&program, true);
+            assert_eq!(naive, fast, "fast-forward changed the {name} model");
+            let naive_secs = median_secs(samples, || {
+                criterion::black_box(machine.simulate_with(&program, false));
+            });
+            let fast_secs = median_secs(samples, || {
+                criterion::black_box(machine.simulate_with(&program, true));
+            });
+            let point = Point {
+                machine: name,
+                latency,
+                cycles: fast.cycles,
+                naive_ticks: naive.ticks_executed.get(),
+                fast_ticks: fast.ticks_executed.get(),
+                naive_secs,
+                fast_secs,
+            };
+            println!(
+                "engine_fastforward/{name}_L{latency}: {} cycles, ticks {} -> {}, \
+                 naive {:.3}ms, fast-forward {:.3}ms ({:.2}x)",
+                point.cycles,
+                point.naive_ticks,
+                point.fast_ticks,
+                1e3 * point.naive_secs,
+                1e3 * point.fast_secs,
+                point.speedup(),
+            );
+            points.push(point);
+        }
+    }
+
+    if smoke || std::env::var_os("BENCH_UPDATE").is_none() {
+        println!("engine_fastforward: set BENCH_UPDATE=1 to rewrite BENCH_engine.json");
+        return;
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, render_json(&points)).expect("write BENCH_engine.json");
+    println!("engine_fastforward: wrote {path}");
+}
+
+fn render_json(points: &[Point]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"engine_fastforward\",\n");
+    let _ = writeln!(out, "  \"program\": \"{}\",", PROGRAM.name());
+    out.push_str("  \"scale\": \"quick\",\n");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"machine\": \"{}\", \"latency\": {}, \"cycles\": {}, \
+             \"naive_ticks\": {}, \"fast_forward_ticks\": {}, \
+             \"naive_seconds\": {:.6}, \"fast_forward_seconds\": {:.6}, \
+             \"speedup\": {:.2}}}",
+            p.machine,
+            p.latency,
+            p.cycles,
+            p.naive_ticks,
+            p.fast_ticks,
+            p.naive_secs,
+            p.fast_secs,
+            p.speedup(),
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

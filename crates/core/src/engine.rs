@@ -12,13 +12,16 @@ use crate::result::DvaResult;
 use crate::uops::{translate, ApOp, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
 use dva_isa::{Cycle, MemRange, Program, ScalarReg, VectorLength};
 use dva_memory::{CacheAccess, MemorySystem};
-use dva_metrics::{Histogram, StateTracker, UnitState};
+use dva_metrics::{Diag, Histogram, StateTracker, UnitState};
 use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, VectorRegFile};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-/// How many cycles without any progress before the engine declares a
-/// deadlock (a bug) and panics with diagnostics.
-const WATCHDOG_CYCLES: u64 = 200_000;
+/// How many *ticks* (executed engine iterations) without any progress
+/// before the engine declares a deadlock (a bug) and panics with
+/// diagnostics. Counted in ticks, not cycles, so fast-forward jumps over
+/// quiet cycles never trip it early and a genuine deadlock is detected
+/// after the same amount of simulation work in either stepping mode.
+const WATCHDOG_TICKS: u64 = 200_000;
 
 /// One slot of the vector load data queue. Each slot holds a full vector
 /// register's worth of data.
@@ -75,6 +78,10 @@ struct PendingBypass {
 pub(crate) struct Engine {
     cfg: DvaConfig,
     chain: ChainPolicy,
+    /// Skip ahead to the next event when a tick makes no progress. The
+    /// results are byte-identical either way; naive stepping exists to
+    /// verify exactly that.
+    fast_forward: bool,
     now: Cycle,
 
     // Vector processor state.
@@ -113,14 +120,15 @@ pub(crate) struct Engine {
     // the VSAQ/VADQ until queue pressure, a hazard drain or the end of the
     // program forces them out — maximizing the window in which a later
     // identical load can bypass them. Scalar stores commit eagerly.
-    /// seq → cycle its data first lands in the VADQ. Retained after commit
-    /// so a pending bypass can still source the value.
+    /// seq → cycle its data first lands in the VADQ. Retained past commit
+    /// while a pending bypass can still source the value; dropped as soon
+    /// as the store has committed and no pending bypass references it.
     store_data_ready: HashMap<StoreSeq, Cycle>,
     stores_committed: u64,
 
     // Bypass engine.
     bypass_unit: FuPipe,
-    pending_bypasses: Vec<PendingBypass>,
+    pending_bypasses: VecDeque<PendingBypass>,
     bypassed_loads: u64,
 
     // Drain mode: the AP is blocked until all stores up to this sequence
@@ -133,15 +141,18 @@ pub(crate) struct Engine {
     fp_stalls: u64,
     drain_stall_cycles: u64,
     branches_to_fp: u64,
-    progress_at: Cycle,
+    /// Engine iterations actually executed (≤ cycles under fast-forward).
+    ticks: u64,
+    ticks_since_progress: u64,
 }
 
 impl Engine {
-    pub(crate) fn new(cfg: DvaConfig) -> Engine {
+    pub(crate) fn new(cfg: DvaConfig, fast_forward: bool) -> Engine {
         let q = cfg.queues;
         Engine {
             cfg,
             chain: ChainPolicy::reference(),
+            fast_forward,
             now: 0,
             vregs: VectorRegFile::new(&cfg.uarch),
             fu1: FuPipe::new("FU1"),
@@ -168,15 +179,16 @@ impl Engine {
             store_data_ready: HashMap::new(),
             stores_committed: 0,
             bypass_unit: FuPipe::new("BYPASS"),
-            pending_bypasses: Vec::new(),
+            pending_bypasses: VecDeque::new(),
             bypassed_loads: 0,
             ap_drain_until: None,
             states: StateTracker::new(),
-            avdq_hist: Histogram::new(q.avdq.min(64)),
+            avdq_hist: Histogram::new(q.avdq),
             fp_stalls: 0,
             drain_stall_cycles: 0,
             branches_to_fp: 0,
-            progress_at: 0,
+            ticks: 0,
+            ticks_since_progress: 0,
         }
     }
 
@@ -292,24 +304,39 @@ impl Engine {
         self.vsaq.pop();
         self.vadq.pop();
         self.stores_committed += 1;
+        self.gc_store_data_ready(data.seq);
         true
+    }
+
+    /// Drops a store's data-ready entry once nothing can reference it
+    /// again: new bypasses only ever target stores still queued in the
+    /// VSAQ, so an entry is dead as soon as the store has left the queue
+    /// and no already-pending bypass still sources it.
+    fn gc_store_data_ready(&mut self, seq: StoreSeq) {
+        let referenced = self.pending_bypasses.iter().any(|p| p.store_seq == seq)
+            || self.vsaq.iter().any(|e| e.seq == seq);
+        if !referenced {
+            self.store_data_ready.remove(&seq);
+        }
     }
 
     // -- bypass engine ------------------------------------------------------
 
     /// Starts at most one bypass copy per cycle (oldest pending first).
     fn step_bypass_engine(&mut self) -> bool {
-        if self.pending_bypasses.is_empty() || !self.bypass_unit.is_free(self.now) {
+        let Some(&pending) = self.pending_bypasses.front() else {
+            return false;
+        };
+        if !self.bypass_unit.is_free(self.now) {
             return false;
         }
-        let pending = self.pending_bypasses[0];
         let Some(&data_ready) = self.store_data_ready.get(&pending.store_seq) else {
             return false; // the VP has not issued the store's QMOV yet
         };
         if data_ready > self.now {
             return false;
         }
-        self.pending_bypasses.remove(0);
+        self.pending_bypasses.pop_front();
         self.bypass_unit.reserve(self.now, pending.vl.cycles());
         let ready_at = self.now + pending.vl.cycles();
         let slot = self
@@ -317,14 +344,15 @@ impl Engine {
             .iter()
             .position(|s| s.id == pending.slot_id)
             .expect("bypassed AVDQ slot must still be queued");
-        // Fifo has no indexed mutation; rebuild the slot via iter_mut
-        // through front after rotating is overkill — use interior update.
+        // The slot may sit anywhere in the queue (older loads can still be
+        // in flight ahead of it); `Fifo::update_at` patches it in place.
         self.avdq.update_at(slot, |s| {
             s.ready_at = ready_at;
             s.pending_bypass = None;
         });
         self.mem.record_bypass(pending.vl);
         self.bypassed_loads += 1;
+        self.gc_store_data_ready(pending.store_seq);
         true
     }
 
@@ -461,7 +489,7 @@ impl Engine {
                     ready_at: Cycle::MAX,
                     pending_bypass: Some(seq),
                 });
-                self.pending_bypasses.push(PendingBypass {
+                self.pending_bypasses.push_back(PendingBypass {
                     slot_id: id,
                     store_seq: seq,
                     vl: access.vl(),
@@ -714,6 +742,67 @@ impl Engine {
             && self.vpiq.free_slots() >= slots.2
     }
 
+    // -- fast-forward -------------------------------------------------------
+
+    /// The earliest cycle strictly after `now` at which *anything* in the
+    /// machine can change state: data arriving in a queue, a functional
+    /// unit or the address bus freeing, a scoreboard or vector register
+    /// becoming ready, a draining AVDQ slot expiring, or a queued store's
+    /// data landing.
+    ///
+    /// Every gating condition in the step functions is either static
+    /// until some unit makes progress or a comparison of `now` against
+    /// one of these times, so after a tick that made no progress nothing
+    /// can happen before this cycle — the engine may jump straight to it.
+    /// `None` means no timed event is outstanding (a deadlock unless the
+    /// engine is structurally done).
+    fn next_event_at(&self) -> Option<Cycle> {
+        let now = self.now;
+        let mut next = dva_isa::EarliestAfter::new(now);
+        // Functional units and the address bus.
+        next.consider(self.mem.bus_free_at());
+        next.consider(self.fu1.free_at());
+        next.consider(self.fu2.free_at());
+        next.consider(self.qmov1.free_at());
+        next.consider(self.qmov2.free_at());
+        next.consider(self.bypass_unit.free_at());
+        // Timed data queues. Every entry is scanned, not just the front:
+        // ALU µops consume up to two entries deep.
+        for q in [&self.ssdq, &self.asdq, &self.sadq, &self.svdq, &self.vsdq] {
+            next.consider_opt(q.next_ready_after(now));
+        }
+        // AVDQ: the VP consumes the front slot once its data lands
+        // (`Cycle::MAX` marks a bypass that has not started — not a timed
+        // event); draining slots release AVDQ capacity when they expire.
+        if let Some(front) = self.avdq.front() {
+            if front.ready_at != Cycle::MAX {
+                next.consider(front.ready_at);
+            }
+        }
+        for &until in &self.avdq_draining {
+            next.consider(until);
+        }
+        // Store engine: vector data streaming into the VADQ, scalar data
+        // carried by the AP.
+        if let Some(front) = self.vadq.front() {
+            next.consider(front.first_at);
+        }
+        if let Some(front) = self.ssaq.front() {
+            next.consider_opt(front.ap_data_ready);
+        }
+        // Bypass engine: the front pending copy starts once its store's
+        // data lands (no map entry yet means the enabling event is the VP
+        // issuing the QMOV — progress, not time).
+        if let Some(p) = self.pending_bypasses.front() {
+            next.consider_opt(self.store_data_ready.get(&p.store_seq).copied());
+        }
+        // Scoreboards and the vector register file.
+        next.consider_opt(self.ap_sb.next_ready_after(now));
+        next.consider_opt(self.sp_sb.next_ready_after(now));
+        next.consider_opt(self.vregs.next_event_after(now));
+        next.get()
+    }
+
     // -- main loop ----------------------------------------------------------
 
     pub(crate) fn run(mut self, program: &Program) -> DvaResult {
@@ -723,6 +812,11 @@ impl Engine {
         let mut pending: Option<crate::uops::Bundle> = None;
 
         loop {
+            // Entries whose drain has completed can never be observed
+            // again (the busy-slot filter already ignores them); dropping
+            // them keeps the scan O(in-flight), not O(loads executed).
+            self.avdq_draining.retain(|&until| until > self.now);
+
             let mut progress = false;
             // The AP owns the memory port; lazy store writebacks take the
             // bus only in the cycles the AP leaves it idle.
@@ -759,15 +853,20 @@ impl Engine {
             }
 
             // Sample per-cycle statistics.
-            self.avdq_hist.tick(self.avdq_busy_slots());
-            self.states.tick(UnitState::from_flags(
+            let occupancy = self.avdq_busy_slots();
+            let state = UnitState::from_flags(
                 self.fu2.is_busy_at(self.now),
                 self.fu1.is_busy_at(self.now),
                 !self.mem.bus_free(self.now),
-            ));
+            );
+            self.avdq_hist.tick(occupancy);
+            self.states.tick(state);
 
+            self.ticks += 1;
             if progress {
-                self.progress_at = self.now;
+                self.ticks_since_progress = 0;
+            } else {
+                self.ticks_since_progress += 1;
             }
 
             // Termination: everything fetched, all queues drained.
@@ -782,6 +881,30 @@ impl Engine {
                 && self.ssaq.is_empty()
                 && self.pending_bypasses.is_empty();
             if structurally_done {
+                // A translator bug that leaves orphaned entries in the
+                // five scalar data queues would otherwise be dropped
+                // silently here: by the time the instruction queues drain,
+                // every push must have had its matching pop.
+                debug_assert!(
+                    self.ssdq.is_empty()
+                        && self.asdq.is_empty()
+                        && self.sadq.is_empty()
+                        && self.svdq.is_empty()
+                        && self.vsdq.is_empty(),
+                    "orphaned scalar data queue entries at structural completion: \
+                     SSDQ={} ASDQ={} SADQ={} SVDQ={} VSDQ={}",
+                    self.ssdq.len(),
+                    self.asdq.len(),
+                    self.sadq.len(),
+                    self.svdq.len(),
+                    self.vsdq.len(),
+                );
+                debug_assert!(
+                    self.store_data_ready.is_empty(),
+                    "store data-ready entries must be garbage-collected by \
+                     structural completion ({} left)",
+                    self.store_data_ready.len(),
+                );
                 let end = self
                     .vregs
                     .quiesce_at()
@@ -795,6 +918,7 @@ impl Engine {
                     .max(self.mem.bus().free_at());
                 self.now += 1;
                 while self.now < end {
+                    self.ticks += 1;
                     self.states.tick(UnitState::from_flags(
                         self.fu2.is_busy_at(self.now),
                         self.fu1.is_busy_at(self.now),
@@ -806,7 +930,7 @@ impl Engine {
                 break;
             }
 
-            if self.now - self.progress_at > WATCHDOG_CYCLES {
+            if self.ticks_since_progress > WATCHDOG_TICKS {
                 panic!(
                     "decoupled engine deadlock at cycle {}: pc={pc}/{} APIQ={} SPIQ={} VPIQ={} \
                      AVDQ={} VADQ={} VSAQ={} SSAQ={} next_commit={} drain={:?} pending_byp={}",
@@ -823,6 +947,34 @@ impl Engine {
                     self.ap_drain_until,
                     self.pending_bypasses.len(),
                 );
+            }
+
+            // Advance the clock. A tick without progress proves every
+            // processor is blocked on a timed condition, so fast-forward
+            // jumps straight to the next event, bulk-accounting the
+            // skipped cycles. The per-cycle samples and stall counters of
+            // the skipped cycles are identical to this tick's — any
+            // change in between would itself be an event — which is what
+            // keeps the results byte-identical to naive stepping.
+            if !progress && self.fast_forward {
+                if let Some(target) = self.next_event_at() {
+                    let skipped = target - (self.now + 1);
+                    if skipped > 0 {
+                        self.avdq_hist.add(occupancy, skipped);
+                        self.states.add(state, skipped);
+                        if pending.is_some() {
+                            self.fp_stalls += skipped;
+                        }
+                        let drain_stalled = self.ap_drain_until.is_some_and(|limit| {
+                            self.oldest_pending_store().is_some_and(|o| o <= limit)
+                        });
+                        if drain_stalled {
+                            self.drain_stall_cycles += skipped;
+                        }
+                    }
+                    self.now = target;
+                    continue;
+                }
             }
             self.now += 1;
         }
@@ -843,6 +995,108 @@ impl Engine {
             max_vpiq: self.vpiq.max_occupancy(),
             max_apiq: self.apiq.max_occupancy(),
             max_avdq,
+            ticks_executed: Diag(self.ticks),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dva_isa::{Inst, VectorAccess, VectorReg};
+
+    fn vl(n: u32) -> VectorLength {
+        VectorLength::new(n).unwrap()
+    }
+
+    /// A long stream of short vector loads rotating over the eight
+    /// registers: with deep instruction queues and a long latency the AP
+    /// slips far ahead and piles up outstanding AVDQ slots.
+    fn load_storm(loads: usize, n: u32) -> Program {
+        let insts: Vec<Inst> = (0..loads)
+            .map(|i| Inst::VLoad {
+                dst: VectorReg::ALL[i % VectorReg::ALL.len()],
+                access: VectorAccess::unit(0x10_0000 + (i as u64) * 0x1000, vl(n)),
+            })
+            .collect();
+        Program::from_insts("load-storm", insts)
+    }
+
+    #[test]
+    fn avdq_histogram_covers_the_configured_capacity() {
+        // Regression: the histogram used to be clamped to 64 buckets, so
+        // configurations with AVDQ > 64 silently under-reported
+        // `max_avdq` and the fig6/queue-sizing sweeps.
+        let cfg = DvaConfig::builder().avdq(128).build();
+        let r = Engine::new(cfg, true).run(&load_storm(4, 64));
+        assert_eq!(r.avdq_occupancy.buckets().len(), 128 + 1);
+        assert_eq!(r.avdq_occupancy.overflow(), 0);
+    }
+
+    #[test]
+    fn deep_queues_report_occupancy_beyond_64() {
+        // With the clamp in place this scenario reported max_avdq == 64
+        // no matter how deep the queue actually got.
+        let cfg = DvaConfig::builder()
+            .latency(800)
+            .instruction_queue(512)
+            .avdq(256)
+            .build();
+        let r = Engine::new(cfg, true).run(&load_storm(120, 8));
+        assert!(
+            r.max_avdq > 64,
+            "AVDQ only reached {} slots; the scenario no longer exercises \
+             the >64 range",
+            r.max_avdq
+        );
+        assert_eq!(r.avdq_occupancy.total(), r.cycles);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "orphaned scalar data queue entries")]
+    fn orphaned_scalar_queue_entries_are_detected() {
+        // Simulates a translator bug: an SVDQ entry nothing ever pops.
+        let mut engine = Engine::new(DvaConfig::default(), true);
+        engine.svdq.push(Timed::new((), 0));
+        let _ = engine.run(&Program::from_insts("empty", Vec::new()));
+    }
+
+    #[test]
+    fn fast_forward_and_naive_agree_on_a_mixed_program() {
+        let mut insts = vec![
+            Inst::VLoad {
+                dst: VectorReg::V0,
+                access: VectorAccess::unit(0x1000, vl(64)),
+            },
+            Inst::VStore {
+                src: VectorReg::V0,
+                access: VectorAccess::unit(0x2000, vl(64)),
+            },
+            Inst::VLoad {
+                dst: VectorReg::V2,
+                access: VectorAccess::unit(0x2000, vl(64)),
+            },
+        ];
+        insts.extend((0..4).map(|i| Inst::VLoad {
+            dst: VectorReg::ALL[4 + i % 4],
+            access: VectorAccess::unit(0x9000 + i as u64 * 0x1000, vl(32)),
+        }));
+        let program = Program::from_insts("mixed", insts);
+        for latency in [1, 37, 100] {
+            for cfg in [
+                DvaConfig::dva(latency),
+                DvaConfig::byp(latency, 4, 8),
+                DvaConfig::byp(latency, 256, 16),
+            ] {
+                let fast = Engine::new(cfg, true).run(&program);
+                let naive = Engine::new(cfg, false).run(&program);
+                assert_eq!(fast, naive, "L={latency} cfg={cfg:?}");
+                assert!(
+                    fast.ticks_executed.get() <= naive.ticks_executed.get(),
+                    "fast-forward must never execute more ticks"
+                );
+            }
         }
     }
 }

@@ -74,15 +74,36 @@ use dva_isa::Program;
 /// The decoupled vector architecture simulator.
 ///
 /// See the [crate docs](crate) for the machine description.
+///
+/// By default the engine *fast-forwards*: whenever a tick makes no
+/// progress it computes the earliest cycle at which anything can change
+/// and jumps straight there, bulk-accounting the skipped cycles. The
+/// results are byte-identical to naive per-cycle stepping (the
+/// `ticks_executed` diagnostic records how many ticks actually ran);
+/// [`DvaSim::with_fast_forward`] opts back into naive stepping for
+/// verification.
 #[derive(Debug, Clone)]
 pub struct DvaSim {
     config: DvaConfig,
+    fast_forward: bool,
 }
 
 impl DvaSim {
-    /// Creates a simulator with the given configuration.
+    /// Creates a simulator with the given configuration (fast-forward
+    /// enabled).
     pub fn new(config: DvaConfig) -> DvaSim {
-        DvaSim { config }
+        DvaSim {
+            config,
+            fast_forward: true,
+        }
+    }
+
+    /// Enables or disables the next-event fast-forward (on by default;
+    /// turning it off forces naive per-cycle stepping).
+    #[must_use]
+    pub fn with_fast_forward(mut self, fast_forward: bool) -> DvaSim {
+        self.fast_forward = fast_forward;
+        self
     }
 
     /// The configuration in use.
@@ -97,6 +118,6 @@ impl DvaSim {
     /// Panics if the engine detects a deadlock (an internal invariant
     /// violation — valid traces always complete).
     pub fn run(&self, program: &Program) -> DvaResult {
-        engine::Engine::new(self.config).run(program)
+        engine::Engine::new(self.config, self.fast_forward).run(program)
     }
 }

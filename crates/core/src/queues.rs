@@ -144,6 +144,19 @@ impl<T> Timed<T> {
     }
 }
 
+impl<T> Fifo<Timed<T>> {
+    /// The earliest `ready_at` strictly after `now` among queued entries,
+    /// or `None` when every entry is already consumable. Used by the
+    /// engine's next-event (fast-forward) computation.
+    pub fn next_ready_after(&self, now: Cycle) -> Option<Cycle> {
+        self.items
+            .iter()
+            .map(|e| e.ready_at)
+            .filter(|&t| t > now)
+            .min()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +196,16 @@ mod tests {
         let t = Timed::new('x', 10);
         assert!(!t.is_ready(9));
         assert!(t.is_ready(10));
+    }
+
+    #[test]
+    fn next_ready_scans_every_entry_not_just_the_front() {
+        let mut q: Fifo<Timed<u8>> = Fifo::new("timed", 4);
+        assert_eq!(q.next_ready_after(0), None);
+        q.push(Timed::new(0, 5));
+        q.push(Timed::new(1, 3)); // younger entry, earlier data
+        assert_eq!(q.next_ready_after(0), Some(3));
+        assert_eq!(q.next_ready_after(3), Some(5));
+        assert_eq!(q.next_ready_after(5), None);
     }
 }

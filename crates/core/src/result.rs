@@ -1,10 +1,15 @@
 //! Results of a decoupled-machine simulation.
 
 use dva_isa::Cycle;
-use dva_metrics::{Histogram, StateTracker, Traffic};
+use dva_metrics::{Diag, Histogram, StateTracker, Traffic};
 
 /// Everything measured during one run of the decoupled simulator.
-#[derive(Debug, Clone)]
+///
+/// Equality compares every *model* quantity; execution diagnostics such
+/// as [`ticks_executed`](DvaResult::ticks_executed) are carried in
+/// [`Diag`] and never affect comparisons or `Debug` output, so a
+/// fast-forward run is byte-identical to a naive one.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvaResult {
     /// Total execution time in cycles.
     pub cycles: Cycle,
@@ -35,6 +40,11 @@ pub struct DvaResult {
     pub max_apiq: usize,
     /// Highest AVDQ busy-slot count observed.
     pub max_avdq: usize,
+    /// Engine iterations actually executed. Equal to `cycles` under naive
+    /// stepping; under fast-forward it counts only the ticks that were
+    /// simulated (skipped quiet cycles are bulk-accounted). A diagnostic:
+    /// excluded from equality and `Debug`.
+    pub ticks_executed: Diag<u64>,
 }
 
 impl DvaResult {

@@ -41,3 +41,53 @@ pub use vector::{Stride, VectorLength, ELEM_BYTES, MAX_VECTOR_LENGTH};
 
 /// Simulation time, measured in processor cycles.
 pub type Cycle = u64;
+
+/// Accumulates the earliest cycle strictly after a reference point — the
+/// shared kernel of every next-event (fast-forward) computation: feed it
+/// each candidate time with [`consider`](EarliestAfter::consider) and
+/// read the minimum future one back with [`get`](EarliestAfter::get).
+///
+/// # Examples
+///
+/// ```
+/// use dva_isa::EarliestAfter;
+///
+/// let mut next = EarliestAfter::new(10);
+/// next.consider(7); // already in the past: ignored
+/// next.consider(42);
+/// next.consider(15);
+/// assert_eq!(next.get(), Some(15));
+/// assert_eq!(EarliestAfter::new(10).get(), None);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EarliestAfter {
+    now: Cycle,
+    next: Option<Cycle>,
+}
+
+impl EarliestAfter {
+    /// Starts an accumulation relative to `now`.
+    pub fn new(now: Cycle) -> EarliestAfter {
+        EarliestAfter { now, next: None }
+    }
+
+    /// Offers a candidate time; kept only if it is strictly after `now`
+    /// and earlier than every candidate seen so far.
+    pub fn consider(&mut self, t: Cycle) {
+        if t > self.now && self.next.is_none_or(|n| t < n) {
+            self.next = Some(t);
+        }
+    }
+
+    /// Offers an optional candidate time.
+    pub fn consider_opt(&mut self, t: Option<Cycle>) {
+        if let Some(t) = t {
+            self.consider(t);
+        }
+    }
+
+    /// The earliest future candidate, or `None` if none was offered.
+    pub fn get(self) -> Option<Cycle> {
+        self.next
+    }
+}

@@ -78,6 +78,13 @@ impl MemorySystem {
         self.bus.is_free(now)
     }
 
+    /// The first cycle at which the address bus becomes free — the memory
+    /// system's contribution to the engines' next-event (fast-forward)
+    /// computation.
+    pub fn bus_free_at(&self) -> Cycle {
+        self.bus.free_at()
+    }
+
     /// The shared address bus (for utilization reporting).
     pub fn bus(&self) -> &AddressBus {
         &self.bus

@@ -1,0 +1,73 @@
+//! Diagnostic values excluded from result identity.
+
+use std::fmt;
+
+/// A measurement that describes *how* a simulation ran rather than *what*
+/// it computed — e.g. how many engine ticks were actually executed under
+/// fast-forward.
+///
+/// Results of the simulators are compared byte-for-byte across execution
+/// strategies (fast-forward vs naive stepping, parallel vs sequential
+/// sweeps), and such diagnostics legitimately differ between strategies.
+/// `Diag` therefore compares equal to every other `Diag` and renders as
+/// `_` in `Debug` output, so carrying a diagnostic never breaks the
+/// byte-identity contract. Read the wrapped value with [`Diag::get`] or
+/// through the public `.0` field.
+///
+/// # Examples
+///
+/// ```
+/// use dva_metrics::Diag;
+///
+/// assert_eq!(Diag(3u64), Diag(7u64)); // diagnostics never affect equality
+/// assert_eq!(format!("{:?}", Diag(3u64)), "_");
+/// assert_eq!(Diag(3u64).get(), 3);
+/// ```
+#[derive(Clone, Copy, Default)]
+pub struct Diag<T>(pub T);
+
+impl<T: Copy> Diag<T> {
+    /// The wrapped diagnostic value.
+    pub fn get(self) -> T {
+        self.0
+    }
+}
+
+impl<T> PartialEq for Diag<T> {
+    fn eq(&self, _other: &Diag<T>) -> bool {
+        true
+    }
+}
+
+impl<T> Eq for Diag<T> {}
+
+impl<T> fmt::Debug for Diag<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("_")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_are_invisible_to_comparisons_and_debug() {
+        #[derive(Debug, PartialEq)]
+        struct R {
+            cycles: u64,
+            ticks: Diag<u64>,
+        }
+        let fast = R {
+            cycles: 10,
+            ticks: Diag(3),
+        };
+        let naive = R {
+            cycles: 10,
+            ticks: Diag(10),
+        };
+        assert_eq!(fast, naive);
+        assert_eq!(format!("{fast:?}"), format!("{naive:?}"));
+        assert_eq!(fast.ticks.get(), 3);
+    }
+}

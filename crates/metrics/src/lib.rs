@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diag;
 mod hist;
 mod states;
 mod table;
 mod traffic;
 
+pub use diag::Diag;
 pub use hist::Histogram;
 pub use states::{StateTracker, UnitState};
 pub use table::{Align, Table};

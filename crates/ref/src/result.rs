@@ -1,10 +1,15 @@
 //! Results of a reference-architecture simulation.
 
 use dva_isa::Cycle;
-use dva_metrics::{StateTracker, Traffic};
+use dva_metrics::{Diag, StateTracker, Traffic};
 
 /// Everything measured during one run of the reference simulator.
-#[derive(Debug, Clone)]
+///
+/// Equality compares every *model* quantity; execution diagnostics such
+/// as [`ticks_executed`](RefResult::ticks_executed) are carried in
+/// [`Diag`] and never affect comparisons or `Debug` output, so a
+/// fast-forward run is byte-identical to a naive one.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RefResult {
     /// Total execution time in cycles.
     pub cycles: Cycle,
@@ -22,6 +27,11 @@ pub struct RefResult {
     pub bus_utilization: f64,
     /// Scalar cache hit rate (0..=1).
     pub cache_hit_rate: f64,
+    /// Engine iterations actually executed. Equal to `cycles` under naive
+    /// stepping; under fast-forward it counts only the ticks that were
+    /// simulated (skipped stall cycles are bulk-accounted). A diagnostic:
+    /// excluded from equality and `Debug`.
+    pub ticks_executed: Diag<u64>,
 }
 
 impl RefResult {

@@ -3,8 +3,14 @@
 use crate::result::RefResult;
 use dva_isa::{Cycle, Inst, Program, VOperand};
 use dva_memory::{CacheAccess, MemoryParams, MemorySystem};
-use dva_metrics::{StateTracker, UnitState};
+use dva_metrics::{Diag, StateTracker, UnitState};
 use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, UarchParams, VectorRegFile};
+
+/// How many consecutive ticks one instruction may fail to issue before
+/// the engine declares a deadlock (a bug) and panics. Counted in ticks,
+/// matching the decoupled engine's watchdog: a valid trace never waits
+/// more than a latency + vector length handful of cycles.
+const WATCHDOG_TICKS: u64 = 200_000;
 
 /// Configuration of the reference machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,18 +81,27 @@ impl RefParamsBuilder {
 /// The reference (coupled) vector architecture simulator.
 ///
 /// Create one per run; [`RefSim::run`] consumes the simulator's state.
+///
+/// By default the engine *fast-forwards*: whenever the dispatcher stalls
+/// it jumps straight to the next cycle at which anything can change,
+/// bulk-accounting the skipped stall cycles. The results are
+/// byte-identical to naive per-cycle stepping;
+/// [`RefSim::with_fast_forward`] opts back into naive stepping for
+/// verification.
 #[derive(Debug)]
 pub struct RefSim {
     params: RefParams,
     chain: ChainPolicy,
+    fast_forward: bool,
 }
 
 impl RefSim {
-    /// Creates a simulator.
+    /// Creates a simulator (fast-forward enabled).
     pub fn new(params: RefParams) -> RefSim {
         RefSim {
             params,
             chain: ChainPolicy::reference(),
+            fast_forward: true,
         }
     }
 
@@ -96,15 +111,24 @@ impl RefSim {
         self
     }
 
+    /// Enables or disables the next-event fast-forward (on by default;
+    /// turning it off forces naive per-cycle stepping).
+    #[must_use]
+    pub fn with_fast_forward(mut self, fast_forward: bool) -> RefSim {
+        self.fast_forward = fast_forward;
+        self
+    }
+
     /// Runs `program` to completion and reports the measurements.
     pub fn run(&self, program: &Program) -> RefResult {
-        Engine::new(self.params, self.chain).run(program)
+        Engine::new(self.params, self.chain, self.fast_forward).run(program)
     }
 }
 
 struct Engine {
     params: RefParams,
     chain: ChainPolicy,
+    fast_forward: bool,
     now: Cycle,
     regs: VectorRegFile,
     sb: Scoreboard,
@@ -113,13 +137,15 @@ struct Engine {
     mem: MemorySystem,
     states: StateTracker,
     dispatch_stalls: u64,
+    ticks: u64,
 }
 
 impl Engine {
-    fn new(params: RefParams, chain: ChainPolicy) -> Engine {
+    fn new(params: RefParams, chain: ChainPolicy, fast_forward: bool) -> Engine {
         Engine {
             params,
             chain,
+            fast_forward,
             now: 0,
             regs: VectorRegFile::new(&params.uarch),
             sb: Scoreboard::new(),
@@ -128,16 +154,33 @@ impl Engine {
             mem: MemorySystem::new(params.memory),
             states: StateTracker::new(),
             dispatch_stalls: 0,
+            ticks: 0,
         }
     }
 
-    fn tick_state(&mut self) {
-        let state = UnitState::from_flags(
+    fn current_state(&self) -> UnitState {
+        UnitState::from_flags(
             self.fu2.is_busy_at(self.now),
             self.fu1.is_busy_at(self.now),
             !self.mem.bus_free(self.now),
-        );
-        self.states.tick(state);
+        )
+    }
+
+    /// The earliest cycle strictly after `now` at which any gating
+    /// condition of [`Engine::try_issue`] can change: a scalar register
+    /// or vector register becoming ready, a chaining window opening, a
+    /// functional unit freeing, or the address bus freeing. `None` when
+    /// the machine is fully quiet (the stalled instruction can then never
+    /// issue — impossible for valid traces).
+    fn next_event_at(&self) -> Option<Cycle> {
+        let now = self.now;
+        let mut next = dva_isa::EarliestAfter::new(now);
+        next.consider(self.mem.bus_free_at());
+        next.consider(self.fu1.free_at());
+        next.consider(self.fu2.free_at());
+        next.consider_opt(self.sb.next_ready_after(now));
+        next.consider_opt(self.regs.next_event_after(now));
+        next.get()
     }
 
     /// Attempts to issue `inst` at the current cycle. Returns `true` when
@@ -286,13 +329,44 @@ impl Engine {
     fn run(mut self, program: &Program) -> RefResult {
         let insts = program.insts();
         let mut pc = 0usize;
+        let mut stalled_ticks = 0u64;
         while pc < insts.len() {
-            if self.try_issue(&insts[pc]) {
+            let issued = self.try_issue(&insts[pc]);
+            if issued {
                 pc += 1;
+                stalled_ticks = 0;
             } else {
                 self.dispatch_stalls += 1;
+                stalled_ticks += 1;
+                if stalled_ticks > WATCHDOG_TICKS {
+                    panic!(
+                        "reference engine deadlock at cycle {}: pc={pc}/{} cannot issue {:?}",
+                        self.now,
+                        insts.len(),
+                        insts[pc],
+                    );
+                }
             }
-            self.tick_state();
+            let state = self.current_state();
+            self.states.tick(state);
+            self.ticks += 1;
+            // A failed issue means the instruction waits on a timed
+            // condition; fast-forward jumps to the next event and
+            // bulk-accounts the skipped stall cycles (whose sampled state
+            // is provably identical — any change in between would itself
+            // be an event), keeping the results byte-identical to naive
+            // stepping.
+            if !issued && self.fast_forward {
+                if let Some(target) = self.next_event_at() {
+                    let skipped = target - (self.now + 1);
+                    if skipped > 0 {
+                        self.dispatch_stalls += skipped;
+                        self.states.add(state, skipped);
+                    }
+                    self.now = target;
+                    continue;
+                }
+            }
             self.now += 1;
         }
         // Drain: run the clock until every unit and register is quiet.
@@ -304,7 +378,9 @@ impl Engine {
             .max(self.fu2.free_at())
             .max(self.mem.bus().free_at());
         while self.now < end {
-            self.tick_state();
+            let state = self.current_state();
+            self.states.tick(state);
+            self.ticks += 1;
             self.now += 1;
         }
         let cycles = self.now;
@@ -316,6 +392,7 @@ impl Engine {
             dispatch_stalls: self.dispatch_stalls,
             bus_utilization: self.mem.bus().utilization(cycles),
             cache_hit_rate: self.mem.cache().hit_rate(),
+            ticks_executed: Diag(self.ticks),
         }
     }
 }

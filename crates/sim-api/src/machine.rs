@@ -84,16 +84,32 @@ impl Machine {
         }
     }
 
-    /// Runs `program` to completion on this machine.
+    /// Runs `program` to completion on this machine with the engines'
+    /// next-event fast-forward enabled (the default — byte-identical to
+    /// naive stepping, only faster).
     ///
     /// # Panics
     ///
     /// Panics if the decoupled engine detects a deadlock (an internal
     /// invariant violation — valid traces always complete).
     pub fn simulate(&self, program: &Program) -> SimResult {
+        self.simulate_with(program, true)
+    }
+
+    /// Runs `program` with an explicit stepping strategy: `fast_forward`
+    /// `false` forces naive per-cycle stepping (IDEAL has no timeline and
+    /// ignores the flag). Exists so equivalence tests and benchmarks can
+    /// compare the two; results are byte-identical either way.
+    pub fn simulate_with(&self, program: &Program, fast_forward: bool) -> SimResult {
         match self {
-            Machine::Ref(params) => RefSim::new(*params).run(program).into(),
-            Machine::Dva(config) => DvaSim::new(*config).run(program).into(),
+            Machine::Ref(params) => RefSim::new(*params)
+                .with_fast_forward(fast_forward)
+                .run(program)
+                .into(),
+            Machine::Dva(config) => DvaSim::new(*config)
+                .with_fast_forward(fast_forward)
+                .run(program)
+                .into(),
             Machine::Ideal => SimResult::from_ideal(ideal_bound(program), program),
         }
     }

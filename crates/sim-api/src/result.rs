@@ -2,7 +2,7 @@
 
 use dva_core::{DvaResult, IdealBound};
 use dva_isa::{Cycle, Program};
-use dva_metrics::{Histogram, StateTracker, Traffic};
+use dva_metrics::{Diag, Histogram, StateTracker, Traffic};
 use dva_ref::RefResult;
 
 /// Measurements every machine reports, plus machine-specific detail.
@@ -29,6 +29,11 @@ pub struct SimResult {
     /// Front-end stall cycles: dispatch stalls on REF, fetch-processor
     /// stalls on the DVA, zero for IDEAL.
     pub stall_cycles: u64,
+    /// Simulator loop iterations actually executed: equal to `cycles`
+    /// under naive stepping, (much) smaller under fast-forward, zero for
+    /// IDEAL. A [`Diag`] — excluded from equality and `Debug` so that the
+    /// stepping strategy never affects result identity.
+    pub ticks_executed: Diag<u64>,
     /// Whatever only this machine measures.
     pub detail: MachineDetail,
 }
@@ -133,6 +138,7 @@ impl SimResult {
             bus_utilization: 0.0,
             cache_hit_rate: 0.0,
             stall_cycles: 0,
+            ticks_executed: Diag(0),
             detail: MachineDetail::Ideal(bound),
         }
     }
@@ -148,6 +154,7 @@ impl From<RefResult> for SimResult {
             bus_utilization: r.bus_utilization,
             cache_hit_rate: r.cache_hit_rate,
             stall_cycles: r.dispatch_stalls,
+            ticks_executed: r.ticks_executed,
             detail: MachineDetail::Reference,
         }
     }
@@ -163,6 +170,7 @@ impl From<DvaResult> for SimResult {
             bus_utilization: d.bus_utilization,
             cache_hit_rate: d.cache_hit_rate,
             stall_cycles: d.fp_stalls,
+            ticks_executed: d.ticks_executed,
             detail: MachineDetail::Decoupled {
                 avdq_occupancy: d.avdq_occupancy,
                 bypassed_loads: d.bypassed_loads,

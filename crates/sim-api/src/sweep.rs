@@ -29,7 +29,7 @@ use std::sync::Arc;
 ///     / results.cycles("DVA", Benchmark::Trfd, 100).unwrap() as f64;
 /// assert!(speedup > 1.0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Sweep {
     machines: Vec<Machine>,
     benchmarks: Vec<Benchmark>,
@@ -37,6 +37,22 @@ pub struct Sweep {
     latencies: Vec<u64>,
     scale: Scale,
     threads: usize,
+    fast_forward: bool,
+}
+
+impl Default for Sweep {
+    /// An empty session with fast-forward enabled.
+    fn default() -> Sweep {
+        Sweep {
+            machines: Vec::new(),
+            benchmarks: Vec::new(),
+            programs: Vec::new(),
+            latencies: Vec::new(),
+            scale: Scale::default(),
+            threads: 0,
+            fast_forward: true,
+        }
+    }
 }
 
 /// One measurement of one machine on one program at one latency.
@@ -138,6 +154,16 @@ impl Sweep {
         self
     }
 
+    /// Enables or disables the engines' next-event fast-forward (on by
+    /// default). Results are byte-identical either way — turning it off
+    /// forces naive per-cycle stepping, which exists for verification and
+    /// benchmarking.
+    #[must_use]
+    pub fn fast_forward(mut self, fast_forward: bool) -> Sweep {
+        self.fast_forward = fast_forward;
+        self
+    }
+
     /// Number of points the session will measure.
     pub fn len(&self) -> usize {
         let programs = self.benchmarks.len() + self.programs.len();
@@ -204,7 +230,7 @@ impl Sweep {
             benchmark: *benchmark,
             program: program.name().to_string(),
             latency: *latency,
-            result: machine.simulate(program),
+            result: machine.simulate_with(program, self.fast_forward),
         };
 
         if workers <= 1 {

@@ -237,6 +237,30 @@ impl VectorRegFile {
             .max()
             .unwrap_or(0)
     }
+
+    /// The earliest cycle strictly after `now` at which any hazard or
+    /// structural condition tracked by the register file can change: a
+    /// chaining window opening (`first_elem_at + 1`), a write completing,
+    /// a reader draining, or a bank port freeing. `None` when the file is
+    /// fully quiet. Used by the engines' next-event (fast-forward)
+    /// computation.
+    pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = dva_isa::EarliestAfter::new(now);
+        for st in &self.regs {
+            // The chaining window opens at first_elem_at + 1, clamped to
+            // ready_at exactly as in `read_ready_at`.
+            next.consider(st.first_elem_at.saturating_add(1).min(st.ready_at));
+            next.consider(st.ready_at);
+            next.consider(st.readers_until);
+        }
+        for bank in &self.banks {
+            next.consider(bank.write_free);
+            for &port in &bank.read_free {
+                next.consider(port);
+            }
+        }
+        next.get()
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +336,21 @@ mod tests {
         rf.begin_write(VectorReg::V0, 0, 4, 100, Producer::FunctionalUnit);
         // Full crossbar: the shared write port no longer matters.
         assert!(rf.can_issue(10, &[], Some(VectorReg::V1), ChainPolicy::reference()));
+    }
+
+    #[test]
+    fn next_event_covers_chain_window_completion_and_readers() {
+        let mut rf = regfile();
+        assert_eq!(rf.next_event_after(0), None);
+        rf.begin_write(VectorReg::V0, 0, 4, 68, Producer::FunctionalUnit);
+        // Chain window opens at first_elem_at + 1 = 5.
+        assert_eq!(rf.next_event_after(0), Some(5));
+        // Past the window: the next change is the write completing (the
+        // bank write port frees at the same cycle).
+        assert_eq!(rf.next_event_after(5), Some(68));
+        rf.begin_reads(0, &[VectorReg::V4], 30);
+        assert_eq!(rf.next_event_after(5), Some(30));
+        assert_eq!(rf.next_event_after(68), None);
     }
 
     #[test]

@@ -74,6 +74,14 @@ impl Scoreboard {
     pub fn quiesce_at(&self) -> Cycle {
         self.ready.iter().copied().max().unwrap_or(0)
     }
+
+    /// The earliest cycle strictly after `now` at which any register
+    /// becomes ready, or `None` when every pending value has already
+    /// arrived. This is the scoreboard's contribution to the engines'
+    /// next-event (fast-forward) computation.
+    pub fn next_ready_after(&self, now: Cycle) -> Option<Cycle> {
+        self.ready.iter().copied().filter(|&t| t > now).min()
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +112,17 @@ mod tests {
         let deps = [Some(ScalarReg::addr(0)), Some(ScalarReg::scalar(0))];
         assert_eq!(sb.ready_after(&deps), 9);
         assert_eq!(sb.ready_after(&[None, None]), 0);
+    }
+
+    #[test]
+    fn next_ready_skips_past_and_present_values() {
+        let mut sb = Scoreboard::new();
+        assert_eq!(sb.next_ready_after(0), None);
+        sb.set_ready(ScalarReg::addr(1), 5);
+        sb.set_ready(ScalarReg::scalar(4), 9);
+        assert_eq!(sb.next_ready_after(0), Some(5));
+        assert_eq!(sb.next_ready_after(5), Some(9));
+        assert_eq!(sb.next_ready_after(9), None);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! The fast-forward (next-event skip) engine is an *optimization, not a
+//! model change*: every result it produces must be byte-identical to
+//! naive per-cycle stepping, on the full experiment grid and on random
+//! programs alike — while executing strictly fewer engine ticks.
+
+use dva_core::{DvaConfig, DvaSim};
+use dva_ref::{RefParams, RefSim};
+use dva_sim_api::{Machine, Sweep, SweepResults};
+use dva_tests::arb_program;
+use dva_workloads::{Benchmark, Scale};
+use proptest::prelude::*;
+
+fn grid(fast_forward: bool) -> SweepResults {
+    Sweep::new()
+        .machines([
+            Machine::reference(1),
+            Machine::dva(1),
+            Machine::byp(1, 4, 8),
+            Machine::ideal(),
+        ])
+        .benchmarks(Benchmark::ALL)
+        .latencies([1, 30, 100])
+        .scale(Scale::Quick)
+        .fast_forward(fast_forward)
+        .run()
+}
+
+/// The acceptance gate: the full machines × benchmarks × latencies grid
+/// is byte-identical with fast-forward on vs off — both as typed values
+/// and as rendered `Debug` output.
+#[test]
+fn full_grid_is_byte_identical_with_fast_forward() {
+    let fast = grid(true);
+    let naive = grid(false);
+    assert_eq!(fast, naive);
+    assert_eq!(
+        format!("{fast:?}"),
+        format!("{naive:?}"),
+        "fast-forward must be invisible in rendered output too"
+    );
+}
+
+/// Fast-forward earns its keep exactly where the paper's sweep hurts:
+/// at long memory latencies most cycles are provably quiet, so the
+/// engine should execute far fewer ticks than cycles.
+#[test]
+fn fast_forward_skips_most_cycles_at_long_latency() {
+    let program = Benchmark::Arc2d.program(Scale::Quick);
+    let fast = Machine::dva(100).simulate(&program);
+    let naive = Machine::dva(100).simulate_with(&program, false);
+    assert_eq!(naive.ticks_executed.get(), naive.cycles);
+    assert!(
+        fast.ticks_executed.get() * 2 < fast.cycles,
+        "expected to skip most cycles at L=100: {} ticks for {} cycles",
+        fast.ticks_executed.get(),
+        fast.cycles
+    );
+}
+
+/// Golden cycle counts pinning the model: any change to either engine's
+/// timing (including a fast-forward bug that only shifts results) moves
+/// these numbers.
+#[test]
+fn golden_cycle_counts_pin_the_model() {
+    let program = Benchmark::Trfd.program(Scale::Quick);
+    for (latency, ref_golden, dva_golden) in [(1u64, 6545u64, 6342u64), (100, 19449, 11097)] {
+        let r = RefSim::new(RefParams::with_latency(latency)).run(&program);
+        let d = DvaSim::new(DvaConfig::dva(latency)).run(&program);
+        assert_eq!(
+            (r.cycles, d.cycles),
+            (ref_golden, dva_golden),
+            "TRFD Quick at L={latency}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized equivalence: fast-forward and naive stepping produce
+    /// identical `DvaResult`s (base DVA and a small bypass machine) on
+    /// arbitrary compiled programs and latencies, with no more ticks.
+    #[test]
+    fn dva_fast_forward_matches_naive(program in arb_program(), latency in 1u64..=100) {
+        for cfg in [DvaConfig::dva(latency), DvaConfig::byp(latency, 4, 8)] {
+            let sim = DvaSim::new(cfg);
+            let fast = sim.clone().run(&program);
+            let naive = sim.with_fast_forward(false).run(&program);
+            prop_assert_eq!(&fast, &naive);
+            prop_assert_eq!(naive.ticks_executed.get(), naive.cycles);
+            prop_assert!(fast.ticks_executed.get() <= naive.ticks_executed.get());
+        }
+    }
+
+    /// Same for the reference machine.
+    #[test]
+    fn ref_fast_forward_matches_naive(program in arb_program(), latency in 1u64..=100) {
+        let sim = RefSim::new(RefParams::with_latency(latency));
+        let fast = sim.run(&program);
+        let naive = RefSim::new(RefParams::with_latency(latency))
+            .with_fast_forward(false)
+            .run(&program);
+        prop_assert_eq!(&fast, &naive);
+        prop_assert_eq!(naive.ticks_executed.get(), naive.cycles);
+        prop_assert!(fast.ticks_executed.get() <= naive.ticks_executed.get());
+    }
+}

@@ -5,81 +5,8 @@
 
 use dva_core::{ideal_bound, DvaConfig, DvaSim};
 use dva_ref::{RefParams, RefSim};
-use dva_workloads::{Kernel, LoopSpec, Phase, ProgramSpec, ScalarSection, StripOverhead};
+use dva_tests::arb_program;
 use proptest::prelude::*;
-
-/// A random straight-line kernel: loads, unary/binary ops over live
-/// values, optional reduction, stores.
-fn arb_kernel() -> impl Strategy<Value = Kernel> {
-    (
-        1usize..=6,    // loads
-        0usize..=8,    // compute ops
-        1usize..=2,    // stores
-        any::<bool>(), // scalar operand flavor
-        any::<bool>(), // include a reduction
-        any::<u64>(),  // mixing seed
-    )
-        .prop_map(|(loads, computes, stores, use_scalar, reduce, seed)| {
-            let mut k = Kernel::new(format!("prop{seed:x}"));
-            let mut vals: Vec<_> = (0..loads).map(|i| k.load(format!("in{i}"))).collect();
-            let mut state = seed;
-            let mut next = |n: usize| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                (state >> 33) as usize % n.max(1)
-            };
-            for i in 0..computes {
-                let a = vals[next(vals.len())];
-                let v = if use_scalar && i % 3 == 0 {
-                    k.mul_scalar(a)
-                } else {
-                    let b = vals[next(vals.len())];
-                    k.add(a, b)
-                };
-                vals.push(v);
-            }
-            if reduce {
-                let src = vals[next(vals.len())];
-                k.reduce(dva_isa::ReduceOp::Sum, src);
-            }
-            for i in 0..stores {
-                let src = vals[next(vals.len())];
-                k.store(src, format!("out{i}"));
-            }
-            k
-        })
-}
-
-fn arb_program() -> impl Strategy<Value = dva_isa::Program> {
-    (
-        arb_kernel(),
-        1u32..=5,   // strips
-        1u32..=128, // vl
-        any::<bool>(),
-        0u32..=40, // scalar section
-        any::<u64>(),
-    )
-        .prop_map(|(kernel, strips, vl, pipeline, scalar, seed)| {
-            let mut phases = vec![Phase::Loop(LoopSpec {
-                kernel,
-                strips,
-                vl,
-                software_pipeline: pipeline,
-                overhead: StripOverhead::default(),
-            })];
-            if scalar > 0 {
-                phases.push(Phase::Scalar(ScalarSection {
-                    insts: scalar,
-                    memory_fraction: 0.3,
-                }));
-            }
-            ProgramSpec {
-                name: "prop".into(),
-                repeat: 1,
-                phases,
-            }
-            .compile(seed)
-        })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

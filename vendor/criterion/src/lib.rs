@@ -53,16 +53,24 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark and prints its timing summary.
+    ///
+    /// With `BENCH_SMOKE` set in the environment the benchmark runs in
+    /// *smoke mode*: a single sample and no warmup, so CI can exercise
+    /// every bench target as a correctness check without paying for
+    /// statistically meaningful timings.
     pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        // Warmup: one untimed pass.
-        let mut warm = Bencher::default();
-        f(&mut warm);
+        let samples = if smoke_mode() { 1 } else { self.sample_size };
+        if !smoke_mode() {
+            // Warmup: one untimed pass.
+            let mut warm = Bencher::default();
+            f(&mut warm);
+        }
         let mut bencher = Bencher::default();
-        for _ in 0..self.sample_size {
+        for _ in 0..samples {
             f(&mut bencher);
         }
         let n = bencher.samples.len().max(1);
@@ -81,6 +89,13 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {
         println!();
     }
+}
+
+/// Whether `BENCH_SMOKE` is set: run every bench with one sample and no
+/// warmup (CI uses this to keep the bench targets compiling and running
+/// without paying for real timings).
+pub fn smoke_mode() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
 }
 
 /// The benchmark driver.
