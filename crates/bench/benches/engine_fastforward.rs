@@ -1,12 +1,15 @@
 //! Bench: fast-forward (next-event skip) engine vs naive stepping.
 //!
 //! The first entry in the workspace's performance trajectory: times both
-//! simulators with and without fast-forward at the two ends of the
-//! paper's latency sweep. With `BENCH_UPDATE` set it rewrites the
-//! `BENCH_engine.json` baseline at the workspace root; otherwise (and
-//! always under `BENCH_SMOKE`) the checked-in baseline is left
-//! untouched, so a plain `cargo bench --workspace` never dirties the
-//! tree.
+//! machines with and without fast-forward at the two ends of the paper's
+//! latency sweep, so `BENCH_engine.json` captures REF and DVA alike.
+//! Both run through the one shared `dva_engine::Driver` — this bench is
+//! therefore also the timing watchpoint for the driver kernel itself:
+//! a regression in the shared tick loop moves every row. With
+//! `BENCH_UPDATE` set it rewrites the `BENCH_engine.json` baseline at
+//! the workspace root; otherwise (and always under `BENCH_SMOKE`) the
+//! checked-in baseline is left untouched, so a plain
+//! `cargo bench --workspace` never dirties the tree.
 
 use dva_sim_api::Machine;
 use dva_workloads::{Benchmark, Scale};
@@ -56,6 +59,11 @@ fn main() {
             let naive = machine.simulate_with(&program, false);
             let fast = machine.simulate_with(&program, true);
             assert_eq!(naive, fast, "fast-forward changed the {name} model");
+            assert_eq!(
+                naive.ticks_executed.get(),
+                naive.cycles,
+                "the shared driver must execute one tick per cycle when naive"
+            );
             let naive_secs = median_secs(samples, || {
                 criterion::black_box(machine.simulate_with(&program, false));
             });

@@ -1,5 +1,10 @@
 //! The cycle-stepped decoupled-machine engine: four processors, the
 //! architectural queues, the two-step store engine and the bypass unit.
+//!
+//! The engine is a [`dva_engine::Processor`]: it advances its units one
+//! tick at a time and reports progress honestly; the clock, the
+//! fast-forward stepping, the watchdog and the statistics bookkeeping
+//! all live in the shared [`dva_engine::Driver`].
 
 // Issue checks are written as guard chains where every arm names one
 // distinct stall reason and yields `false`; clippy would fold the arms
@@ -9,19 +14,13 @@
 use crate::config::DvaConfig;
 use crate::queues::{Fifo, Timed};
 use crate::result::DvaResult;
-use crate::uops::{translate, ApOp, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
-use dva_isa::{Cycle, MemRange, Program, ScalarReg, VectorLength};
+use crate::uops::{translate, ApOp, Bundle, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
+use dva_engine::{Driver, Observers, Processor, Progress, Report};
+use dva_isa::{Cycle, Inst, MemRange, Program, ScalarReg, VectorLength};
 use dva_memory::{CacheAccess, MemorySystem};
-use dva_metrics::{Diag, Histogram, StateTracker, UnitState};
+use dva_metrics::{Histogram, UnitState};
 use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, VectorRegFile};
 use std::collections::{HashMap, VecDeque};
-
-/// How many *ticks* (executed engine iterations) without any progress
-/// before the engine declares a deadlock (a bug) and panics with
-/// diagnostics. Counted in ticks, not cycles, so fast-forward jumps over
-/// quiet cycles never trip it early and a genuine deadlock is detected
-/// after the same amount of simulation work in either stepping mode.
-const WATCHDOG_TICKS: u64 = 200_000;
 
 /// One slot of the vector load data queue. Each slot holds a full vector
 /// register's worth of data.
@@ -75,14 +74,17 @@ struct PendingBypass {
     vl: VectorLength,
 }
 
-pub(crate) struct Engine {
+pub(crate) struct Engine<'a> {
     cfg: DvaConfig,
     chain: ChainPolicy,
-    /// Skip ahead to the next event when a tick makes no progress. The
-    /// results are byte-identical either way; naive stepping exists to
-    /// verify exactly that.
-    fast_forward: bool,
     now: Cycle,
+
+    // Fetch processor state: the instruction stream and the bundle
+    // waiting for instruction-queue slots.
+    insts: &'a [Inst],
+    pc: usize,
+    next_store_seq: StoreSeq,
+    pending: Option<Bundle>,
 
     // Vector processor state.
     vregs: VectorRegFile,
@@ -136,24 +138,22 @@ pub(crate) struct Engine {
     ap_drain_until: Option<StoreSeq>,
 
     // Measurements.
-    states: StateTracker,
-    avdq_hist: Histogram,
     fp_stalls: u64,
     drain_stall_cycles: u64,
     branches_to_fp: u64,
-    /// Engine iterations actually executed (≤ cycles under fast-forward).
-    ticks: u64,
-    ticks_since_progress: u64,
 }
 
-impl Engine {
-    pub(crate) fn new(cfg: DvaConfig, fast_forward: bool) -> Engine {
+impl<'a> Engine<'a> {
+    pub(crate) fn new(cfg: DvaConfig, program: &'a Program) -> Engine<'a> {
         let q = cfg.queues;
         Engine {
             cfg,
             chain: ChainPolicy::reference(),
-            fast_forward,
             now: 0,
+            insts: program.insts(),
+            pc: 0,
+            next_store_seq: 0,
+            pending: None,
             vregs: VectorRegFile::new(&cfg.uarch),
             fu1: FuPipe::new("FU1"),
             fu2: FuPipe::new("FU2"),
@@ -182,29 +182,34 @@ impl Engine {
             pending_bypasses: VecDeque::new(),
             bypassed_loads: 0,
             ap_drain_until: None,
-            states: StateTracker::new(),
-            avdq_hist: Histogram::new(q.avdq),
             fp_stalls: 0,
             drain_stall_cycles: 0,
             branches_to_fp: 0,
-            ticks: 0,
-            ticks_since_progress: 0,
         }
     }
 
     // -- occupancy ---------------------------------------------------------
 
-    fn avdq_busy_slots(&self) -> usize {
+    fn avdq_busy_slots_at(&self, now: Cycle) -> usize {
         let draining = self
             .avdq_draining
             .iter()
-            .filter(|&&until| until > self.now)
+            .filter(|&&until| until > now)
             .count();
         self.avdq.len() + draining
     }
 
     fn avdq_has_free_slot(&self) -> bool {
-        self.avdq_busy_slots() < self.avdq.capacity()
+        self.avdq_busy_slots_at(self.now) < self.avdq.capacity()
+    }
+
+    /// The (FU2, FU1, LD) state tuple of the paper's Figure 1 at `now`.
+    fn state_at(&self, now: Cycle) -> UnitState {
+        UnitState::from_flags(
+            self.fu2.is_busy_at(now),
+            self.fu1.is_busy_at(now),
+            !self.mem.bus_free(now),
+        )
     }
 
     // -- disambiguation -----------------------------------------------------
@@ -589,7 +594,7 @@ impl Engine {
     fn sp_push(
         &mut self,
         src: ScalarReg,
-        queue: impl Fn(&mut Engine) -> &mut Fifo<Timed<()>>,
+        queue: impl for<'e> Fn(&'e mut Engine<'a>) -> &'e mut Fifo<Timed<()>>,
     ) -> bool {
         let now = self.now;
         if !self.sp_sb.is_ready(src, now) {
@@ -756,8 +761,7 @@ impl Engine {
     /// can happen before this cycle — the engine may jump straight to it.
     /// `None` means no timed event is outstanding (a deadlock unless the
     /// engine is structurally done).
-    fn next_event_at(&self) -> Option<Cycle> {
-        let now = self.now;
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
         let mut next = dva_isa::EarliestAfter::new(now);
         // Functional units and the address bus.
         next.consider(self.mem.bus_free_at());
@@ -802,212 +806,192 @@ impl Engine {
         next.consider_opt(self.vregs.next_event_after(now));
         next.get()
     }
+}
 
-    // -- main loop ----------------------------------------------------------
+impl Processor for Engine<'_> {
+    fn step(&mut self, now: Cycle) -> Progress {
+        self.now = now;
+        // Entries whose drain has completed can never be observed
+        // again (the busy-slot filter already ignores them); dropping
+        // them keeps the scan O(in-flight), not O(loads executed).
+        self.avdq_draining.retain(|&until| until > now);
 
-    pub(crate) fn run(mut self, program: &Program) -> DvaResult {
-        let insts = program.insts();
-        let mut pc = 0usize;
-        let mut next_store_seq: StoreSeq = 0;
-        let mut pending: Option<crate::uops::Bundle> = None;
-
-        loop {
-            // Entries whose drain has completed can never be observed
-            // again (the busy-slot filter already ignores them); dropping
-            // them keeps the scan O(in-flight), not O(loads executed).
-            self.avdq_draining.retain(|&until| until > self.now);
-
-            let mut progress = false;
-            // The AP owns the memory port; lazy store writebacks take the
-            // bus only in the cycles the AP leaves it idle.
-            progress |= self.step_ap();
-            progress |= self.step_sp();
-            progress |= self.step_vp();
-            let flush = pc >= insts.len() && pending.is_none();
-            progress |= self.step_store_engine(flush);
-            if self.cfg.bypass {
-                progress |= self.step_bypass_engine();
-            }
-
-            // Fetch/dispatch: one architectural instruction per cycle.
-            if pending.is_none() && pc < insts.len() {
-                pending = Some(translate(&insts[pc], &mut next_store_seq));
-                pc += 1;
-            }
-            if let Some(bundle) = pending.take() {
-                if self.fp_can_dispatch(bundle.slots()) {
-                    if let Some(ap) = bundle.ap {
-                        self.apiq.push(ap);
-                    }
-                    for sp in &bundle.sp {
-                        self.spiq.push(*sp);
-                    }
-                    if let Some(vp) = bundle.vp {
-                        self.vpiq.push(vp);
-                    }
-                    progress = true;
-                } else {
-                    self.fp_stalls += 1;
-                    pending = Some(bundle);
-                }
-            }
-
-            // Sample per-cycle statistics.
-            let occupancy = self.avdq_busy_slots();
-            let state = UnitState::from_flags(
-                self.fu2.is_busy_at(self.now),
-                self.fu1.is_busy_at(self.now),
-                !self.mem.bus_free(self.now),
-            );
-            self.avdq_hist.tick(occupancy);
-            self.states.tick(state);
-
-            self.ticks += 1;
-            if progress {
-                self.ticks_since_progress = 0;
-            } else {
-                self.ticks_since_progress += 1;
-            }
-
-            // Termination: everything fetched, all queues drained.
-            let structurally_done = pc >= insts.len()
-                && pending.is_none()
-                && self.apiq.is_empty()
-                && self.spiq.is_empty()
-                && self.vpiq.is_empty()
-                && self.avdq.is_empty()
-                && self.vadq.is_empty()
-                && self.vsaq.is_empty()
-                && self.ssaq.is_empty()
-                && self.pending_bypasses.is_empty();
-            if structurally_done {
-                // A translator bug that leaves orphaned entries in the
-                // five scalar data queues would otherwise be dropped
-                // silently here: by the time the instruction queues drain,
-                // every push must have had its matching pop.
-                debug_assert!(
-                    self.ssdq.is_empty()
-                        && self.asdq.is_empty()
-                        && self.sadq.is_empty()
-                        && self.svdq.is_empty()
-                        && self.vsdq.is_empty(),
-                    "orphaned scalar data queue entries at structural completion: \
-                     SSDQ={} ASDQ={} SADQ={} SVDQ={} VSDQ={}",
-                    self.ssdq.len(),
-                    self.asdq.len(),
-                    self.sadq.len(),
-                    self.svdq.len(),
-                    self.vsdq.len(),
-                );
-                debug_assert!(
-                    self.store_data_ready.is_empty(),
-                    "store data-ready entries must be garbage-collected by \
-                     structural completion ({} left)",
-                    self.store_data_ready.len(),
-                );
-                let end = self
-                    .vregs
-                    .quiesce_at()
-                    .max(self.ap_sb.quiesce_at())
-                    .max(self.sp_sb.quiesce_at())
-                    .max(self.fu1.free_at())
-                    .max(self.fu2.free_at())
-                    .max(self.qmov1.free_at())
-                    .max(self.qmov2.free_at())
-                    .max(self.bypass_unit.free_at())
-                    .max(self.mem.bus().free_at());
-                self.now += 1;
-                while self.now < end {
-                    self.ticks += 1;
-                    self.states.tick(UnitState::from_flags(
-                        self.fu2.is_busy_at(self.now),
-                        self.fu1.is_busy_at(self.now),
-                        !self.mem.bus_free(self.now),
-                    ));
-                    self.avdq_hist.tick(0);
-                    self.now += 1;
-                }
-                break;
-            }
-
-            if self.ticks_since_progress > WATCHDOG_TICKS {
-                panic!(
-                    "decoupled engine deadlock at cycle {}: pc={pc}/{} APIQ={} SPIQ={} VPIQ={} \
-                     AVDQ={} VADQ={} VSAQ={} SSAQ={} next_commit={} drain={:?} pending_byp={}",
-                    self.now,
-                    insts.len(),
-                    self.apiq.len(),
-                    self.spiq.len(),
-                    self.vpiq.len(),
-                    self.avdq.len(),
-                    self.vadq.len(),
-                    self.vsaq.len(),
-                    self.ssaq.len(),
-                    self.stores_committed,
-                    self.ap_drain_until,
-                    self.pending_bypasses.len(),
-                );
-            }
-
-            // Advance the clock. A tick without progress proves every
-            // processor is blocked on a timed condition, so fast-forward
-            // jumps straight to the next event, bulk-accounting the
-            // skipped cycles. The per-cycle samples and stall counters of
-            // the skipped cycles are identical to this tick's — any
-            // change in between would itself be an event — which is what
-            // keeps the results byte-identical to naive stepping.
-            if !progress && self.fast_forward {
-                if let Some(target) = self.next_event_at() {
-                    let skipped = target - (self.now + 1);
-                    if skipped > 0 {
-                        self.avdq_hist.add(occupancy, skipped);
-                        self.states.add(state, skipped);
-                        if pending.is_some() {
-                            self.fp_stalls += skipped;
-                        }
-                        let drain_stalled = self.ap_drain_until.is_some_and(|limit| {
-                            self.oldest_pending_store().is_some_and(|o| o <= limit)
-                        });
-                        if drain_stalled {
-                            self.drain_stall_cycles += skipped;
-                        }
-                    }
-                    self.now = target;
-                    continue;
-                }
-            }
-            self.now += 1;
+        let mut progress = false;
+        // The AP owns the memory port; lazy store writebacks take the
+        // bus only in the cycles the AP leaves it idle.
+        progress |= self.step_ap();
+        progress |= self.step_sp();
+        progress |= self.step_vp();
+        let flush = self.pc >= self.insts.len() && self.pending.is_none();
+        progress |= self.step_store_engine(flush);
+        if self.cfg.bypass {
+            progress |= self.step_bypass_engine();
         }
 
-        let cycles = self.now;
-        let max_avdq = self.avdq_hist.max_observed().unwrap_or(0);
-        DvaResult {
-            cycles,
-            insts: insts.len() as u64,
-            states: self.states,
+        // Fetch/dispatch: one architectural instruction per cycle.
+        if self.pending.is_none() && self.pc < self.insts.len() {
+            self.pending = Some(translate(&self.insts[self.pc], &mut self.next_store_seq));
+            self.pc += 1;
+        }
+        if let Some(bundle) = self.pending.take() {
+            if self.fp_can_dispatch(bundle.slots()) {
+                if let Some(ap) = bundle.ap {
+                    self.apiq.push(ap);
+                }
+                for sp in &bundle.sp {
+                    self.spiq.push(*sp);
+                }
+                if let Some(vp) = bundle.vp {
+                    self.vpiq.push(vp);
+                }
+                progress = true;
+            } else {
+                self.fp_stalls += 1;
+                self.pending = Some(bundle);
+            }
+        }
+        Progress::from(progress)
+    }
+
+    /// Structural completion: everything fetched, all queues drained.
+    fn is_done(&self) -> bool {
+        let done = self.pc >= self.insts.len()
+            && self.pending.is_none()
+            && self.apiq.is_empty()
+            && self.spiq.is_empty()
+            && self.vpiq.is_empty()
+            && self.avdq.is_empty()
+            && self.vadq.is_empty()
+            && self.vsaq.is_empty()
+            && self.ssaq.is_empty()
+            && self.pending_bypasses.is_empty();
+        if done {
+            // A translator bug that leaves orphaned entries in the
+            // five scalar data queues would otherwise be dropped
+            // silently here: by the time the instruction queues drain,
+            // every push must have had its matching pop.
+            debug_assert!(
+                self.ssdq.is_empty()
+                    && self.asdq.is_empty()
+                    && self.sadq.is_empty()
+                    && self.svdq.is_empty()
+                    && self.vsdq.is_empty(),
+                "orphaned scalar data queue entries at structural completion: \
+                 SSDQ={} ASDQ={} SADQ={} SVDQ={} VSDQ={}",
+                self.ssdq.len(),
+                self.asdq.len(),
+                self.sadq.len(),
+                self.svdq.len(),
+                self.vsdq.len(),
+            );
+            debug_assert!(
+                self.store_data_ready.is_empty(),
+                "store data-ready entries must be garbage-collected by \
+                 structural completion ({} left)",
+                self.store_data_ready.len(),
+            );
+        }
+        done
+    }
+
+    fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        self.next_event_at(now)
+    }
+
+    fn quiesce_at(&self) -> Cycle {
+        self.vregs
+            .quiesce_at()
+            .max(self.ap_sb.quiesce_at())
+            .max(self.sp_sb.quiesce_at())
+            .max(self.fu1.free_at())
+            .max(self.fu2.free_at())
+            .max(self.qmov1.free_at())
+            .max(self.qmov2.free_at())
+            .max(self.bypass_unit.free_at())
+            .max(self.mem.bus().free_at())
+    }
+
+    fn sample(&self, now: Cycle, obs: &mut Observers) {
+        obs.record_occupancy(self.avdq_busy_slots_at(now));
+        obs.record_state(self.state_at(now));
+    }
+
+    /// During the post-completion drain the AVDQ is empty (structural
+    /// completion requires it) and QMOV drains no longer hold slots any
+    /// consumer can observe, so the occupancy histogram records zero.
+    fn drain_sample(&self, now: Cycle, obs: &mut Observers) {
+        obs.record_state(self.state_at(now));
+        obs.record_occupancy(0);
+    }
+
+    fn account_skipped(&mut self, _now: Cycle, skipped: u64) {
+        if self.pending.is_some() {
+            self.fp_stalls += skipped;
+        }
+        let drain_stalled = self
+            .ap_drain_until
+            .is_some_and(|limit| self.oldest_pending_store().is_some_and(|o| o <= limit));
+        if drain_stalled {
+            self.drain_stall_cycles += skipped;
+        }
+    }
+
+    fn report(&self, cycles: Cycle) -> Report {
+        Report {
+            insts: self.insts.len() as u64,
             traffic: self.mem.traffic(),
-            avdq_occupancy: self.avdq_hist,
-            bypassed_loads: self.bypassed_loads,
-            fp_stalls: self.fp_stalls,
-            drain_stall_cycles: self.drain_stall_cycles,
             bus_utilization: self.mem.bus().utilization(cycles),
             cache_hit_rate: self.mem.cache().hit_rate(),
-            max_vpiq: self.vpiq.max_occupancy(),
-            max_apiq: self.apiq.max_occupancy(),
-            max_avdq,
-            ticks_executed: Diag(self.ticks),
+            stall_cycles: self.fp_stalls,
         }
+    }
+
+    fn deadlock_context(&self, _now: Cycle) -> String {
+        format!(
+            "DVA pc={}/{} APIQ={} SPIQ={} VPIQ={} AVDQ={} VADQ={} VSAQ={} SSAQ={} \
+             next_commit={} drain={:?} pending_byp={}",
+            self.pc,
+            self.insts.len(),
+            self.apiq.len(),
+            self.spiq.len(),
+            self.vpiq.len(),
+            self.avdq.len(),
+            self.vadq.len(),
+            self.vsaq.len(),
+            self.ssaq.len(),
+            self.stores_committed,
+            self.ap_drain_until,
+            self.pending_bypasses.len(),
+        )
+    }
+}
+
+/// Drives `engine` to completion through the shared [`Driver`] and
+/// assembles the decoupled machine's result.
+pub(crate) fn run(mut engine: Engine<'_>, fast_forward: bool) -> DvaResult {
+    let mut observers = Observers::with_occupancy(Histogram::new(engine.cfg.queues.avdq));
+    let completion = Driver::new()
+        .fast_forward(fast_forward)
+        .run(&mut engine, &mut observers);
+    let (core, occupancy) = completion.into_core(&engine, observers);
+    let avdq_occupancy = occupancy.expect("the DVA observers carry the AVDQ histogram");
+    let max_avdq = avdq_occupancy.max_observed().unwrap_or(0);
+    DvaResult {
+        core,
+        avdq_occupancy,
+        bypassed_loads: engine.bypassed_loads,
+        drain_stall_cycles: engine.drain_stall_cycles,
+        max_vpiq: engine.vpiq.max_occupancy(),
+        max_apiq: engine.apiq.max_occupancy(),
+        max_avdq,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dva_isa::{Inst, VectorAccess, VectorReg};
-
-    fn vl(n: u32) -> VectorLength {
-        VectorLength::new(n).unwrap()
-    }
+    use dva_isa::{VectorAccess, VectorReg};
+    use dva_testutil::vl;
 
     /// A long stream of short vector loads rotating over the eight
     /// registers: with deep instruction queues and a long latency the AP
@@ -1028,7 +1012,8 @@ mod tests {
         // configurations with AVDQ > 64 silently under-reported
         // `max_avdq` and the fig6/queue-sizing sweeps.
         let cfg = DvaConfig::builder().avdq(128).build();
-        let r = Engine::new(cfg, true).run(&load_storm(4, 64));
+        let program = load_storm(4, 64);
+        let r = run(Engine::new(cfg, &program), true);
         assert_eq!(r.avdq_occupancy.buckets().len(), 128 + 1);
         assert_eq!(r.avdq_occupancy.overflow(), 0);
     }
@@ -1042,7 +1027,8 @@ mod tests {
             .instruction_queue(512)
             .avdq(256)
             .build();
-        let r = Engine::new(cfg, true).run(&load_storm(120, 8));
+        let program = load_storm(120, 8);
+        let r = run(Engine::new(cfg, &program), true);
         assert!(
             r.max_avdq > 64,
             "AVDQ only reached {} slots; the scenario no longer exercises \
@@ -1057,9 +1043,10 @@ mod tests {
     #[should_panic(expected = "orphaned scalar data queue entries")]
     fn orphaned_scalar_queue_entries_are_detected() {
         // Simulates a translator bug: an SVDQ entry nothing ever pops.
-        let mut engine = Engine::new(DvaConfig::default(), true);
+        let program = Program::from_insts("empty", Vec::new());
+        let mut engine = Engine::new(DvaConfig::default(), &program);
         engine.svdq.push(Timed::new((), 0));
-        let _ = engine.run(&Program::from_insts("empty", Vec::new()));
+        let _ = run(engine, true);
     }
 
     #[test]
@@ -1089,8 +1076,8 @@ mod tests {
                 DvaConfig::byp(latency, 4, 8),
                 DvaConfig::byp(latency, 256, 16),
             ] {
-                let fast = Engine::new(cfg, true).run(&program);
-                let naive = Engine::new(cfg, false).run(&program);
+                let fast = run(Engine::new(cfg, &program), true);
+                let naive = run(Engine::new(cfg, &program), false);
                 assert_eq!(fast, naive, "L={latency} cfg={cfg:?}");
                 assert!(
                     fast.ticks_executed.get() <= naive.ticks_executed.get(),

@@ -117,11 +117,8 @@ pub fn ideal_bound(program: &Program) -> IdealBound {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dva_isa::{ScalarReg, VOperand, VectorAccess, VectorLength, VectorOp, VectorReg};
-
-    fn vl(n: u32) -> VectorLength {
-        VectorLength::new(n).unwrap()
-    }
+    use dva_isa::{ScalarReg, VOperand, VectorAccess, VectorOp, VectorReg};
+    use dva_testutil::vl;
 
     #[test]
     fn memory_bound_program_is_limited_by_the_port() {

@@ -118,6 +118,6 @@ impl DvaSim {
     /// Panics if the engine detects a deadlock (an internal invariant
     /// violation — valid traces always complete).
     pub fn run(&self, program: &Program) -> DvaResult {
-        engine::Engine::new(self.config, self.fast_forward).run(program)
+        engine::run(engine::Engine::new(self.config, program), self.fast_forward)
     }
 }

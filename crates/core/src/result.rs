@@ -1,64 +1,56 @@
 //! Results of a decoupled-machine simulation.
 
-use dva_isa::Cycle;
-use dva_metrics::{Diag, Histogram, StateTracker, Traffic};
+use dva_engine::ResultCore;
+use dva_metrics::Histogram;
+use std::ops::Deref;
 
-/// Everything measured during one run of the decoupled simulator.
+/// Everything measured during one run of the decoupled simulator: the
+/// shared [`ResultCore`] (cycles, state breakdown, traffic, stalls) plus
+/// the quantities only this machine produces.
+///
+/// The core's fields and methods are reachable directly through
+/// `Deref` — `result.cycles`, `result.ipc()` — so the decoupled result
+/// reads exactly like every other machine's. The core's front-end
+/// [`stall_cycles`](ResultCore::stall_cycles) are this machine's fetch
+/// processor stalls (see [`fp_stalls`](DvaResult::fp_stalls)).
 ///
 /// Equality compares every *model* quantity; execution diagnostics such
-/// as [`ticks_executed`](DvaResult::ticks_executed) are carried in
-/// [`Diag`] and never affect comparisons or `Debug` output, so a
-/// fast-forward run is byte-identical to a naive one.
+/// as [`ticks_executed`](ResultCore::ticks_executed) are carried in
+/// [`dva_metrics::Diag`] and never affect comparisons or `Debug` output,
+/// so a fast-forward run is byte-identical to a naive one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DvaResult {
-    /// Total execution time in cycles.
-    pub cycles: Cycle,
-    /// Architectural instructions fetched.
-    pub insts: u64,
-    /// Per-cycle occupancy of the (FU2, FU1, LD) tuple, comparable with
-    /// the reference machine's breakdown (Figures 1 and 4).
-    pub states: StateTracker,
-    /// Memory traffic counters (bypassed loads counted separately).
-    pub traffic: Traffic,
+    /// The measurements every machine shares.
+    pub core: ResultCore,
     /// Busy-slot histogram of the vector load data queue, sampled every
     /// cycle (Figure 6).
     pub avdq_occupancy: Histogram,
     /// Vector loads fully satisfied by the VADQ→AVDQ bypass.
     pub bypassed_loads: u64,
-    /// Cycles the fetch processor was blocked on a full instruction queue.
-    pub fp_stalls: u64,
     /// Cycles the address processor spent draining stores to resolve
     /// memory hazards.
     pub drain_stall_cycles: u64,
-    /// Address bus utilization (0..=1).
-    pub bus_utilization: f64,
-    /// Scalar cache hit rate (0..=1).
-    pub cache_hit_rate: f64,
     /// Highest VPIQ occupancy observed.
     pub max_vpiq: usize,
     /// Highest APIQ occupancy observed.
     pub max_apiq: usize,
     /// Highest AVDQ busy-slot count observed.
     pub max_avdq: usize,
-    /// Engine iterations actually executed. Equal to `cycles` under naive
-    /// stepping; under fast-forward it counts only the ticks that were
-    /// simulated (skipped quiet cycles are bulk-accounted). A diagnostic:
-    /// excluded from equality and `Debug`.
-    pub ticks_executed: Diag<u64>,
 }
 
 impl DvaResult {
-    /// Cycles spent in the all-idle `( , , )` state.
-    pub fn idle_cycles(&self) -> Cycle {
-        self.states.idle_cycles()
+    /// Cycles the fetch processor was blocked on a full instruction
+    /// queue — this machine's name for the core's
+    /// [`stall_cycles`](ResultCore::stall_cycles).
+    pub fn fp_stalls(&self) -> u64 {
+        self.core.stall_cycles
     }
+}
 
-    /// Instructions per cycle.
-    pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.insts as f64 / self.cycles as f64
-        }
+impl Deref for DvaResult {
+    type Target = ResultCore;
+
+    fn deref(&self) -> &ResultCore {
+        &self.core
     }
 }

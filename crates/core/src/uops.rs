@@ -433,10 +433,7 @@ pub fn translate(inst: &Inst, next_store_seq: &mut StoreSeq) -> Bundle {
 mod tests {
     use super::*;
     use dva_isa::{Stride, VOperand};
-
-    fn vl(n: u32) -> VectorLength {
-        VectorLength::new(n).unwrap()
-    }
+    use dva_testutil::vl;
 
     #[test]
     fn vector_load_splits_into_ap_and_vp_qmov() {

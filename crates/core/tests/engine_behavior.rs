@@ -2,30 +2,8 @@
 //! known timing.
 
 use dva_core::{DvaConfig, DvaSim, QueueConfig};
-use dva_isa::{
-    Inst, Program, ReduceOp, ScalarReg, VOperand, VectorAccess, VectorLength, VectorOp, VectorReg,
-};
-
-fn vl(n: u32) -> VectorLength {
-    VectorLength::new(n).unwrap()
-}
-
-fn vload(dst: VectorReg, base: u64, n: u32) -> Inst {
-    Inst::VLoad {
-        dst,
-        access: VectorAccess::unit(base, vl(n)),
-    }
-}
-
-fn vadd(dst: VectorReg, a: VectorReg, b: VectorReg, n: u32) -> Inst {
-    Inst::VCompute {
-        op: VectorOp::Add,
-        dst,
-        src1: VOperand::Reg(a),
-        src2: Some(VOperand::Reg(b)),
-        vl: vl(n),
-    }
-}
+use dva_isa::{Inst, Program, ReduceOp, ScalarReg, VectorAccess, VectorReg};
+use dva_testutil::{vadd, vl, vload};
 
 #[test]
 fn single_load_pays_fetch_queue_and_memory_latency() {
@@ -78,7 +56,7 @@ fn fetch_stalls_on_full_instruction_queue_but_completes() {
         .collect();
     let p = Program::from_insts("fp-stall", insts);
     let d = DvaSim::new(config).run(&p);
-    assert!(d.fp_stalls > 0, "expected fetch back-pressure");
+    assert!(d.fp_stalls() > 0, "expected fetch back-pressure");
     assert_eq!(d.traffic.vector_load_elems, 12 * 32);
 }
 

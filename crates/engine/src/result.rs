@@ -1,0 +1,113 @@
+//! The shared result core every machine's measurements are built on.
+
+use dva_isa::Cycle;
+use dva_metrics::{Diag, StateTracker, Traffic};
+
+/// Measurements every machine reports: the common core that
+/// machine-specific result types (and the unified `SimResult` of
+/// `dva-sim-api`) wrap rather than duplicate.
+///
+/// Equality compares every *model* quantity; execution diagnostics such
+/// as [`ticks_executed`](ResultCore::ticks_executed) are carried in
+/// [`Diag`] and never affect comparisons or `Debug` output, so a
+/// fast-forward run is byte-identical to a naive one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultCore {
+    /// Total execution time in cycles.
+    pub cycles: Cycle,
+    /// Architectural instructions executed.
+    pub insts: u64,
+    /// Per-cycle occupancy of the (FU2, FU1, LD) state tuple — the raw
+    /// data of the paper's Figure 1.
+    pub states: StateTracker,
+    /// Memory traffic counters.
+    pub traffic: Traffic,
+    /// Address bus utilization over the whole run (0..=1).
+    pub bus_utilization: f64,
+    /// Scalar cache hit rate (0..=1).
+    pub cache_hit_rate: f64,
+    /// Front-end stall cycles: dispatch stalls on the reference machine,
+    /// fetch-processor stalls on the decoupled machine.
+    pub stall_cycles: u64,
+    /// Engine iterations actually executed. Equal to `cycles` under
+    /// naive stepping; under fast-forward it counts only the ticks that
+    /// were simulated (skipped quiet cycles are bulk-accounted). A
+    /// diagnostic: excluded from equality and `Debug`.
+    pub ticks_executed: Diag<u64>,
+}
+
+impl ResultCore {
+    /// A core for a machine without a timeline (the IDEAL bound): a
+    /// cycle count and an instruction count, everything else empty.
+    pub fn untimed(cycles: Cycle, insts: u64) -> ResultCore {
+        ResultCore {
+            cycles,
+            insts,
+            states: StateTracker::new(),
+            traffic: Traffic::default(),
+            bus_utilization: 0.0,
+            cache_hit_rate: 0.0,
+            stall_cycles: 0,
+            ticks_executed: Diag(0),
+        }
+    }
+
+    /// Cycles spent in the all-idle `( , , )` state.
+    pub fn idle_cycles(&self) -> Cycle {
+        self.states.idle_cycles()
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A processor's contribution to the [`ResultCore`]: the counters only
+/// the machine model itself can produce, handed to the driver's result
+/// assembly once the clock has stopped.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Report {
+    /// Architectural instructions executed.
+    pub insts: u64,
+    /// Memory traffic counters.
+    pub traffic: Traffic,
+    /// Address bus utilization over the whole run (0..=1).
+    pub bus_utilization: f64,
+    /// Scalar cache hit rate (0..=1).
+    pub cache_hit_rate: f64,
+    /// Front-end stall cycles.
+    pub stall_cycles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untimed_core_is_empty_but_counts() {
+        let core = ResultCore::untimed(120, 40);
+        assert_eq!(core.cycles, 120);
+        assert_eq!(core.idle_cycles(), 0);
+        assert!((core.ipc() - 40.0 / 120.0).abs() < 1e-12);
+        assert_eq!(core.states.total_cycles(), 0);
+    }
+
+    #[test]
+    fn diagnostics_never_break_core_equality() {
+        let mut fast = ResultCore::untimed(10, 5);
+        let naive = ResultCore::untimed(10, 5);
+        fast.ticks_executed = Diag(3);
+        assert_eq!(fast, naive);
+        assert_eq!(format!("{fast:?}"), format!("{naive:?}"));
+    }
+
+    #[test]
+    fn zero_cycle_runs_have_zero_ipc() {
+        assert_eq!(ResultCore::untimed(0, 0).ipc(), 0.0);
+    }
+}

@@ -61,18 +61,46 @@ impl RunOpts {
     }
 }
 
+/// What [`try_parse_args`] understood from the command line: either the
+/// run options, or a request for the usage text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParsedArgs {
+    /// Normal run with these options.
+    Opts(RunOpts),
+    /// `--help` / `-h`: print the usage text and exit successfully.
+    Help,
+}
+
+/// The flags every experiment binary accepts.
+fn usage() -> String {
+    [
+        "usage: [--quick | --full] [--threads N] [--help]",
+        "",
+        "  --quick      small traces, the short latency grid",
+        "  --full       full-scale traces, the full latency grid",
+        "  --threads N  sweep worker threads (0 = all cores; default 0)",
+        "  --help, -h   print this help and exit",
+    ]
+    .join("\n")
+}
+
 /// Parses the shared experiment flags (`--quick`, `--full`,
 /// `--threads N`) from the process arguments.
 ///
-/// Unknown arguments are an error: the process prints a usage message and
+/// `--help` (or `-h`) prints the accepted flags and exits 0. Unknown
+/// arguments are an error: the process prints the usage message and
 /// exits with a nonzero status rather than silently measuring something
 /// other than what was asked for.
 pub fn parse_args() -> RunOpts {
     match try_parse_args(std::env::args().skip(1)) {
-        Ok(opts) => opts,
+        Ok(ParsedArgs::Opts(opts)) => opts,
+        Ok(ParsedArgs::Help) => {
+            println!("{}", usage());
+            std::process::exit(0);
+        }
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("usage: [--quick | --full] [--threads N]");
+            eprintln!("{}", usage());
             std::process::exit(2);
         }
     }
@@ -85,9 +113,15 @@ pub fn scale_from_args() -> Scale {
     parse_args().scale
 }
 
-fn try_parse_args(args: impl Iterator<Item = String>) -> Result<RunOpts, String> {
+fn try_parse_args(args: impl Iterator<Item = String>) -> Result<ParsedArgs, String> {
+    // `--help` anywhere wins, even where another flag would consume it
+    // as an operand (`--threads --help`) or error first.
+    let args: Vec<String> = args.collect();
+    if args.iter().any(|arg| arg == "--help" || arg == "-h") {
+        return Ok(ParsedArgs::Help);
+    }
     let mut opts = RunOpts::default();
-    let mut args = args.peekable();
+    let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.scale = Scale::Quick,
@@ -106,7 +140,7 @@ fn try_parse_args(args: impl Iterator<Item = String>) -> Result<RunOpts, String>
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(opts)
+    Ok(ParsedArgs::Opts(opts))
 }
 
 /// The three machines of the paper's central comparison.
@@ -178,17 +212,42 @@ mod tests {
         assert_eq!(kcycles(0), "0.0");
     }
 
+    fn parse(args: &[&str]) -> Result<ParsedArgs, String> {
+        try_parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    fn parse_opts(args: &[&str]) -> RunOpts {
+        match parse(args) {
+            Ok(ParsedArgs::Opts(opts)) => opts,
+            other => panic!("expected options, got {other:?}"),
+        }
+    }
+
     #[test]
     fn arg_parser_rejects_unknown_arguments() {
-        let parse = |args: &[&str]| try_parse_args(args.iter().map(|s| s.to_string()));
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--threads", "zero"]).is_err());
-        let opts = parse(&["--quick", "--threads", "4"]).unwrap();
+        let opts = parse_opts(&["--quick", "--threads", "4"]);
         assert_eq!(opts.scale, Scale::Quick);
         assert_eq!(opts.threads, 4);
-        let opts = parse(&["--full"]).unwrap();
+        let opts = parse_opts(&["--full"]);
         assert!(opts.full);
         assert_eq!(opts.scale, Scale::Full);
+    }
+
+    #[test]
+    fn help_is_discoverable_and_wins_over_other_flags() {
+        assert_eq!(parse(&["--help"]), Ok(ParsedArgs::Help));
+        assert_eq!(parse(&["-h"]), Ok(ParsedArgs::Help));
+        // `--help` anywhere on the line asks for help, even after flags
+        // that would otherwise error or consume it as an operand.
+        assert_eq!(parse(&["--quick", "--help"]), Ok(ParsedArgs::Help));
+        assert_eq!(parse(&["--threads", "--help"]), Ok(ParsedArgs::Help));
+        assert_eq!(parse(&["--bogus", "-h"]), Ok(ParsedArgs::Help));
+        // The usage text names every accepted flag.
+        for flag in ["--quick", "--full", "--threads", "--help"] {
+            assert!(usage().contains(flag), "usage misses {flag}");
+        }
     }
 }

@@ -192,10 +192,7 @@ impl MemorySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn vl(n: u32) -> VectorLength {
-        VectorLength::new(n).unwrap()
-    }
+    use dva_testutil::vl;
 
     #[test]
     fn vector_load_timing_follows_the_paper() {

@@ -1,51 +1,40 @@
 //! Results of a reference-architecture simulation.
 
-use dva_isa::Cycle;
-use dva_metrics::{Diag, StateTracker, Traffic};
+use dva_engine::ResultCore;
+use std::ops::Deref;
 
 /// Everything measured during one run of the reference simulator.
 ///
+/// The reference machine measures nothing beyond the shared
+/// [`ResultCore`], whose fields and methods are reachable directly
+/// through `Deref` — `result.cycles`, `result.ipc()`. The core's
+/// front-end [`stall_cycles`](ResultCore::stall_cycles) are this
+/// machine's dispatch stalls (see
+/// [`dispatch_stalls`](RefResult::dispatch_stalls)).
+///
 /// Equality compares every *model* quantity; execution diagnostics such
-/// as [`ticks_executed`](RefResult::ticks_executed) are carried in
-/// [`Diag`] and never affect comparisons or `Debug` output, so a
-/// fast-forward run is byte-identical to a naive one.
+/// as [`ticks_executed`](ResultCore::ticks_executed) are carried in
+/// [`dva_metrics::Diag`] and never affect comparisons or `Debug` output,
+/// so a fast-forward run is byte-identical to a naive one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RefResult {
-    /// Total execution time in cycles.
-    pub cycles: Cycle,
-    /// Instructions dispatched.
-    pub insts: u64,
-    /// Per-cycle occupancy of the (FU2, FU1, LD) state tuple — the raw
-    /// data of the paper's Figure 1.
-    pub states: StateTracker,
-    /// Memory traffic counters.
-    pub traffic: Traffic,
-    /// Cycles the dispatcher spent blocked behind an unissuable
-    /// instruction.
-    pub dispatch_stalls: u64,
-    /// Address bus utilization over the whole run (0..=1).
-    pub bus_utilization: f64,
-    /// Scalar cache hit rate (0..=1).
-    pub cache_hit_rate: f64,
-    /// Engine iterations actually executed. Equal to `cycles` under naive
-    /// stepping; under fast-forward it counts only the ticks that were
-    /// simulated (skipped stall cycles are bulk-accounted). A diagnostic:
-    /// excluded from equality and `Debug`.
-    pub ticks_executed: Diag<u64>,
+    /// The measurements every machine shares.
+    pub core: ResultCore,
 }
 
 impl RefResult {
-    /// Cycles spent in the all-idle `( , , )` state.
-    pub fn idle_cycles(&self) -> Cycle {
-        self.states.idle_cycles()
+    /// Cycles the dispatcher spent blocked behind an unissuable
+    /// instruction — this machine's name for the core's
+    /// [`stall_cycles`](ResultCore::stall_cycles).
+    pub fn dispatch_stalls(&self) -> u64 {
+        self.core.stall_cycles
     }
+}
 
-    /// Instructions per cycle.
-    pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.insts as f64 / self.cycles as f64
-        }
+impl Deref for RefResult {
+    type Target = ResultCore;
+
+    fn deref(&self) -> &ResultCore {
+        &self.core
     }
 }

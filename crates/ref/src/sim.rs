@@ -1,16 +1,16 @@
 //! The cycle-stepped reference simulator.
+//!
+//! The engine is a [`dva_engine::Processor`]: it advances the in-order
+//! dispatcher one tick at a time; the clock, the fast-forward stepping,
+//! the watchdog and the statistics bookkeeping all live in the shared
+//! [`dva_engine::Driver`].
 
 use crate::result::RefResult;
+use dva_engine::{Driver, Observers, Processor, Progress, Report};
 use dva_isa::{Cycle, Inst, Program, VOperand};
 use dva_memory::{CacheAccess, MemoryParams, MemorySystem};
-use dva_metrics::{Diag, StateTracker, UnitState};
+use dva_metrics::UnitState;
 use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, UarchParams, VectorRegFile};
-
-/// How many consecutive ticks one instruction may fail to issue before
-/// the engine declares a deadlock (a bug) and panics. Counted in ticks,
-/// matching the decoupled engine's watchdog: a valid trace never waits
-/// more than a latency + vector length handful of cycles.
-const WATCHDOG_TICKS: u64 = 200_000;
 
 /// Configuration of the reference machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -121,66 +121,53 @@ impl RefSim {
 
     /// Runs `program` to completion and reports the measurements.
     pub fn run(&self, program: &Program) -> RefResult {
-        Engine::new(self.params, self.chain, self.fast_forward).run(program)
+        let mut engine = Engine::new(self.params, self.chain, program);
+        let mut observers = Observers::new();
+        let completion = Driver::new()
+            .fast_forward(self.fast_forward)
+            .run(&mut engine, &mut observers);
+        let (core, _) = completion.into_core(&engine, observers);
+        RefResult { core }
     }
 }
 
-struct Engine {
+struct Engine<'a> {
     params: RefParams,
     chain: ChainPolicy,
-    fast_forward: bool,
     now: Cycle,
+    insts: &'a [Inst],
+    pc: usize,
     regs: VectorRegFile,
     sb: Scoreboard,
     fu1: FuPipe,
     fu2: FuPipe,
     mem: MemorySystem,
-    states: StateTracker,
     dispatch_stalls: u64,
-    ticks: u64,
 }
 
-impl Engine {
-    fn new(params: RefParams, chain: ChainPolicy, fast_forward: bool) -> Engine {
+impl<'a> Engine<'a> {
+    fn new(params: RefParams, chain: ChainPolicy, program: &'a Program) -> Engine<'a> {
         Engine {
             params,
             chain,
-            fast_forward,
             now: 0,
+            insts: program.insts(),
+            pc: 0,
             regs: VectorRegFile::new(&params.uarch),
             sb: Scoreboard::new(),
             fu1: FuPipe::new("FU1"),
             fu2: FuPipe::new("FU2"),
             mem: MemorySystem::new(params.memory),
-            states: StateTracker::new(),
             dispatch_stalls: 0,
-            ticks: 0,
         }
     }
 
-    fn current_state(&self) -> UnitState {
+    fn state_at(&self, now: Cycle) -> UnitState {
         UnitState::from_flags(
-            self.fu2.is_busy_at(self.now),
-            self.fu1.is_busy_at(self.now),
-            !self.mem.bus_free(self.now),
+            self.fu2.is_busy_at(now),
+            self.fu1.is_busy_at(now),
+            !self.mem.bus_free(now),
         )
-    }
-
-    /// The earliest cycle strictly after `now` at which any gating
-    /// condition of [`Engine::try_issue`] can change: a scalar register
-    /// or vector register becoming ready, a chaining window opening, a
-    /// functional unit freeing, or the address bus freeing. `None` when
-    /// the machine is fully quiet (the stalled instruction can then never
-    /// issue — impossible for valid traces).
-    fn next_event_at(&self) -> Option<Cycle> {
-        let now = self.now;
-        let mut next = dva_isa::EarliestAfter::new(now);
-        next.consider(self.mem.bus_free_at());
-        next.consider(self.fu1.free_at());
-        next.consider(self.fu2.free_at());
-        next.consider_opt(self.sb.next_ready_after(now));
-        next.consider_opt(self.regs.next_event_after(now));
-        next.get()
     }
 
     /// Attempts to issue `inst` at the current cycle. Returns `true` when
@@ -325,103 +312,83 @@ impl Engine {
             }
         }
     }
+}
 
-    fn run(mut self, program: &Program) -> RefResult {
-        let insts = program.insts();
-        let mut pc = 0usize;
-        let mut stalled_ticks = 0u64;
-        while pc < insts.len() {
-            let issued = self.try_issue(&insts[pc]);
-            if issued {
-                pc += 1;
-                stalled_ticks = 0;
-            } else {
-                self.dispatch_stalls += 1;
-                stalled_ticks += 1;
-                if stalled_ticks > WATCHDOG_TICKS {
-                    panic!(
-                        "reference engine deadlock at cycle {}: pc={pc}/{} cannot issue {:?}",
-                        self.now,
-                        insts.len(),
-                        insts[pc],
-                    );
-                }
-            }
-            let state = self.current_state();
-            self.states.tick(state);
-            self.ticks += 1;
-            // A failed issue means the instruction waits on a timed
-            // condition; fast-forward jumps to the next event and
-            // bulk-accounts the skipped stall cycles (whose sampled state
-            // is provably identical — any change in between would itself
-            // be an event), keeping the results byte-identical to naive
-            // stepping.
-            if !issued && self.fast_forward {
-                if let Some(target) = self.next_event_at() {
-                    let skipped = target - (self.now + 1);
-                    if skipped > 0 {
-                        self.dispatch_stalls += skipped;
-                        self.states.add(state, skipped);
-                    }
-                    self.now = target;
-                    continue;
-                }
-            }
-            self.now += 1;
+impl Processor for Engine<'_> {
+    fn step(&mut self, now: Cycle) -> Progress {
+        self.now = now;
+        let insts = self.insts;
+        if self.try_issue(&insts[self.pc]) {
+            self.pc += 1;
+            Progress::Advanced
+        } else {
+            self.dispatch_stalls += 1;
+            Progress::Stalled
         }
-        // Drain: run the clock until every unit and register is quiet.
-        let end = self
-            .regs
+    }
+
+    fn is_done(&self) -> bool {
+        self.pc >= self.insts.len()
+    }
+
+    /// The earliest cycle strictly after `now` at which any gating
+    /// condition of [`Engine::try_issue`] can change: a scalar register
+    /// or vector register becoming ready, a chaining window opening, a
+    /// functional unit freeing, or the address bus freeing. `None` when
+    /// the machine is fully quiet (the stalled instruction can then never
+    /// issue — impossible for valid traces).
+    fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = dva_isa::EarliestAfter::new(now);
+        next.consider(self.mem.bus_free_at());
+        next.consider(self.fu1.free_at());
+        next.consider(self.fu2.free_at());
+        next.consider_opt(self.sb.next_ready_after(now));
+        next.consider_opt(self.regs.next_event_after(now));
+        next.get()
+    }
+
+    fn quiesce_at(&self) -> Cycle {
+        self.regs
             .quiesce_at()
             .max(self.sb.quiesce_at())
             .max(self.fu1.free_at())
             .max(self.fu2.free_at())
-            .max(self.mem.bus().free_at());
-        while self.now < end {
-            let state = self.current_state();
-            self.states.tick(state);
-            self.ticks += 1;
-            self.now += 1;
-        }
-        let cycles = self.now;
-        RefResult {
-            cycles,
-            insts: insts.len() as u64,
-            states: self.states,
+            .max(self.mem.bus().free_at())
+    }
+
+    fn sample(&self, now: Cycle, obs: &mut Observers) {
+        obs.record_state(self.state_at(now));
+    }
+
+    fn account_skipped(&mut self, _now: Cycle, skipped: u64) {
+        self.dispatch_stalls += skipped;
+    }
+
+    fn report(&self, cycles: Cycle) -> Report {
+        Report {
+            insts: self.insts.len() as u64,
             traffic: self.mem.traffic(),
-            dispatch_stalls: self.dispatch_stalls,
             bus_utilization: self.mem.bus().utilization(cycles),
             cache_hit_rate: self.mem.cache().hit_rate(),
-            ticks_executed: Diag(self.ticks),
+            stall_cycles: self.dispatch_stalls,
         }
+    }
+
+    fn deadlock_context(&self, _now: Cycle) -> String {
+        format!(
+            "REF pc={}/{} cannot issue {:?}",
+            self.pc,
+            self.insts.len(),
+            self.insts[self.pc],
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dva_isa::{ReduceOp, ScalarReg, VectorAccess, VectorLength, VectorOp, VectorReg};
-
-    fn vl(n: u32) -> VectorLength {
-        VectorLength::new(n).unwrap()
-    }
-
-    fn vload(dst: VectorReg, base: u64, n: u32) -> Inst {
-        Inst::VLoad {
-            dst,
-            access: VectorAccess::unit(base, vl(n)),
-        }
-    }
-
-    fn vadd(dst: VectorReg, a: VectorReg, b: VectorReg, n: u32) -> Inst {
-        Inst::VCompute {
-            op: VectorOp::Add,
-            dst,
-            src1: VOperand::Reg(a),
-            src2: Some(VOperand::Reg(b)),
-            vl: vl(n),
-        }
-    }
+    use dva_isa::{ReduceOp, ScalarReg, VectorAccess, VectorOp, VectorReg};
+    use dva_testutil::{vadd, vl, vload};
 
     fn run(insts: Vec<Inst>, latency: u64) -> RefResult {
         let program = Program::from_insts("t", insts);
@@ -537,7 +504,7 @@ mod tests {
         );
         // Miss: data at cycle 40; ALU issues at 40, result at 41.
         assert_eq!(r.cycles, 41);
-        assert!(r.dispatch_stalls > 30);
+        assert!(r.dispatch_stalls() > 30);
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! [`Sweep`] session that fans the whole cross-product out over OS
 //! threads.
 //!
+//! Every timed machine is a [`dva_engine::Processor`] run by the shared
+//! [`dva_engine::Driver`], and every result wraps the same
+//! [`ResultCore`] — which is also how [`Machine::custom`] can accept any
+//! boxed processor and hand back a full [`SimResult`].
+//!
 //! # Examples
 //!
 //! Simulate one program on every machine:
@@ -45,6 +50,15 @@ mod machine;
 mod result;
 mod sweep;
 
-pub use machine::Machine;
+pub use machine::{CustomMachine, CustomSim, Machine};
 pub use result::{MachineDetail, SimResult};
 pub use sweep::{Sweep, SweepPoint, SweepResults};
+
+// Re-exported so custom machines can be written against this crate
+// alone: the processor contract, its statistics sink, the shared result
+// core every machine reports, and the handful of foundation types a
+// `Processor` impl needs (the clock type, the state tuple, the
+// occupancy histogram).
+pub use dva_engine::{Observers, Processor, Progress, Report, ResultCore};
+pub use dva_isa::Cycle;
+pub use dva_metrics::{Histogram, UnitState};

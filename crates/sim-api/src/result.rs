@@ -1,39 +1,26 @@
 //! The unified simulation result.
 
 use dva_core::{DvaResult, IdealBound};
+use dva_engine::ResultCore;
 use dva_isa::{Cycle, Program};
-use dva_metrics::{Diag, Histogram, StateTracker, Traffic};
+use dva_metrics::Histogram;
 use dva_ref::RefResult;
+use std::ops::Deref;
 
 /// Measurements every machine reports, plus machine-specific detail.
 ///
-/// The common fields unify [`RefResult`] and [`DvaResult`]; quantities
-/// that only one machine produces (the AVDQ histogram, bypass counters,
-/// the IDEAL resource split) live behind [`MachineDetail`] and the typed
-/// accessors.
+/// The common measurements are the shared [`ResultCore`] assembled by
+/// the `dva-engine` driver — every machine (REF, DVA, IDEAL, custom)
+/// produces the same core, so converting a machine result into a
+/// `SimResult` moves the core instead of copying fields. The core's
+/// fields and methods are reachable directly through `Deref` —
+/// `result.cycles`, `result.ipc()`. Quantities that only one machine
+/// produces (the AVDQ histogram, bypass counters, the IDEAL resource
+/// split) live behind [`MachineDetail`] and the typed accessors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
-    /// Total execution time in cycles (for IDEAL: the lower bound).
-    pub cycles: Cycle,
-    /// Architectural instructions executed (for IDEAL: trace length).
-    pub insts: u64,
-    /// Per-cycle occupancy of the (FU2, FU1, LD) state tuple. Empty for
-    /// IDEAL, which models resources without a timeline.
-    pub states: StateTracker,
-    /// Memory traffic counters. Zero for IDEAL.
-    pub traffic: Traffic,
-    /// Address bus utilization over the run (0..=1; 0 for IDEAL).
-    pub bus_utilization: f64,
-    /// Scalar cache hit rate (0..=1; 0 for IDEAL).
-    pub cache_hit_rate: f64,
-    /// Front-end stall cycles: dispatch stalls on REF, fetch-processor
-    /// stalls on the DVA, zero for IDEAL.
-    pub stall_cycles: u64,
-    /// Simulator loop iterations actually executed: equal to `cycles`
-    /// under naive stepping, (much) smaller under fast-forward, zero for
-    /// IDEAL. A [`Diag`] — excluded from equality and `Debug` so that the
-    /// stepping strategy never affects result identity.
-    pub ticks_executed: Diag<u64>,
+    /// The measurements every machine shares.
+    pub core: ResultCore,
     /// Whatever only this machine measures.
     pub detail: MachineDetail,
 }
@@ -41,7 +28,7 @@ pub struct SimResult {
 /// Machine-specific measurements carried inside a [`SimResult`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum MachineDetail {
-    /// The reference machine reports nothing beyond the common fields.
+    /// The reference machine reports nothing beyond the common core.
     Reference,
     /// Decoupled-machine extras (queues, bypass, drain stalls).
     Decoupled {
@@ -61,23 +48,16 @@ pub enum MachineDetail {
     },
     /// The IDEAL bound's per-resource operation totals.
     Ideal(IdealBound),
+    /// A [`Machine::custom`](crate::Machine::custom) processor's extras:
+    /// the occupancy histogram its observers tracked, if any.
+    Custom {
+        /// Per-cycle occupancy histogram, when the custom machine's
+        /// observers carried one.
+        occupancy: Option<Histogram>,
+    },
 }
 
 impl SimResult {
-    /// Cycles spent in the all-idle `( , , )` state.
-    pub fn idle_cycles(&self) -> Cycle {
-        self.states.idle_cycles()
-    }
-
-    /// Instructions per cycle.
-    pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.insts as f64 / self.cycles as f64
-        }
-    }
-
     /// Speedup of this result over `baseline` (baseline cycles / ours).
     pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
         dva_metrics::speedup(baseline.cycles, self.cycles)
@@ -87,6 +67,17 @@ impl SimResult {
     pub fn avdq_occupancy(&self) -> Option<&Histogram> {
         match &self.detail {
             MachineDetail::Decoupled { avdq_occupancy, .. } => Some(avdq_occupancy),
+            _ => None,
+        }
+    }
+
+    /// The per-cycle occupancy histogram this machine tracked, whichever
+    /// kind of machine it is: the DVA's AVDQ histogram, or whatever a
+    /// custom machine's observers recorded.
+    pub fn occupancy_histogram(&self) -> Option<&Histogram> {
+        match &self.detail {
+            MachineDetail::Decoupled { avdq_occupancy, .. } => Some(avdq_occupancy),
+            MachineDetail::Custom { occupancy } => occupancy.as_ref(),
             _ => None,
         }
     }
@@ -128,33 +119,45 @@ impl SimResult {
         }
     }
 
-    /// Builds the IDEAL pseudo-result for `program`.
+    /// Builds the IDEAL pseudo-result for `program`: the bound has no
+    /// timeline, so its core is the shared "untimed" core (cycles +
+    /// instruction count, everything else empty).
     pub(crate) fn from_ideal(bound: IdealBound, program: &Program) -> SimResult {
         SimResult {
-            cycles: bound.cycles(),
-            insts: program.len() as u64,
-            states: StateTracker::new(),
-            traffic: Traffic::default(),
-            bus_utilization: 0.0,
-            cache_hit_rate: 0.0,
-            stall_cycles: 0,
-            ticks_executed: Diag(0),
+            core: ResultCore::untimed(bound.cycles(), program.len() as u64),
             detail: MachineDetail::Ideal(bound),
         }
+    }
+
+    /// Wraps the core a custom processor's driver run assembled.
+    pub(crate) fn from_custom(core: ResultCore, occupancy: Option<Histogram>) -> SimResult {
+        SimResult {
+            core,
+            detail: MachineDetail::Custom { occupancy },
+        }
+    }
+
+    /// Cycles spent in the all-idle `( , , )` state.
+    ///
+    /// (Also available through `Deref` to [`ResultCore`]; kept inherent
+    /// so existing callers and docs keep working unchanged.)
+    pub fn idle_cycles(&self) -> Cycle {
+        self.core.idle_cycles()
+    }
+}
+
+impl Deref for SimResult {
+    type Target = ResultCore;
+
+    fn deref(&self) -> &ResultCore {
+        &self.core
     }
 }
 
 impl From<RefResult> for SimResult {
     fn from(r: RefResult) -> SimResult {
         SimResult {
-            cycles: r.cycles,
-            insts: r.insts,
-            states: r.states,
-            traffic: r.traffic,
-            bus_utilization: r.bus_utilization,
-            cache_hit_rate: r.cache_hit_rate,
-            stall_cycles: r.dispatch_stalls,
-            ticks_executed: r.ticks_executed,
+            core: r.core,
             detail: MachineDetail::Reference,
         }
     }
@@ -163,14 +166,7 @@ impl From<RefResult> for SimResult {
 impl From<DvaResult> for SimResult {
     fn from(d: DvaResult) -> SimResult {
         SimResult {
-            cycles: d.cycles,
-            insts: d.insts,
-            states: d.states,
-            traffic: d.traffic,
-            bus_utilization: d.bus_utilization,
-            cache_hit_rate: d.cache_hit_rate,
-            stall_cycles: d.fp_stalls,
-            ticks_executed: d.ticks_executed,
+            core: d.core,
             detail: MachineDetail::Decoupled {
                 avdq_occupancy: d.avdq_occupancy,
                 bypassed_loads: d.bypassed_loads,
@@ -198,6 +194,7 @@ mod tests {
 
         let d = Machine::byp(1, 256, 16).simulate(&program);
         assert!(d.avdq_occupancy().is_some());
+        assert!(d.occupancy_histogram().is_some());
         assert!(d.max_avdq().is_some());
 
         let i = Machine::ideal().simulate(&program);

@@ -70,11 +70,8 @@ pub fn identical_reuse_pairs(program: &Program) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dva_isa::{ProgramBuilder, VectorAccess, VectorLength, VectorReg};
-
-    fn vl(n: u32) -> VectorLength {
-        VectorLength::new(n).unwrap()
-    }
+    use dva_isa::{ProgramBuilder, VectorAccess, VectorReg};
+    use dva_testutil::vl;
 
     #[test]
     fn spill_fraction_counts_only_spill_region() {

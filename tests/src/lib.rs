@@ -1,11 +1,15 @@
 //! Integration test crate for the DVA reproduction workspace.
 //!
 //! The tests live in `tests/tests/*.rs`; this library holds the shared
-//! random-program generator they draw inputs from.
+//! random-program generator they draw inputs from, and re-exports the
+//! `dva-testutil` program builders (`vl`, `vload`, `vadd`, …) so every
+//! test writes hand-built traces the same way.
 #![forbid(unsafe_code)]
 
 use dva_workloads::{Kernel, LoopSpec, Phase, ProgramSpec, ScalarSection, StripOverhead};
 use proptest::prelude::*;
+
+pub use dva_testutil::*;
 
 /// A random straight-line kernel: loads, unary/binary ops over live
 /// values, optional reduction, stores.

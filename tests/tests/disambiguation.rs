@@ -3,15 +3,8 @@
 //! gathers/scatters conflict with everything.
 
 use dva_core::{DvaConfig, DvaSim};
-use dva_isa::{Inst, Program, Stride, VOperand, VectorAccess, VectorLength, VectorOp, VectorReg};
-
-fn vl(n: u32) -> VectorLength {
-    VectorLength::new(n).unwrap()
-}
-
-fn unit(base: u64, n: u32) -> VectorAccess {
-    VectorAccess::unit(base, vl(n))
-}
+use dva_isa::{Inst, Program, Stride, VOperand, VectorAccess, VectorOp, VectorReg};
+use dva_tests::{unit, vl};
 
 /// load a; c = a+a; store c to X; load X (identical reload).
 fn store_then_reload(identical: bool) -> Program {

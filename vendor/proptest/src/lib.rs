@@ -255,7 +255,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::{fmt, Strategy, TestRng};
 
-    /// Length bounds for [`vec`].
+    /// Length bounds for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
