@@ -5,13 +5,17 @@
 //! latency sweep, so `BENCH_engine.json` captures REF and DVA alike.
 //! Both run through the one shared `dva_engine::Driver` — this bench is
 //! therefore also the timing watchpoint for the driver kernel itself:
-//! a regression in the shared tick loop moves every row. With
+//! a regression in the shared tick loop moves every row. The
+//! `DVA-banked` rows time the same machine against the `Banked` memory
+//! backend, so the baseline also tracks the `MemoryModel` trait's
+//! dispatch overhead (the flat rows go through the same `Box<dyn>`
+//! call, so a dispatch regression moves everything together). With
 //! `BENCH_UPDATE` set it rewrites the `BENCH_engine.json` baseline at
 //! the workspace root; otherwise (and always under `BENCH_SMOKE`) the
 //! checked-in baseline is left untouched, so a plain
 //! `cargo bench --workspace` never dirties the tree.
 
-use dva_sim_api::Machine;
+use dva_sim_api::{Machine, MemoryModelKind};
 use dva_workloads::{Benchmark, Scale};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -52,8 +56,16 @@ fn main() {
     let samples = if smoke { 1 } else { 7 };
     let program = PROGRAM.program(Scale::Quick);
 
+    let banked = MemoryModelKind::Banked {
+        banks: 8,
+        bank_busy: 8,
+    };
     let mut points = Vec::new();
-    for (name, machine) in [("REF", Machine::reference(1)), ("DVA", Machine::dva(1))] {
+    for (name, machine) in [
+        ("REF", Machine::reference(1)),
+        ("DVA", Machine::dva(1)),
+        ("DVA-banked", Machine::dva(1).with_memory_model(banked)),
+    ] {
         for latency in LATENCIES {
             let machine = machine.with_latency(latency);
             let naive = machine.simulate_with(&program, false);

@@ -17,7 +17,7 @@ use crate::result::DvaResult;
 use crate::uops::{translate, ApOp, Bundle, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
 use dva_engine::{Driver, Observers, Processor, Progress, Report};
 use dva_isa::{Cycle, Inst, MemRange, Program, ScalarReg, VectorLength};
-use dva_memory::{CacheAccess, MemorySystem};
+use dva_memory::{CacheAccess, MemoryModel};
 use dva_metrics::{Histogram, UnitState};
 use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, VectorRegFile};
 use std::collections::{HashMap, VecDeque};
@@ -98,7 +98,7 @@ pub(crate) struct Engine<'a> {
     sp_sb: Scoreboard,
 
     // Memory.
-    mem: MemorySystem,
+    mem: Box<dyn MemoryModel>,
 
     // Instruction queues.
     apiq: Fifo<ApOp>,
@@ -161,7 +161,7 @@ impl<'a> Engine<'a> {
             qmov2: FuPipe::new("QMOV2"),
             ap_sb: Scoreboard::new(),
             sp_sb: Scoreboard::new(),
-            mem: MemorySystem::new(cfg.memory),
+            mem: cfg.memory.build(),
             apiq: Fifo::new("APIQ", q.instruction_queue),
             spiq: Fifo::new("SPIQ", q.instruction_queue),
             vpiq: Fifo::new("VPIQ", q.instruction_queue),
@@ -208,7 +208,7 @@ impl<'a> Engine<'a> {
         UnitState::from_flags(
             self.fu2.is_busy_at(now),
             self.fu1.is_busy_at(now),
-            !self.mem.bus_free(now),
+            self.mem.busy(now),
         )
     }
 
@@ -274,7 +274,7 @@ impl<'a> Engine<'a> {
                 Some(t) => t <= now,
                 None => self.ssdq.front().is_some_and(|d| d.is_ready(now)),
             };
-            if data_ready && self.mem.bus_free(now) {
+            if data_ready && self.mem.port_free(now) {
                 if front.ap_data_ready.is_none() {
                     self.ssdq.pop();
                 }
@@ -297,7 +297,7 @@ impl<'a> Engine<'a> {
         let (Some(_), Some(data)) = (self.vsaq.front(), self.vadq.front().copied()) else {
             return false;
         };
-        if data.first_at > now || !self.mem.bus_free(now) {
+        if data.first_at > now || !self.mem.port_free(now) {
             return false;
         }
         debug_assert_eq!(
@@ -305,7 +305,8 @@ impl<'a> Engine<'a> {
             Some(data.seq),
             "VADQ order must match VSAQ order"
         );
-        self.mem.issue_vector_store(now, data.vl);
+        let stride = self.vsaq.front().and_then(|e| e.access.stride());
+        self.mem.issue_vector_store(now, data.vl, stride);
         self.vsaq.pop();
         self.vadq.pop();
         self.stores_committed += 1;
@@ -464,7 +465,7 @@ impl<'a> Engine<'a> {
         if to_sp && self.asdq.is_full() {
             return false;
         }
-        if self.mem.probe_scalar(addr) == CacheAccess::Miss && !self.mem.bus_free(now) {
+        if self.mem.probe_scalar(addr) == CacheAccess::Miss && !self.mem.port_free(now) {
             return false;
         }
         let issue = self.mem.scalar_load(now, addr);
@@ -508,10 +509,12 @@ impl<'a> Engine<'a> {
                 false
             }
             None => {
-                if !self.avdq_has_free_slot() || !self.mem.bus_free(now) {
+                if !self.avdq_has_free_slot() || !self.mem.port_free(now) {
                     return false;
                 }
-                let issue = self.mem.issue_vector_load(now, access.vl());
+                let issue = self
+                    .mem
+                    .issue_vector_load(now, access.vl(), access.stride());
                 let id = self.next_avdq_id;
                 self.next_avdq_id += 1;
                 self.avdq.push(AvdqSlot {
@@ -763,8 +766,10 @@ impl<'a> Engine<'a> {
     /// engine is structurally done).
     fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
         let mut next = dva_isa::EarliestAfter::new(now);
-        // Functional units and the address bus.
-        next.consider(self.mem.bus_free_at());
+        // Functional units and the address ports. Every port freeing is
+        // its own event: on a multi-ported memory the issue gate flips
+        // at the first free and the sampled LD flag at the last.
+        next.consider_opt(self.mem.next_free_at(now));
         next.consider(self.fu1.free_at());
         next.consider(self.fu2.free_at());
         next.consider(self.qmov1.free_at());
@@ -908,7 +913,7 @@ impl Processor for Engine<'_> {
             .max(self.qmov1.free_at())
             .max(self.qmov2.free_at())
             .max(self.bypass_unit.free_at())
-            .max(self.mem.bus().free_at())
+            .max(self.mem.quiesce_at())
     }
 
     fn sample(&self, now: Cycle, obs: &mut Observers) {
@@ -940,8 +945,10 @@ impl Processor for Engine<'_> {
         Report {
             insts: self.insts.len() as u64,
             traffic: self.mem.traffic(),
-            bus_utilization: self.mem.bus().utilization(cycles),
+            bus_utilization: self.mem.utilization(cycles),
+            port_utilization: self.mem.port_utilizations(cycles),
             cache_hit_rate: self.mem.cache().hit_rate(),
+            cache: self.mem.cache().stats(),
             stall_cycles: self.fp_stalls,
         }
     }

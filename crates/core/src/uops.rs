@@ -66,6 +66,12 @@ impl VecAccess {
             VecAccess::Indexed { .. } => None,
         }
     }
+
+    /// The element stride, when the access has one — what the memory
+    /// model's bank-conflict timing keys on (`None` for gather/scatter).
+    pub fn stride(&self) -> Option<dva_isa::Stride> {
+        self.strided().map(|a| a.stride)
+    }
 }
 
 /// µops executed by the address processor, in APIQ order.

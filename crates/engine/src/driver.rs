@@ -193,7 +193,9 @@ impl Completion {
             states: observers.states,
             traffic: report.traffic,
             bus_utilization: report.bus_utilization,
+            port_utilization: report.port_utilization,
             cache_hit_rate: report.cache_hit_rate,
+            cache: report.cache,
             stall_cycles: report.stall_cycles,
             ticks_executed: Diag(self.ticks),
         };

@@ -1,7 +1,7 @@
 //! The shared result core every machine's measurements are built on.
 
 use dva_isa::Cycle;
-use dva_metrics::{Diag, StateTracker, Traffic};
+use dva_metrics::{CacheStats, Diag, StateTracker, Traffic};
 
 /// Measurements every machine reports: the common core that
 /// machine-specific result types (and the unified `SimResult` of
@@ -22,10 +22,17 @@ pub struct ResultCore {
     pub states: StateTracker,
     /// Memory traffic counters.
     pub traffic: Traffic,
-    /// Address bus utilization over the whole run (0..=1).
+    /// Mean address-port utilization over the whole run (0..=1); for a
+    /// single-ported memory, the address-bus utilization.
     pub bus_utilization: f64,
-    /// Scalar cache hit rate (0..=1).
+    /// Per-port address-bus utilization over the whole run, in
+    /// arbitration order — one entry for flat/banked memories, `N` for
+    /// an `N`-ported memory, empty for machines without one (IDEAL).
+    pub port_utilization: Vec<f64>,
+    /// Scalar cache hit rate over all accesses (0..=1).
     pub cache_hit_rate: f64,
+    /// Scalar cache hit/miss counts, split into loads and stores.
+    pub cache: CacheStats,
     /// Front-end stall cycles: dispatch stalls on the reference machine,
     /// fetch-processor stalls on the decoupled machine.
     pub stall_cycles: u64,
@@ -46,7 +53,9 @@ impl ResultCore {
             states: StateTracker::new(),
             traffic: Traffic::default(),
             bus_utilization: 0.0,
+            port_utilization: Vec::new(),
             cache_hit_rate: 0.0,
+            cache: CacheStats::default(),
             stall_cycles: 0,
             ticks_executed: Diag(0),
         }
@@ -70,16 +79,20 @@ impl ResultCore {
 /// A processor's contribution to the [`ResultCore`]: the counters only
 /// the machine model itself can produce, handed to the driver's result
 /// assembly once the clock has stopped.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
     /// Architectural instructions executed.
     pub insts: u64,
     /// Memory traffic counters.
     pub traffic: Traffic,
-    /// Address bus utilization over the whole run (0..=1).
+    /// Mean address-port utilization over the whole run (0..=1).
     pub bus_utilization: f64,
-    /// Scalar cache hit rate (0..=1).
+    /// Per-port address-bus utilization, in arbitration order.
+    pub port_utilization: Vec<f64>,
+    /// Scalar cache hit rate over all accesses (0..=1).
     pub cache_hit_rate: f64,
+    /// Scalar cache hit/miss counts, split into loads and stores.
+    pub cache: CacheStats,
     /// Front-end stall cycles.
     pub stall_cycles: u64,
 }

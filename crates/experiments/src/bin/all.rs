@@ -3,7 +3,7 @@
 //! A shared REF/DVA/IDEAL latency sweep feeds Figures 3, 4 and 5 so the
 //! heavy simulations run once (and in parallel across the grid).
 
-use dva_experiments::{common, fig1, fig3, fig4, fig5, fig6, fig7, fig8, queues, table1};
+use dva_experiments::{common, fig1, fig3, fig4, fig5, fig6, fig7, fig8, membanks, queues, table1};
 
 fn main() {
     let opts = common::parse_args();
@@ -37,4 +37,7 @@ fn main() {
     println!("{}", queues::store_queue(opts));
     println!();
     println!("{}", queues::load_queue(opts));
+
+    println!("\n== Bank conflicts: cycles vs stride (beyond the paper) ==\n");
+    println!("{}", membanks::run(opts));
 }

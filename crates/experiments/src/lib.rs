@@ -24,6 +24,7 @@
 //! | [`fig7`] | Figure 7: bypass configurations vs DVA and IDEAL |
 //! | [`fig8`] | Figure 8: memory-traffic ratio BYP/DVA |
 //! | [`queues`] | Section 5/6: queue-sizing sensitivity |
+//! | [`membanks`] | Beyond the paper: bank-conflict stride sweep over the memory backends |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +38,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod membanks;
 pub mod queues;
 pub mod table1;
 

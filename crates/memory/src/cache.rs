@@ -5,6 +5,7 @@
 //! Section 4.2). The cache is also one of the five resources of the IDEAL
 //! lower-bound model.
 
+use dva_metrics::CacheStats;
 use std::fmt;
 
 /// Configuration of the direct-mapped scalar cache.
@@ -55,8 +56,7 @@ pub enum CacheAccess {
 pub struct ScalarCache {
     params: ScalarCacheParams,
     tags: Vec<Option<u64>>,
-    hits: u64,
-    misses: u64,
+    stats: CacheStats,
 }
 
 impl Default for ScalarCache {
@@ -80,8 +80,7 @@ impl ScalarCache {
         ScalarCache {
             params,
             tags: vec![None; params.lines],
-            hits: 0,
-            misses: 0,
+            stats: CacheStats::default(),
         }
     }
 
@@ -106,11 +105,11 @@ impl ScalarCache {
     pub fn load(&mut self, addr: u64) -> CacheAccess {
         let (index, tag) = self.index_and_tag(addr);
         if self.tags[index] == Some(tag) {
-            self.hits += 1;
+            self.stats.load_hits += 1;
             CacheAccess::Hit
         } else {
             self.tags[index] = Some(tag);
-            self.misses += 1;
+            self.stats.load_misses += 1;
             CacheAccess::Miss
         }
     }
@@ -121,10 +120,10 @@ impl ScalarCache {
     pub fn store(&mut self, addr: u64) -> CacheAccess {
         let (index, tag) = self.index_and_tag(addr);
         let access = if self.tags[index] == Some(tag) {
-            self.hits += 1;
+            self.stats.store_hits += 1;
             CacheAccess::Hit
         } else {
-            self.misses += 1;
+            self.stats.store_misses += 1;
             CacheAccess::Miss
         };
         self.tags[index] = Some(tag);
@@ -136,24 +135,36 @@ impl ScalarCache {
         self.tags.fill(None);
     }
 
-    /// Total hits observed.
+    /// Total hits observed (loads and stores combined).
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.stats.hits()
     }
 
-    /// Total misses observed.
+    /// Total misses observed (loads and stores combined).
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.stats.misses()
     }
 
     /// Hit rate over all accesses (0..=1), 0 when no accesses happened.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        self.stats.hit_rate()
+    }
+
+    /// The full hit/miss statistics, split by access kind — store
+    /// outcomes are recorded too, not discarded at the memory-system
+    /// boundary.
+    ///
+    /// ```
+    /// use dva_memory::ScalarCache;
+    /// let mut cache = ScalarCache::default();
+    /// cache.store(0x40); // miss, installs the line
+    /// cache.load(0x48); // hits the installed line
+    /// let stats = cache.stats();
+    /// assert_eq!(stats.store_misses, 1);
+    /// assert_eq!(stats.load_hits, 1);
+    /// ```
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
     /// The configured geometry.
@@ -167,8 +178,8 @@ impl fmt::Display for ScalarCache {
         write!(
             f,
             "scalar cache: {} hits, {} misses ({:.1}% hit rate)",
-            self.hits,
-            self.misses,
+            self.hits(),
+            self.misses(),
             100.0 * self.hit_rate()
         )
     }

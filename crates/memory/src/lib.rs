@@ -1,4 +1,4 @@
-//! Memory subsystem model for the *Decoupled Vector Architectures*
+//! Memory subsystem models for the *Decoupled Vector Architectures*
 //! reproduction.
 //!
 //! The paper's memory model (Section 4.2) has:
@@ -12,29 +12,46 @@
 //! * a small **scalar cache** that holds only scalar data — vector accesses
 //!   go directly to main memory.
 //!
-//! [`MemorySystem`] packages these pieces together with traffic counters so
-//! the two simulators share identical timing rules.
+//! That model is the [`FlatMemory`] backend of a *pluggable* layer: both
+//! simulators issue every access through the [`MemoryModel`] trait, and
+//! [`MemoryParams::build`] instantiates whichever [`MemoryModelKind`] the
+//! configuration names —
+//!
+//! | backend | timing rule |
+//! |---|---|
+//! | [`FlatMemory`] | one port; a length-`VL` access holds it `VL` cycles |
+//! | [`BankedMemory`] | one port over `banks` interleaved banks; strides that revisit a busy bank throttle the stream |
+//! | [`MultiPortMemory`] | `N` independent ports; accesses arbitrate for the first free one |
+//!
+//! so bank conflicts and extra memory ports become sweep axes without
+//! either engine changing.
 //!
 //! # Examples
 //!
 //! ```
-//! use dva_memory::{MemoryParams, MemorySystem};
+//! use dva_memory::{MemoryModelKind, MemoryParams};
 //! use dva_isa::VectorLength;
 //!
-//! let mut mem = MemorySystem::new(MemoryParams::with_latency(30));
+//! let mut mem = MemoryParams::with_latency(30).build(); // flat by default
 //! let vl = VectorLength::new(64).unwrap();
-//! let issue = mem.issue_vector_load(0, vl);
-//! assert_eq!(issue.bus_free_at, 64);      // bus held for VL cycles
+//! let issue = mem.issue_vector_load(0, vl, None);
+//! assert_eq!(issue.port_free_at, 64);     // bus held for VL cycles
 //! assert_eq!(issue.data_complete_at, 94); // L + VL
+//!
+//! let banked = MemoryParams::with_latency(30)
+//!     .with_model(MemoryModelKind::Banked { banks: 8, bank_busy: 8 });
+//! assert_eq!(banked.build().params().latency, 30);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backends;
 mod bus;
 mod cache;
-mod system;
+mod model;
 
+pub use backends::{BankedMemory, FlatMemory, MultiPortMemory};
 pub use bus::AddressBus;
 pub use cache::{CacheAccess, ScalarCache, ScalarCacheParams};
-pub use system::{LoadIssue, MemoryParams, MemorySystem};
+pub use model::{LoadIssue, MemoryModel, MemoryModelKind, MemoryParams};

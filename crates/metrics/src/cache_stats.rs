@@ -1,0 +1,125 @@
+//! Scalar-cache access statistics, split by access kind.
+
+use std::fmt;
+
+/// Hit/miss counters of the scalar cache, kept separately for loads and
+/// stores so experiments can report both hit rates (the store outcome
+/// used to be discarded at the memory-system boundary).
+///
+/// # Examples
+///
+/// ```
+/// use dva_metrics::CacheStats;
+/// let stats = CacheStats {
+///     load_hits: 6,
+///     load_misses: 2,
+///     store_hits: 1,
+///     store_misses: 1,
+/// };
+/// assert_eq!(stats.hits(), 7);
+/// assert!((stats.hit_rate() - 0.7).abs() < 1e-12);
+/// assert!((stats.load_hit_rate() - 0.75).abs() < 1e-12);
+/// assert!((stats.store_hit_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Scalar loads that hit in the cache.
+    pub load_hits: u64,
+    /// Scalar loads that missed.
+    pub load_misses: u64,
+    /// Scalar stores whose line was present (write-through: the store
+    /// still generates memory traffic either way).
+    pub store_hits: u64,
+    /// Scalar stores whose line was absent.
+    pub store_misses: u64,
+}
+
+impl CacheStats {
+    /// Total hits, loads and stores combined.
+    pub fn hits(&self) -> u64 {
+        self.load_hits + self.store_hits
+    }
+
+    /// Total misses, loads and stores combined.
+    pub fn misses(&self) -> u64 {
+        self.load_misses + self.store_misses
+    }
+
+    /// Hit rate over all accesses (0..=1), 0 when no accesses happened.
+    pub fn hit_rate(&self) -> f64 {
+        rate(self.hits(), self.misses())
+    }
+
+    /// Hit rate over loads only (0..=1), 0 when no loads happened.
+    pub fn load_hit_rate(&self) -> f64 {
+        rate(self.load_hits, self.load_misses)
+    }
+
+    /// Hit rate over stores only (0..=1), 0 when no stores happened.
+    pub fn store_hit_rate(&self) -> f64 {
+        rate(self.store_hits, self.store_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loads {:.1}% ({}/{}), stores {:.1}% ({}/{})",
+            100.0 * self.load_hit_rate(),
+            self.load_hits,
+            self.load_hits + self.load_misses,
+            100.0 * self.store_hit_rate(),
+            self.store_hits,
+            self.store_hits + self.store_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_report_zero_rates() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.load_hit_rate(), 0.0);
+        assert_eq!(stats.store_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn combined_rate_mixes_loads_and_stores() {
+        let stats = CacheStats {
+            load_hits: 3,
+            load_misses: 1,
+            store_hits: 0,
+            store_misses: 4,
+        };
+        assert!((stats.hit_rate() - 3.0 / 8.0).abs() < 1e-12);
+        assert!((stats.load_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.store_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_names_both_rates() {
+        let stats = CacheStats {
+            load_hits: 1,
+            load_misses: 1,
+            store_hits: 2,
+            store_misses: 0,
+        };
+        let text = format!("{stats}");
+        assert!(text.contains("loads 50.0% (1/2)"));
+        assert!(text.contains("stores 100.0% (2/2)"));
+    }
+}

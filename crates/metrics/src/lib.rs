@@ -9,7 +9,8 @@
 //! * **queue occupancy histograms** like the AVDQ busy-slot plots of
 //!   Figure 6 ([`Histogram`]),
 //! * **memory traffic counters** for the bypass study of Figure 8
-//!   ([`Traffic`]).
+//!   ([`Traffic`]), plus scalar-cache hit/miss counters split by access
+//!   kind ([`CacheStats`]).
 //!
 //! [`Table`] renders aligned ASCII / CSV tables so every experiment binary
 //! can print the same rows the paper reports.
@@ -29,12 +30,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache_stats;
 mod diag;
 mod hist;
 mod states;
 mod table;
 mod traffic;
 
+pub use cache_stats::CacheStats;
 pub use diag::Diag;
 pub use hist::Histogram;
 pub use states::{StateTracker, UnitState};

@@ -8,7 +8,7 @@
 use crate::result::RefResult;
 use dva_engine::{Driver, Observers, Processor, Progress, Report};
 use dva_isa::{Cycle, Inst, Program, VOperand};
-use dva_memory::{CacheAccess, MemoryParams, MemorySystem};
+use dva_memory::{CacheAccess, MemoryModel, MemoryParams};
 use dva_metrics::UnitState;
 use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, UarchParams, VectorRegFile};
 
@@ -141,7 +141,7 @@ struct Engine<'a> {
     sb: Scoreboard,
     fu1: FuPipe,
     fu2: FuPipe,
-    mem: MemorySystem,
+    mem: Box<dyn MemoryModel>,
     dispatch_stalls: u64,
 }
 
@@ -157,7 +157,7 @@ impl<'a> Engine<'a> {
             sb: Scoreboard::new(),
             fu1: FuPipe::new("FU1"),
             fu2: FuPipe::new("FU2"),
-            mem: MemorySystem::new(params.memory),
+            mem: params.memory.build(),
             dispatch_stalls: 0,
         }
     }
@@ -166,7 +166,7 @@ impl<'a> Engine<'a> {
         UnitState::from_flags(
             self.fu2.is_busy_at(now),
             self.fu1.is_busy_at(now),
-            !self.mem.bus_free(now),
+            self.mem.busy(now),
         )
     }
 
@@ -184,7 +184,7 @@ impl<'a> Engine<'a> {
                 true
             }
             Inst::SLoad { dst, addr } => {
-                if self.mem.probe_scalar(*addr) == CacheAccess::Miss && !self.mem.bus_free(now) {
+                if self.mem.probe_scalar(*addr) == CacheAccess::Miss && !self.mem.port_free(now) {
                     return false;
                 }
                 let issue = self.mem.scalar_load(now, *addr);
@@ -192,7 +192,7 @@ impl<'a> Engine<'a> {
                 true
             }
             Inst::SStore { src, addr } => {
-                if !self.sb.is_ready(*src, now) || !self.mem.bus_free(now) {
+                if !self.sb.is_ready(*src, now) || !self.mem.port_free(now) {
                     return false;
                 }
                 self.mem.scalar_store(now, *addr);
@@ -261,11 +261,14 @@ impl<'a> Engine<'a> {
                 true
             }
             Inst::VLoad { dst, access } => {
-                if !self.mem.bus_free(now) || !self.regs.can_issue(now, &[], Some(*dst), self.chain)
+                if !self.mem.port_free(now)
+                    || !self.regs.can_issue(now, &[], Some(*dst), self.chain)
                 {
                     return false;
                 }
-                let issue = self.mem.issue_vector_load(now, access.vl);
+                let issue = self
+                    .mem
+                    .issue_vector_load(now, access.vl, Some(access.stride));
                 self.regs.begin_write(
                     *dst,
                     now,
@@ -276,20 +279,22 @@ impl<'a> Engine<'a> {
                 true
             }
             Inst::VStore { src, access } => {
-                if !self.mem.bus_free(now) || !self.regs.can_issue(now, &[*src], None, self.chain) {
+                if !self.mem.port_free(now) || !self.regs.can_issue(now, &[*src], None, self.chain)
+                {
                     return false;
                 }
-                self.mem.issue_vector_store(now, access.vl);
+                self.mem
+                    .issue_vector_store(now, access.vl, Some(access.stride));
                 self.regs.begin_reads(now, &[*src], access.vl.cycles());
                 true
             }
             Inst::VGather { dst, index, vl, .. } => {
-                if !self.mem.bus_free(now)
+                if !self.mem.port_free(now)
                     || !self.regs.can_issue(now, &[*index], Some(*dst), self.chain)
                 {
                     return false;
                 }
-                let issue = self.mem.issue_vector_load(now, *vl);
+                let issue = self.mem.issue_vector_load(now, *vl, None);
                 self.regs.begin_reads(now, &[*index], vl.cycles());
                 self.regs.begin_write(
                     *dst,
@@ -301,12 +306,12 @@ impl<'a> Engine<'a> {
                 true
             }
             Inst::VScatter { src, index, vl, .. } => {
-                if !self.mem.bus_free(now)
+                if !self.mem.port_free(now)
                     || !self.regs.can_issue(now, &[*src, *index], None, self.chain)
                 {
                     return false;
                 }
-                self.mem.issue_vector_store(now, *vl);
+                self.mem.issue_vector_store(now, *vl, None);
                 self.regs.begin_reads(now, &[*src, *index], vl.cycles());
                 true
             }
@@ -334,12 +339,12 @@ impl Processor for Engine<'_> {
     /// The earliest cycle strictly after `now` at which any gating
     /// condition of [`Engine::try_issue`] can change: a scalar register
     /// or vector register becoming ready, a chaining window opening, a
-    /// functional unit freeing, or the address bus freeing. `None` when
+    /// functional unit freeing, or an address port freeing. `None` when
     /// the machine is fully quiet (the stalled instruction can then never
     /// issue — impossible for valid traces).
     fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
         let mut next = dva_isa::EarliestAfter::new(now);
-        next.consider(self.mem.bus_free_at());
+        next.consider_opt(self.mem.next_free_at(now));
         next.consider(self.fu1.free_at());
         next.consider(self.fu2.free_at());
         next.consider_opt(self.sb.next_ready_after(now));
@@ -353,7 +358,7 @@ impl Processor for Engine<'_> {
             .max(self.sb.quiesce_at())
             .max(self.fu1.free_at())
             .max(self.fu2.free_at())
-            .max(self.mem.bus().free_at())
+            .max(self.mem.quiesce_at())
     }
 
     fn sample(&self, now: Cycle, obs: &mut Observers) {
@@ -368,8 +373,10 @@ impl Processor for Engine<'_> {
         Report {
             insts: self.insts.len() as u64,
             traffic: self.mem.traffic(),
-            bus_utilization: self.mem.bus().utilization(cycles),
+            bus_utilization: self.mem.utilization(cycles),
+            port_utilization: self.mem.port_utilizations(cycles),
             cache_hit_rate: self.mem.cache().hit_rate(),
+            cache: self.mem.cache().stats(),
             stall_cycles: self.dispatch_stalls,
         }
     }

@@ -1,8 +1,10 @@
 //! Unified simulation API over every machine of the paper's evaluation.
 //!
 //! The paper's results are a cross-product of *machines* (REF, DVA,
-//! BYP n/m, IDEAL) × *programs* × *memory latencies*. The underlying
-//! crates expose one front door per machine ([`dva_ref::RefSim`],
+//! BYP n/m, IDEAL) × *programs* × *memory latencies* — extended here by
+//! a fourth axis, the *memory model* (flat / banked / multi-port
+//! backends of [`dva_memory::MemoryModel`]). The underlying crates
+//! expose one front door per machine ([`dva_ref::RefSim`],
 //! [`dva_core::DvaSim`], [`dva_core::ideal_bound`]); this crate folds them
 //! into a single [`Machine`] abstraction with a uniform
 //! [`Machine::simulate`] returning one [`SimResult`] type, and a parallel
@@ -58,7 +60,9 @@ pub use sweep::{Sweep, SweepPoint, SweepResults};
 // alone: the processor contract, its statistics sink, the shared result
 // core every machine reports, and the handful of foundation types a
 // `Processor` impl needs (the clock type, the state tuple, the
-// occupancy histogram).
+// occupancy histogram). `MemoryModelKind` is the memory axis of
+// [`Sweep`] sessions; the full backend surface lives in `dva_memory`.
 pub use dva_engine::{Observers, Processor, Progress, Report, ResultCore};
 pub use dva_isa::Cycle;
+pub use dva_memory::{MemoryModelKind, MemoryParams};
 pub use dva_metrics::{Histogram, UnitState};

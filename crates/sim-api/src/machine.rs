@@ -4,6 +4,7 @@ use crate::result::SimResult;
 use dva_core::{ideal_bound, DvaConfig, DvaSim};
 use dva_engine::{Driver, Observers, Processor};
 use dva_isa::Program;
+use dva_memory::MemoryModelKind;
 use dva_ref::{RefParams, RefSim};
 use std::fmt;
 
@@ -164,6 +165,41 @@ impl Machine {
         match self {
             Machine::Ref(params) => Some(params.memory.latency),
             Machine::Dva(config) => Some(config.memory.latency),
+            Machine::Ideal | Machine::Custom(_) => None,
+        }
+    }
+
+    /// This machine with its memory-model backend replaced (no-op for
+    /// IDEAL and custom machines, which have no generic memory knob).
+    /// Used by sweeps to stamp one machine template across the memory
+    /// axis of the grid, exactly like [`Machine::with_latency`] does for
+    /// the latency axis.
+    ///
+    /// ```
+    /// use dva_memory::MemoryModelKind;
+    /// use dva_sim_api::Machine;
+    ///
+    /// let banked = MemoryModelKind::Banked { banks: 8, bank_busy: 8 };
+    /// let machine = Machine::dva(30).with_memory_model(banked);
+    /// assert_eq!(machine.memory_model(), Some(banked));
+    /// assert_eq!(machine.latency(), Some(30)); // everything else kept
+    /// ```
+    #[must_use]
+    pub fn with_memory_model(mut self, model: MemoryModelKind) -> Machine {
+        match &mut self {
+            Machine::Ref(params) => params.memory.model = model,
+            Machine::Dva(config) => config.memory.model = model,
+            Machine::Ideal | Machine::Custom(_) => {}
+        }
+        self
+    }
+
+    /// The configured memory-model backend, if the machine has a memory
+    /// system.
+    pub fn memory_model(&self) -> Option<MemoryModelKind> {
+        match self {
+            Machine::Ref(params) => Some(params.memory.model),
+            Machine::Dva(config) => Some(config.memory.model),
             Machine::Ideal | Machine::Custom(_) => None,
         }
     }

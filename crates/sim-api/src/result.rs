@@ -5,6 +5,7 @@ use dva_engine::ResultCore;
 use dva_isa::{Cycle, Program};
 use dva_metrics::Histogram;
 use dva_ref::RefResult;
+use std::fmt;
 use std::ops::Deref;
 
 /// Measurements every machine reports, plus machine-specific detail.
@@ -151,6 +152,49 @@ impl Deref for SimResult {
 
     fn deref(&self) -> &ResultCore {
         &self.core
+    }
+}
+
+/// The human-readable summary experiment binaries print: cycles and
+/// IPC, traffic, the address-port utilization (per port when the memory
+/// has several), and the scalar-cache hit rates for loads and stores.
+///
+/// ```
+/// use dva_memory::MemoryModelKind;
+/// use dva_sim_api::Machine;
+/// use dva_workloads::{Benchmark, Scale};
+///
+/// let program = Benchmark::Trfd.program(Scale::Quick);
+/// let machine = Machine::dva(30).with_memory_model(MemoryModelKind::MultiPort { ports: 2 });
+/// let summary = machine.simulate(&program).to_string();
+/// assert!(summary.contains("ports:"));
+/// assert!(summary.contains("p0 ")); // per-port utilization
+/// assert!(summary.contains("p1 "));
+/// assert!(summary.contains("cache:"));
+/// ```
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} cycles, {} insts (IPC {:.2}), {} front-end stall cycles",
+            self.cycles,
+            self.insts,
+            self.ipc(),
+            self.stall_cycles,
+        )?;
+        writeln!(f, "traffic: {}", self.traffic)?;
+        match self.port_utilization.as_slice() {
+            [] => writeln!(f, "ports: none")?,
+            [only] => writeln!(f, "ports: {:.1}% busy", 100.0 * only)?,
+            ports => {
+                write!(f, "ports:")?;
+                for (i, util) in ports.iter().enumerate() {
+                    write!(f, " p{i} {:.1}%", 100.0 * util)?;
+                }
+                writeln!(f, " (mean {:.1}%)", 100.0 * self.bus_utilization)?;
+            }
+        }
+        write!(f, "cache: {}", self.core.cache)
     }
 }
 

@@ -1,18 +1,21 @@
-//! Parallel sweep sessions over machines × programs × latencies.
+//! Parallel sweep sessions over machines × programs × latencies ×
+//! memory models.
 
 use crate::{Machine, SimResult};
 use dva_isa::Program;
+use dva_memory::MemoryModelKind;
 use dva_workloads::{Benchmark, Scale};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// A sweep session: the cross-product of machines, programs and memory
-/// latencies, executed by a pool of OS threads.
+/// A sweep session: the cross-product of machines, programs, memory
+/// latencies and memory-model backends, executed by a pool of OS
+/// threads.
 ///
 /// Results come back as typed [`SweepPoint`]s in a deterministic order
-/// (program-major, then latency, then machine) that is **independent of
-/// the thread count** — a parallel run is byte-identical to a sequential
-/// one.
+/// (program-major, then latency, then memory model, then machine) that
+/// is **independent of the thread count** — a parallel run is
+/// byte-identical to a sequential one.
 ///
 /// ```
 /// use dva_sim_api::{Machine, Sweep};
@@ -35,6 +38,7 @@ pub struct Sweep {
     benchmarks: Vec<Benchmark>,
     programs: Vec<Arc<Program>>,
     latencies: Vec<u64>,
+    memory_models: Vec<MemoryModelKind>,
     scale: Scale,
     threads: usize,
     fast_forward: bool,
@@ -48,6 +52,7 @@ impl Default for Sweep {
             benchmarks: Vec::new(),
             programs: Vec::new(),
             latencies: Vec::new(),
+            memory_models: Vec::new(),
             scale: Scale::default(),
             threads: 0,
             fast_forward: true,
@@ -68,6 +73,12 @@ pub struct SweepPoint {
     pub program: String,
     /// Memory latency this point ran at.
     pub latency: u64,
+    /// The memory-model coordinate of this grid point: the backend the
+    /// sweep stamped (or, with an empty memory grid, the machine's own
+    /// configured model — `Flat` for machines without a memory system).
+    /// Like [`latency`](SweepPoint::latency), machines without a memory
+    /// knob (IDEAL, custom) carry the grid coordinate but ignore it.
+    pub memory: MemoryModelKind,
     /// The unified measurement.
     pub result: SimResult,
 }
@@ -82,8 +93,8 @@ impl SweepPoint {
 /// All points of a completed [`Sweep`], in deterministic order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepResults {
-    /// Program-major, then latency, then machine — the order the grid was
-    /// declared in, regardless of thread count.
+    /// Program-major, then latency, then memory model, then machine —
+    /// the order the grid was declared in, regardless of thread count.
     pub points: Vec<SweepPoint>,
 }
 
@@ -139,6 +150,42 @@ impl Sweep {
         self
     }
 
+    /// Sets the memory-model grid: every machine×latency point runs once
+    /// per backend. When the grid is empty (the default) each machine
+    /// runs against its own configured model — existing latency-only
+    /// sweeps are unchanged.
+    ///
+    /// ```
+    /// use dva_memory::MemoryModelKind;
+    /// use dva_sim_api::{Machine, Sweep};
+    /// use dva_workloads::{Benchmark, Scale};
+    ///
+    /// let results = Sweep::new()
+    ///     .machines([Machine::reference(1), Machine::dva(1)])
+    ///     .benchmark(Benchmark::Trfd)
+    ///     .latencies([1, 50])
+    ///     .memory_models([
+    ///         MemoryModelKind::Flat,
+    ///         MemoryModelKind::Banked { banks: 8, bank_busy: 8 },
+    ///     ])
+    ///     .scale(Scale::Quick)
+    ///     .run();
+    /// assert_eq!(results.points.len(), 2 * 2 * 2);
+    /// assert_eq!(results.memory_models().len(), 2);
+    /// ```
+    #[must_use]
+    pub fn memory_models(mut self, models: impl IntoIterator<Item = MemoryModelKind>) -> Sweep {
+        self.memory_models.extend(models);
+        self
+    }
+
+    /// Adds one memory model to the sweep.
+    #[must_use]
+    pub fn memory_model(mut self, model: MemoryModelKind) -> Sweep {
+        self.memory_models.push(model);
+        self
+    }
+
     /// Sets the trace scale benchmarks are generated at.
     #[must_use]
     pub fn scale(mut self, scale: Scale) -> Sweep {
@@ -168,7 +215,8 @@ impl Sweep {
     pub fn len(&self) -> usize {
         let programs = self.benchmarks.len() + self.programs.len();
         let latencies = self.latencies.len().max(1);
-        self.machines.len() * programs * latencies
+        let models = self.memory_models.len().max(1);
+        self.machines.len() * programs * latencies * models
     }
 
     /// Whether the session has no points.
@@ -189,22 +237,45 @@ impl Sweep {
         }
 
         // The job grid, in the order the points are returned. An empty
-        // latency grid means "each machine at its own latency".
-        let mut jobs: Vec<(Option<Benchmark>, Arc<Program>, Machine, u64)> = Vec::new();
+        // latency (or memory-model) grid means "each machine at its own
+        // latency (or model)".
+        type Job = (
+            Option<Benchmark>,
+            Arc<Program>,
+            Machine,
+            u64,
+            MemoryModelKind,
+        );
+        let latencies: Vec<Option<u64>> = if self.latencies.is_empty() {
+            vec![None]
+        } else {
+            self.latencies.iter().copied().map(Some).collect()
+        };
+        let models: Vec<Option<MemoryModelKind>> = if self.memory_models.is_empty() {
+            vec![None]
+        } else {
+            self.memory_models.iter().copied().map(Some).collect()
+        };
+        let mut jobs: Vec<Job> = Vec::new();
         for (benchmark, program) in &targets {
-            if self.latencies.is_empty() {
-                for &machine in &self.machines {
-                    let latency = machine.latency().unwrap_or(0);
-                    jobs.push((*benchmark, Arc::clone(program), machine, latency));
-                }
-            } else {
-                for &latency in &self.latencies {
+            for &latency in &latencies {
+                for &model in &models {
                     for &machine in &self.machines {
+                        let mut stamped = machine;
+                        if let Some(latency) = latency {
+                            stamped = stamped.with_latency(latency);
+                        }
+                        if let Some(model) = model {
+                            stamped = stamped.with_memory_model(model);
+                        }
                         jobs.push((
                             *benchmark,
                             Arc::clone(program),
-                            machine.with_latency(latency),
-                            latency,
+                            stamped,
+                            latency.unwrap_or_else(|| machine.latency().unwrap_or(0)),
+                            model.unwrap_or_else(|| {
+                                machine.memory_model().unwrap_or(MemoryModelKind::Flat)
+                            }),
                         ));
                     }
                 }
@@ -219,17 +290,13 @@ impl Sweep {
         }
         .clamp(1, jobs.len().max(1));
 
-        let run_job = |(benchmark, program, machine, latency): &(
-            Option<Benchmark>,
-            Arc<Program>,
-            Machine,
-            u64,
-        )| SweepPoint {
+        let run_job = |(benchmark, program, machine, latency, memory): &Job| SweepPoint {
             machine: *machine,
             label: machine.label(),
             benchmark: *benchmark,
             program: program.name().to_string(),
             latency: *latency,
+            memory: *memory,
             result: machine.simulate_with(program, self.fast_forward),
         };
 
@@ -311,12 +378,29 @@ impl SweepResults {
         self.get(label, benchmark, latency).map(|p| p.result.cycles)
     }
 
+    /// The points measured against one memory-model backend, in
+    /// program-then-latency-then-machine order.
+    pub fn of_memory(&self, memory: MemoryModelKind) -> impl Iterator<Item = &SweepPoint> {
+        self.points.iter().filter(move |p| p.memory == memory)
+    }
+
     /// The distinct latencies measured, in first-seen order.
     pub fn latencies(&self) -> Vec<u64> {
         let mut seen = Vec::new();
         for p in &self.points {
             if !seen.contains(&p.latency) {
                 seen.push(p.latency);
+            }
+        }
+        seen
+    }
+
+    /// The distinct memory-model backends measured, in first-seen order.
+    pub fn memory_models(&self) -> Vec<MemoryModelKind> {
+        let mut seen = Vec::new();
+        for p in &self.points {
+            if !seen.contains(&p.memory) {
+                seen.push(p.memory);
             }
         }
         seen
@@ -388,6 +472,90 @@ mod tests {
         assert_eq!(results.points.len(), 2);
         assert_eq!(results.points[0].latency, 42);
         assert_eq!(results.points[1].latency, 0); // IDEAL has no memory
+    }
+
+    fn memory_sweep(threads: usize) -> SweepResults {
+        Sweep::new()
+            .machines([Machine::reference(1), Machine::dva(1)])
+            .benchmark(Benchmark::Trfd)
+            .latencies([1, 30])
+            .memory_models([
+                MemoryModelKind::Flat,
+                MemoryModelKind::Banked {
+                    banks: 8,
+                    bank_busy: 8,
+                },
+                MemoryModelKind::MultiPort { ports: 2 },
+            ])
+            .scale(Scale::Quick)
+            .threads(threads)
+            .run()
+    }
+
+    #[test]
+    fn memory_model_grid_is_complete_and_ordered() {
+        let results = memory_sweep(1);
+        assert_eq!(results.points.len(), 2 * 2 * 3);
+        assert_eq!(results.memory_models().len(), 3);
+        for memory in results.memory_models() {
+            assert_eq!(results.of_memory(memory).count(), 4);
+        }
+        // Latency-major over memory models: within one latency, all flat
+        // points precede all banked points.
+        let flat_positions: Vec<usize> = results
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.memory == MemoryModelKind::Flat && p.latency == 1)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(flat_positions, vec![0, 1]);
+        // The machine actually ran with the stamped backend.
+        for p in &results.points {
+            assert_eq!(p.machine.memory_model(), Some(p.memory));
+        }
+    }
+
+    #[test]
+    fn memory_model_sweeps_are_thread_count_independent() {
+        assert_eq!(memory_sweep(1), memory_sweep(4));
+    }
+
+    #[test]
+    fn memory_models_change_timing_but_not_work() {
+        let results = memory_sweep(1);
+        let flat = results
+            .of_memory(MemoryModelKind::Flat)
+            .find(|p| p.label == "REF" && p.latency == 30)
+            .unwrap();
+        let banked = results
+            .of_memory(MemoryModelKind::Banked {
+                banks: 8,
+                bank_busy: 8,
+            })
+            .find(|p| p.label == "REF" && p.latency == 30)
+            .unwrap();
+        // Bank conflicts can only slow a run down, and never change the
+        // instructions executed or the words moved.
+        assert!(banked.result.cycles >= flat.result.cycles);
+        assert_eq!(banked.result.insts, flat.result.insts);
+        assert_eq!(banked.result.traffic, flat.result.traffic);
+    }
+
+    #[test]
+    fn empty_memory_grid_uses_each_machines_own_model() {
+        let banked = MemoryModelKind::Banked {
+            banks: 8,
+            bank_busy: 8,
+        };
+        let results = Sweep::new()
+            .machines([Machine::dva(1).with_memory_model(banked), Machine::ideal()])
+            .benchmark(Benchmark::Trfd)
+            .scale(Scale::Quick)
+            .run();
+        assert_eq!(results.points.len(), 2);
+        assert_eq!(results.points[0].memory, banked);
+        assert_eq!(results.points[1].memory, MemoryModelKind::Flat); // IDEAL has no memory
     }
 
     #[test]

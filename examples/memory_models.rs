@@ -1,0 +1,70 @@
+//! Compare the pluggable memory backends on one strided kernel.
+//!
+//! The same daxpy-style loop runs on both machines against all three
+//! memory models: the paper's flat memory, a banked memory where the
+//! stride determines how hard the banks fight, and a two-ported memory
+//! where loads and stores stop queueing behind each other.
+//!
+//! ```text
+//! cargo run --release -p dva-examples --bin memory_models
+//! ```
+
+use dva_sim_api::{Machine, MemoryModelKind, Sweep};
+use dva_workloads::{Kernel, LoopSpec, Phase, ProgramSpec, StripOverhead};
+
+fn main() {
+    // A strided daxpy: y[4i] = a * x[4i] + y[4i]. Stride 4 over 8 banks
+    // touches only two of them — the banked backend has to throttle.
+    let stride = 4;
+    let mut kernel = Kernel::new("strided-daxpy");
+    let x = kernel.load_strided("x", stride);
+    let ax = kernel.mul_scalar(x);
+    let y = kernel.load_strided("y", stride);
+    let s = kernel.add(ax, y);
+    kernel.store_strided(s, "y", stride);
+    let program = ProgramSpec {
+        name: format!("daxpy-s{stride}"),
+        repeat: 1,
+        phases: vec![Phase::Loop(LoopSpec {
+            kernel,
+            strips: 64,
+            vl: 64,
+            software_pipeline: true,
+            overhead: StripOverhead::default(),
+        })],
+    }
+    .compile(0xDA0B5);
+
+    let latency = 30;
+    let models = [
+        MemoryModelKind::Flat,
+        MemoryModelKind::Banked {
+            banks: 8,
+            bank_busy: 8,
+        },
+        MemoryModelKind::MultiPort { ports: 2 },
+    ];
+    let results = Sweep::new()
+        .machines([Machine::reference(latency), Machine::dva(latency)])
+        .program(program)
+        .memory_models(models)
+        .run();
+
+    println!("memory latency: {latency} cycles, stride {stride} over 8 banks\n");
+    for model in models {
+        let point = |label: &str| {
+            results
+                .of_memory(model)
+                .find(|p| p.label == label)
+                .expect("swept machine")
+        };
+        let (reference, dva) = (point("REF"), point("DVA"));
+        println!("--- {model} ---");
+        dva_examples::print_comparison(&model.label(), &reference.result, &dva.result);
+        println!("DVA summary:\n{}\n", dva.result);
+    }
+    println!("The banked memory slows both machines: stride 4 leaves 6 of the");
+    println!("8 banks idle, and no amount of decoupling buys bandwidth back.");
+    println!("The second port helps wherever loads and stores used to queue");
+    println!("behind one another on the single address bus.");
+}
