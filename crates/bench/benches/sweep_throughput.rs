@@ -1,0 +1,144 @@
+//! Bench: sweep throughput (grid points per second).
+//!
+//! The headline number for the translate-once + zero-allocation engine
+//! work: how many grid points per second one `Sweep` session measures on
+//! the full quick-scale grid — every benchmark × the four paper machines
+//! × three latencies × two memory backends, single-threaded so the
+//! number is comparable across machines with different core counts. The
+//! session shares one compiled program per benchmark and one set of
+//! engine allocations per worker; the checked-in `BENCH_sweep.json`
+//! baseline also records the pre-compiled-programs throughput for
+//! history.
+//!
+//! Under `BENCH_SMOKE` (CI) a single sample runs and is compared against
+//! the checked-in baseline: a large shortfall prints a `PERF-WARN:` line
+//! (warn-only — CI turns it into an annotation, never a failure). With
+//! `BENCH_UPDATE` set the baseline is rewritten; otherwise the tree is
+//! left untouched.
+
+use dva_sim_api::{Machine, MemoryModelKind, Sweep};
+use dva_workloads::{Benchmark, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const LATENCIES: [u64; 3] = [1, 30, 100];
+/// Throughput below this fraction of the checked-in baseline prints a
+/// PERF-WARN in smoke mode (generous: CI machines vary widely).
+const WARN_FRACTION: f64 = 0.5;
+
+/// Measured pre-PR (translate-per-point, allocate-per-tick engines) with
+/// the same grid, machine and method; kept for the history books.
+const PRE_COMPILED_POINTS_PER_SEC: f64 = 1965.3;
+
+fn grid() -> Sweep {
+    Sweep::new()
+        .machines([
+            Machine::reference(1),
+            Machine::dva(1),
+            Machine::byp(1, 4, 8),
+            Machine::ideal(),
+        ])
+        .benchmarks(Benchmark::ALL)
+        .latencies(LATENCIES)
+        .memory_models([
+            MemoryModelKind::Flat,
+            MemoryModelKind::Banked {
+                banks: 8,
+                bank_busy: 8,
+            },
+        ])
+        .scale(Scale::Quick)
+        .threads(1)
+}
+
+fn main() {
+    let smoke = criterion::smoke_mode();
+    let sweep = grid();
+    let points = sweep.len();
+
+    // Warmup: populate the program and compiled-program caches and touch
+    // every code path once, so the samples measure steady-state sweeps.
+    let warm = sweep.run();
+    assert_eq!(warm.points.len(), points, "grid must measure every point");
+
+    let samples = if smoke { 3 } else { 9 };
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let results = criterion::black_box(sweep.run());
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(results.points, warm.points, "sweeps must be reproducible");
+            secs
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    let points_per_sec = points as f64 / median;
+    println!(
+        "sweep_throughput: {points} points in {:.1}ms -> {points_per_sec:.1} points/sec \
+         (1 thread, median of {samples}; pre-compiled-programs baseline {PRE_COMPILED_POINTS_PER_SEC:.1})",
+        1e3 * median,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    if std::env::var_os("BENCH_UPDATE").is_some() && !smoke {
+        std::fs::write(path, render_json(points, median, points_per_sec)).expect("write baseline");
+        println!("sweep_throughput: wrote {path}");
+        return;
+    }
+
+    // Warn-only regression check against the checked-in baseline.
+    match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| json_f64(&s, "points_per_sec"))
+    {
+        Some(baseline) => {
+            let ratio = points_per_sec / baseline;
+            println!(
+                "sweep_throughput: {:.2}x the checked-in baseline ({baseline:.1} points/sec)",
+                ratio
+            );
+            if ratio < WARN_FRACTION {
+                println!(
+                    "PERF-WARN: sweep throughput {points_per_sec:.1} points/sec is below \
+                     {WARN_FRACTION}x the checked-in baseline {baseline:.1} \
+                     (machines differ; investigate only if this regressed on the same hardware)"
+                );
+            }
+        }
+        None => println!("sweep_throughput: no readable baseline at {path}"),
+    }
+    println!("sweep_throughput: set BENCH_UPDATE=1 to rewrite BENCH_sweep.json");
+}
+
+/// Extracts `"key": <number>` from a flat JSON document — enough for the
+/// baseline file this bench writes itself.
+fn json_f64(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &doc[doc.find(&needle)? + needle.len()..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn render_json(points: usize, median_secs: f64, points_per_sec: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"sweep_throughput\",\n");
+    out.push_str("  \"grid\": {\n");
+    out.push_str("    \"machines\": [\"REF\", \"DVA\", \"BYP 4/8\", \"IDEAL\"],\n");
+    out.push_str("    \"programs\": 6,\n");
+    let _ = writeln!(out, "    \"latencies\": {LATENCIES:?},");
+    out.push_str("    \"memory_models\": [\"flat\", \"banked8x8\"],\n");
+    out.push_str("    \"scale\": \"quick\",\n");
+    out.push_str("    \"threads\": 1\n");
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"points\": {points},");
+    let _ = writeln!(out, "  \"median_seconds\": {median_secs:.6},");
+    let _ = writeln!(out, "  \"points_per_sec\": {points_per_sec:.1},");
+    let _ = writeln!(
+        out,
+        "  \"pre_compiled_programs_points_per_sec\": {PRE_COMPILED_POINTS_PER_SEC:.1}"
+    );
+    out.push_str("}\n");
+    out
+}

@@ -11,16 +11,18 @@
 // together and lose that structure.
 #![allow(clippy::if_same_then_else)]
 
+use crate::compiled::CompiledProgram;
 use crate::config::DvaConfig;
 use crate::queues::{Fifo, Timed};
 use crate::result::DvaResult;
-use crate::uops::{translate, ApOp, Bundle, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
+use crate::uops::{ApOp, DataSlot, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
 use dva_engine::{Driver, Observers, Processor, Progress, Report};
-use dva_isa::{Cycle, Inst, MemRange, Program, ScalarReg, VectorLength};
-use dva_memory::{CacheAccess, MemoryModel};
+use dva_isa::{Cycle, MemRange, ScalarReg, VectorLength};
+use dva_memory::{CacheAccess, Memory, MemoryModel};
 use dva_metrics::{Histogram, UnitState};
 use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, VectorRegFile};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One slot of the vector load data queue. Each slot holds a full vector
 /// register's worth of data.
@@ -30,8 +32,9 @@ struct AvdqSlot {
     /// When the data is fully present (never chained: the VP cannot start
     /// consuming before the last element arrives).
     ready_at: Cycle,
-    /// For bypassed loads: the store whose data this slot will receive.
-    pending_bypass: Option<StoreSeq>,
+    /// For bypassed loads: the data slot of the store whose value this
+    /// AVDQ slot will receive.
+    pending_bypass: Option<DataSlot>,
 }
 
 /// A vector store address waiting in the VSAQ.
@@ -39,6 +42,7 @@ struct AvdqSlot {
 struct VsaqEntry {
     access: VecAccess,
     seq: StoreSeq,
+    data: DataSlot,
 }
 
 /// A scalar store address waiting in the SSAQ.
@@ -60,31 +64,116 @@ struct SsaqEntry {
 /// incoming data.
 #[derive(Debug, Clone, Copy)]
 struct VadqEntry {
-    seq: StoreSeq,
+    data: DataSlot,
     /// First element present (commit may chain from here).
     first_at: Cycle,
     vl: VectorLength,
+}
+
+/// The youngest store conflicting with a load's memory range.
+#[derive(Debug, Clone, Copy)]
+struct Conflict {
+    /// Global program order of the conflicting store.
+    seq: StoreSeq,
+    /// Whether it is an identical vector access (bypass candidate).
+    identical: bool,
+    /// Its data-ready ring slot, when it is a vector store.
+    data: Option<DataSlot>,
 }
 
 /// A load waiting for its bypass copy to start.
 #[derive(Debug, Clone, Copy)]
 struct PendingBypass {
     slot_id: u64,
-    store_seq: StoreSeq,
+    /// The data-ready ring slot of the store being copied from.
+    data: DataSlot,
     vl: VectorLength,
 }
 
-pub(crate) struct Engine<'a> {
+/// Data-ready cycles of in-flight vector stores, indexed by their dense
+/// [`DataSlot`] — an allocation-free replacement for the old
+/// `HashMap<StoreSeq, Cycle>`.
+///
+/// Slots are inserted in strictly increasing order (the VP issues QMOV
+/// stores in program order), so the live window is a contiguous ring:
+/// `base` is the oldest slot still tracked and `slots[i]` holds slot
+/// `base + i`. Removal marks a slot dead and advances `base` past any
+/// leading dead slots; with capacity preallocated to the store-queue and
+/// bypass windows, steady-state operation never touches the heap.
+#[derive(Debug)]
+struct DataReadyRing {
+    base: DataSlot,
+    slots: VecDeque<Option<Cycle>>,
+}
+
+impl DataReadyRing {
+    fn with_capacity(cap: usize) -> DataReadyRing {
+        DataReadyRing {
+            base: 0,
+            slots: VecDeque::with_capacity(cap),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.base = 0;
+        self.slots.clear();
+    }
+
+    /// Tracks `slot` becoming ready at `at`. Slots arrive densely in
+    /// order, so this is always an append.
+    fn insert(&mut self, slot: DataSlot, at: Cycle) {
+        debug_assert_eq!(
+            slot,
+            self.base + self.slots.len() as DataSlot,
+            "vector store data slots must arrive in dense program order"
+        );
+        self.slots.push_back(Some(at));
+    }
+
+    /// The ready cycle of `slot`, if it is still tracked.
+    fn get(&self, slot: DataSlot) -> Option<Cycle> {
+        let index = slot.checked_sub(self.base)?;
+        self.slots.get(index as usize).copied().flatten()
+    }
+
+    /// Stops tracking `slot` and releases any leading dead slots.
+    fn remove(&mut self, slot: DataSlot) {
+        if let Some(index) = slot.checked_sub(self.base) {
+            if let Some(entry) = self.slots.get_mut(index as usize) {
+                *entry = None;
+            }
+        }
+        while let Some(None) = self.slots.front() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Number of slots still tracked.
+    fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Whether no slot is tracked.
+    fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Engine {
     cfg: DvaConfig,
     chain: ChainPolicy,
     now: Cycle,
 
-    // Fetch processor state: the instruction stream and the bundle
-    // waiting for instruction-queue slots.
-    insts: &'a [Inst],
+    // Fetch processor state: the pre-translated bundle stream and the
+    // index of the bundle waiting for instruction-queue slots. Keeping an
+    // index (not the bundle) means the fetch/dispatch path never copies
+    // bundles around — dispatch pushes µops straight out of the compiled
+    // stream.
+    compiled: Arc<CompiledProgram>,
     pc: usize,
-    next_store_seq: StoreSeq,
-    pending: Option<Bundle>,
+    pending: Option<usize>,
 
     // Vector processor state.
     vregs: VectorRegFile,
@@ -98,16 +187,17 @@ pub(crate) struct Engine<'a> {
     sp_sb: Scoreboard,
 
     // Memory.
-    mem: Box<dyn MemoryModel>,
+    mem: Memory,
 
     // Instruction queues.
     apiq: Fifo<ApOp>,
     spiq: Fifo<SpOp>,
     vpiq: Fifo<VpOp>,
 
-    // Data queues.
+    // Data queues. `avdq_draining` is kept sorted ascending (see
+    // `push_drain`), so expiry is a pop-front-while-expired.
     avdq: Fifo<AvdqSlot>,
-    avdq_draining: Vec<Cycle>,
+    avdq_draining: VecDeque<Cycle>,
     next_avdq_id: u64,
     vadq: Fifo<VadqEntry>,
     vsaq: Fifo<VsaqEntry>,
@@ -122,10 +212,11 @@ pub(crate) struct Engine<'a> {
     // the VSAQ/VADQ until queue pressure, a hazard drain or the end of the
     // program forces them out — maximizing the window in which a later
     // identical load can bypass them. Scalar stores commit eagerly.
-    /// seq → cycle its data first lands in the VADQ. Retained past commit
-    /// while a pending bypass can still source the value; dropped as soon
-    /// as the store has committed and no pending bypass references it.
-    store_data_ready: HashMap<StoreSeq, Cycle>,
+    /// data slot → cycle its data first lands in the VADQ. Retained past
+    /// commit while a pending bypass can still source the value; dropped
+    /// as soon as the store has committed and no pending bypass references
+    /// it.
+    store_data_ready: DataReadyRing,
     stores_committed: u64,
 
     // Bypass engine.
@@ -137,22 +228,50 @@ pub(crate) struct Engine<'a> {
     // number (inclusive) have committed.
     ap_drain_until: Option<StoreSeq>,
 
+    // Disambiguation cache: the AP retries its front load every tick
+    // while stalled, and the answer can only change when a store enters
+    // or leaves the VSAQ/SSAQ. `store_gen` counts those changes; a cached
+    // (generation, front-op serial) pair short-circuits the rescan.
+    store_gen: u64,
+    disambig_cache: Option<(u64, u64, Option<Conflict>)>,
+
+    // Attempt-skip caches. `progress_version` counts *every* sub-unit
+    // progress event; a processor's wake time cached at version `v` (by
+    // the fast-forward computation, through a `Cell` because the
+    // next-event probe is `&self`) certifies that until the version
+    // changes or the clock reaches the wake, an issue attempt is a
+    // guaranteed no-op — so the step skips it with two comparisons.
+    // `Cycle::MAX` encodes "blocked on another unit's progress".
+    progress_version: u64,
+    wake_ap_cache: std::cell::Cell<(u64, Cycle)>,
+    wake_sp_cache: std::cell::Cell<(u64, Cycle)>,
+    wake_vp_cache: std::cell::Cell<(u64, Cycle)>,
+    wake_store_cache: std::cell::Cell<(u64, Cycle)>,
+    wake_bypass_cache: std::cell::Cell<(u64, Cycle)>,
+
     // Measurements.
     fp_stalls: u64,
     drain_stall_cycles: u64,
     branches_to_fp: u64,
 }
 
-impl<'a> Engine<'a> {
-    pub(crate) fn new(cfg: DvaConfig, program: &'a Program) -> Engine<'a> {
+/// How deep to preallocate the data-ready ring: the VSAQ/VADQ window plus
+/// the bypass window, with slack for committed-but-referenced slots. The
+/// ring grows past this only in pathological configurations; steady state
+/// never reallocates.
+fn ring_capacity(cfg: &DvaConfig) -> usize {
+    cfg.queues.store_queue + cfg.queues.avdq + 8
+}
+
+impl Engine {
+    pub(crate) fn new(cfg: DvaConfig, compiled: Arc<CompiledProgram>) -> Engine {
         let q = cfg.queues;
         Engine {
             cfg,
             chain: ChainPolicy::reference(),
             now: 0,
-            insts: program.insts(),
+            compiled,
             pc: 0,
-            next_store_seq: 0,
             pending: None,
             vregs: VectorRegFile::new(&cfg.uarch),
             fu1: FuPipe::new("FU1"),
@@ -161,12 +280,12 @@ impl<'a> Engine<'a> {
             qmov2: FuPipe::new("QMOV2"),
             ap_sb: Scoreboard::new(),
             sp_sb: Scoreboard::new(),
-            mem: cfg.memory.build(),
+            mem: cfg.memory.instantiate(),
             apiq: Fifo::new("APIQ", q.instruction_queue),
             spiq: Fifo::new("SPIQ", q.instruction_queue),
             vpiq: Fifo::new("VPIQ", q.instruction_queue),
             avdq: Fifo::new("AVDQ", q.avdq),
-            avdq_draining: Vec::new(),
+            avdq_draining: VecDeque::with_capacity(8),
             next_avdq_id: 0,
             vadq: Fifo::new("VADQ", q.store_queue),
             vsaq: Fifo::new("VSAQ", q.store_queue),
@@ -176,27 +295,104 @@ impl<'a> Engine<'a> {
             sadq: Fifo::new("SADQ", q.scalar_data_queue),
             svdq: Fifo::new("SVDQ", q.scalar_data_queue),
             vsdq: Fifo::new("VSDQ", q.scalar_data_queue),
-            store_data_ready: HashMap::new(),
+            store_data_ready: DataReadyRing::with_capacity(ring_capacity(&cfg)),
             stores_committed: 0,
             bypass_unit: FuPipe::new("BYPASS"),
-            pending_bypasses: VecDeque::new(),
+            pending_bypasses: VecDeque::with_capacity(q.avdq),
             bypassed_loads: 0,
             ap_drain_until: None,
+            store_gen: 0,
+            disambig_cache: None,
+            progress_version: 0,
+            wake_ap_cache: std::cell::Cell::new((u64::MAX, 0)),
+            wake_sp_cache: std::cell::Cell::new((u64::MAX, 0)),
+            wake_vp_cache: std::cell::Cell::new((u64::MAX, 0)),
+            wake_store_cache: std::cell::Cell::new((u64::MAX, 0)),
+            wake_bypass_cache: std::cell::Cell::new((u64::MAX, 0)),
             fp_stalls: 0,
             drain_stall_cycles: 0,
             branches_to_fp: 0,
         }
     }
 
+    /// Restores the engine to its initial state for a fresh run of
+    /// (possibly) a different configuration and program, **reusing every
+    /// buffer already allocated**: the architectural queues, the AVDQ
+    /// drain list, the bypass queue and the data-ready ring all keep their
+    /// storage. After `reset`, a run is byte-identical to one on a freshly
+    /// constructed engine — the reset contract the sweep workers and the
+    /// allocation-regression tests rely on.
+    pub(crate) fn reset(&mut self, cfg: DvaConfig, compiled: Arc<CompiledProgram>) {
+        let q = cfg.queues;
+        self.cfg = cfg;
+        self.chain = ChainPolicy::reference();
+        self.now = 0;
+        self.compiled = compiled;
+        self.pc = 0;
+        self.pending = None;
+        self.vregs = VectorRegFile::new(&cfg.uarch);
+        self.fu1 = FuPipe::new("FU1");
+        self.fu2 = FuPipe::new("FU2");
+        self.qmov1 = FuPipe::new("QMOV1");
+        self.qmov2 = FuPipe::new("QMOV2");
+        self.ap_sb = Scoreboard::new();
+        self.sp_sb = Scoreboard::new();
+        self.mem = cfg.memory.instantiate();
+        self.apiq.reset(q.instruction_queue);
+        self.spiq.reset(q.instruction_queue);
+        self.vpiq.reset(q.instruction_queue);
+        self.avdq.reset(q.avdq);
+        self.avdq_draining.clear();
+        self.next_avdq_id = 0;
+        self.vadq.reset(q.store_queue);
+        self.vsaq.reset(q.store_queue);
+        self.ssaq.reset(q.scalar_store_queue);
+        self.ssdq.reset(q.scalar_data_queue);
+        self.asdq.reset(q.scalar_data_queue);
+        self.sadq.reset(q.scalar_data_queue);
+        self.svdq.reset(q.scalar_data_queue);
+        self.vsdq.reset(q.scalar_data_queue);
+        self.store_data_ready.clear();
+        self.stores_committed = 0;
+        self.bypass_unit = FuPipe::new("BYPASS");
+        self.pending_bypasses.clear();
+        self.bypassed_loads = 0;
+        self.ap_drain_until = None;
+        self.store_gen = 0;
+        self.disambig_cache = None;
+        self.progress_version = 0;
+        self.wake_ap_cache.set((u64::MAX, 0));
+        self.wake_sp_cache.set((u64::MAX, 0));
+        self.wake_vp_cache.set((u64::MAX, 0));
+        self.wake_store_cache.set((u64::MAX, 0));
+        self.wake_bypass_cache.set((u64::MAX, 0));
+        self.fp_stalls = 0;
+        self.drain_stall_cycles = 0;
+        self.branches_to_fp = 0;
+    }
+
     // -- occupancy ---------------------------------------------------------
 
-    fn avdq_busy_slots_at(&self, now: Cycle) -> usize {
-        let draining = self
+    /// Records a QMOV drain holding an AVDQ slot until `until`, keeping
+    /// the drain list sorted ascending. Drains issue in time order with
+    /// varying vector lengths, so the insertion point is almost always the
+    /// back; the list never exceeds the number of QMOV units plus the
+    /// not-yet-pruned expired entries, so the scan is a handful of slots.
+    fn push_drain(&mut self, until: Cycle) {
+        let pos = self
             .avdq_draining
             .iter()
-            .filter(|&&until| until > now)
-            .count();
-        self.avdq.len() + draining
+            .rposition(|&t| t <= until)
+            .map_or(0, |p| p + 1);
+        self.avdq_draining.insert(pos, until);
+    }
+
+    fn avdq_busy_slots_at(&self, now: Cycle) -> usize {
+        // Every caller runs after the tick's expiry sweep, so the drain
+        // list holds only live entries and the count is just its length.
+        debug_assert!(self.avdq_draining.front().is_none_or(|&t| t > now));
+        let _ = now;
+        self.avdq.len() + self.avdq_draining.len()
     }
 
     fn avdq_has_free_slot(&self) -> bool {
@@ -215,33 +411,62 @@ impl<'a> Engine<'a> {
     // -- disambiguation -----------------------------------------------------
 
     /// Checks `range` against every queued store older than the load.
-    /// Returns the youngest conflicting store's sequence number and
-    /// whether that youngest conflict is an *identical* vector access
-    /// (bypass candidate).
+    /// Returns the youngest conflicting store and whether that youngest
+    /// conflict is an *identical* vector access (bypass candidate).
     fn disambiguate(
         &self,
         range: MemRange,
         identical_to: Option<&dva_isa::VectorAccess>,
-    ) -> Option<(StoreSeq, bool)> {
-        let mut youngest: Option<(StoreSeq, bool)> = None;
+    ) -> Option<Conflict> {
+        let mut youngest: Option<Conflict> = None;
         for entry in self.vsaq.iter() {
             if entry.access.range().overlaps(&range) {
                 let identical = match (identical_to, entry.access.strided()) {
                     (Some(load), Some(store)) => load.is_identical(store),
                     _ => false,
                 };
-                if youngest.is_none_or(|(s, _)| entry.seq > s) {
-                    youngest = Some((entry.seq, identical));
+                if youngest.is_none_or(|c| entry.seq > c.seq) {
+                    youngest = Some(Conflict {
+                        seq: entry.seq,
+                        identical,
+                        data: Some(entry.data),
+                    });
                 }
             }
         }
         for entry in self.ssaq.iter() {
             let store_range = MemRange::new(entry.addr, entry.addr + 8);
-            if store_range.overlaps(&range) && youngest.is_none_or(|(s, _)| entry.seq > s) {
-                youngest = Some((entry.seq, false));
+            if store_range.overlaps(&range) && youngest.is_none_or(|c| entry.seq > c.seq) {
+                youngest = Some(Conflict {
+                    seq: entry.seq,
+                    identical: false,
+                    data: None,
+                });
             }
         }
         youngest
+    }
+
+    /// [`disambiguate`](Engine::disambiguate) behind the retry cache: the
+    /// AP re-attempts its front load every tick while stalled, and the
+    /// conflict answer is a pure function of the op and the queued-store
+    /// set, so it is recomputed only when `store_gen` or the front op
+    /// changes.
+    fn disambiguate_cached(
+        &mut self,
+        range: MemRange,
+        identical_to: Option<&dva_isa::VectorAccess>,
+    ) -> Option<Conflict> {
+        // The serial of the op currently at the APIQ head: pops so far.
+        let serial = self.apiq.total_pushed() - self.apiq.len() as u64;
+        if let Some((gen, s, result)) = self.disambig_cache {
+            if gen == self.store_gen && s == serial {
+                return result;
+            }
+        }
+        let result = self.disambiguate(range, identical_to);
+        self.disambig_cache = Some((self.store_gen, serial, result));
+        result
     }
 
     // -- store engine -------------------------------------------------------
@@ -280,6 +505,7 @@ impl<'a> Engine<'a> {
                 }
                 self.mem.scalar_store(now, front.addr);
                 self.ssaq.pop();
+                self.store_gen += 1;
                 self.stores_committed += 1;
                 return true;
             }
@@ -301,16 +527,17 @@ impl<'a> Engine<'a> {
             return false;
         }
         debug_assert_eq!(
-            self.vsaq.front().map(|e| e.seq),
-            Some(data.seq),
+            self.vsaq.front().map(|e| e.data),
+            Some(data.data),
             "VADQ order must match VSAQ order"
         );
         let stride = self.vsaq.front().and_then(|e| e.access.stride());
         self.mem.issue_vector_store(now, data.vl, stride);
         self.vsaq.pop();
         self.vadq.pop();
+        self.store_gen += 1;
         self.stores_committed += 1;
-        self.gc_store_data_ready(data.seq);
+        self.gc_store_data_ready(data.data);
         true
     }
 
@@ -318,11 +545,11 @@ impl<'a> Engine<'a> {
     /// again: new bypasses only ever target stores still queued in the
     /// VSAQ, so an entry is dead as soon as the store has left the queue
     /// and no already-pending bypass still sources it.
-    fn gc_store_data_ready(&mut self, seq: StoreSeq) {
-        let referenced = self.pending_bypasses.iter().any(|p| p.store_seq == seq)
-            || self.vsaq.iter().any(|e| e.seq == seq);
+    fn gc_store_data_ready(&mut self, data: DataSlot) {
+        let referenced = self.pending_bypasses.iter().any(|p| p.data == data)
+            || self.vsaq.iter().any(|e| e.data == data);
         if !referenced {
-            self.store_data_ready.remove(&seq);
+            self.store_data_ready.remove(data);
         }
     }
 
@@ -336,7 +563,7 @@ impl<'a> Engine<'a> {
         if !self.bypass_unit.is_free(self.now) {
             return false;
         }
-        let Some(&data_ready) = self.store_data_ready.get(&pending.store_seq) else {
+        let Some(data_ready) = self.store_data_ready.get(pending.data) else {
             return false; // the VP has not issued the store's QMOV yet
         };
         if data_ready > self.now {
@@ -358,7 +585,7 @@ impl<'a> Engine<'a> {
         });
         self.mem.record_bypass(pending.vl);
         self.bypassed_loads += 1;
-        self.gc_store_data_ready(pending.store_seq);
+        self.gc_store_data_ready(pending.data);
         true
     }
 
@@ -428,15 +655,17 @@ impl<'a> Engine<'a> {
                         seq,
                         ap_data_ready,
                     });
+                    self.store_gen += 1;
                     true
                 }
             }
             ApOp::VectorLoad { access } => self.ap_vector_load(access),
-            ApOp::VectorStoreAddr { access, seq } => {
+            ApOp::VectorStoreAddr { access, seq, data } => {
                 if self.vsaq.is_full() {
                     false
                 } else {
-                    self.vsaq.push(VsaqEntry { access, seq });
+                    self.vsaq.push(VsaqEntry { access, seq, data });
+                    self.store_gen += 1;
                     true
                 }
             }
@@ -458,8 +687,8 @@ impl<'a> Engine<'a> {
     fn ap_scalar_load(&mut self, dst: Option<ScalarReg>, to_sp: bool, addr: u64) -> bool {
         let now = self.now;
         let range = MemRange::new(addr, addr + 8);
-        if let Some((seq, _)) = self.disambiguate(range, None) {
-            self.ap_drain_until = Some(seq);
+        if let Some(conflict) = self.disambiguate_cached(range, None) {
+            self.ap_drain_until = Some(conflict.seq);
             return false;
         }
         if to_sp && self.asdq.is_full() {
@@ -479,33 +708,36 @@ impl<'a> Engine<'a> {
 
     fn ap_vector_load(&mut self, access: VecAccess) -> bool {
         let now = self.now;
-        let conflict = self.disambiguate(access.range(), access.strided());
+        let conflict = self.disambiguate_cached(access.range(), access.strided());
         match conflict {
-            Some((seq, identical)) if self.cfg.bypass && identical => {
+            Some(conflict) if self.cfg.bypass && conflict.identical => {
                 // Bypass: reserve the AVDQ slot now; the copy starts when
                 // the store's data lands in the VADQ. The AP moves on —
                 // the memory port stays free during the copy.
                 if !self.avdq_has_free_slot() {
                     return false;
                 }
+                let data = conflict
+                    .data
+                    .expect("identical conflicts are vector stores");
                 let id = self.next_avdq_id;
                 self.next_avdq_id += 1;
                 self.avdq.push(AvdqSlot {
                     id,
                     ready_at: Cycle::MAX,
-                    pending_bypass: Some(seq),
+                    pending_bypass: Some(data),
                 });
                 self.pending_bypasses.push_back(PendingBypass {
                     slot_id: id,
-                    store_seq: seq,
+                    data,
                     vl: access.vl(),
                 });
                 true
             }
-            Some((seq, _)) => {
+            Some(conflict) => {
                 // Memory hazard: write back everything up to the youngest
                 // offending store, then retry.
-                self.ap_drain_until = Some(seq);
+                self.ap_drain_until = Some(conflict.seq);
                 false
             }
             None => {
@@ -597,7 +829,7 @@ impl<'a> Engine<'a> {
     fn sp_push(
         &mut self,
         src: ScalarReg,
-        queue: impl for<'e> Fn(&'e mut Engine<'a>) -> &'e mut Fifo<Timed<()>>,
+        queue: impl for<'e> Fn(&'e mut Engine) -> &'e mut Fifo<Timed<()>>,
     ) -> bool {
         let now = self.now;
         if !self.sp_sb.is_ready(src, now) {
@@ -623,11 +855,10 @@ impl<'a> Engine<'a> {
             VpOp::Compute {
                 op,
                 dst,
-                srcs,
+                reads,
                 pops_svdq,
                 vl,
             } => {
-                let reads: Vec<_> = srcs.into_iter().flatten().collect();
                 if pops_svdq && !self.svdq.front().is_some_and(|e| e.is_ready(now)) {
                     false
                 } else if !self.vregs.can_issue(now, &reads, Some(dst), self.chain) {
@@ -677,8 +908,7 @@ impl<'a> Engine<'a> {
                     true
                 }
             }
-            VpOp::QmovLoad { dst, index, vl } => {
-                let reads: Vec<_> = index.into_iter().collect();
+            VpOp::QmovLoad { dst, reads, vl } => {
                 if self.avdq.front().is_none_or(|s| s.ready_at > now) {
                     false
                 } else if !self.vregs.can_issue(now, &reads, Some(dst), self.chain) {
@@ -693,7 +923,7 @@ impl<'a> Engine<'a> {
                     };
                     unit.reserve(now, vl.cycles());
                     self.avdq.pop();
-                    self.avdq_draining.push(now + vl.cycles());
+                    self.push_drain(now + vl.cycles());
                     if !reads.is_empty() {
                         self.vregs.begin_reads(now, &reads, vl.cycles());
                     }
@@ -707,14 +937,7 @@ impl<'a> Engine<'a> {
                     true
                 }
             }
-            VpOp::QmovStore {
-                src,
-                index,
-                vl,
-                seq,
-            } => {
-                let mut reads = vec![src];
-                reads.extend(index);
+            VpOp::QmovStore { reads, vl, data } => {
                 if self.vadq.is_full() || !self.vregs.can_issue(now, &reads, None, self.chain) {
                     false
                 } else {
@@ -730,8 +953,8 @@ impl<'a> Engine<'a> {
                     // First element lands after the QMOV startup; consumers
                     // (store engine, bypass unit) chain one cycle behind.
                     let first_at = now + qstartup + 1;
-                    self.vadq.push(VadqEntry { seq, first_at, vl });
-                    self.store_data_ready.insert(seq, first_at);
+                    self.vadq.push(VadqEntry { data, first_at, vl });
+                    self.store_data_ready.insert(data, first_at);
                     true
                 }
             }
@@ -766,101 +989,373 @@ impl<'a> Engine<'a> {
     /// engine is structurally done).
     fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
         let mut next = dva_isa::EarliestAfter::new(now);
-        // Functional units and the address ports. Every port freeing is
-        // its own event: on a multi-ported memory the issue gate flips
-        // at the first free and the sampled LD flag at the last.
-        next.consider_opt(self.mem.next_free_at(now));
+        // Sample-exactness events: the Figure 1 state tuple reads the two
+        // functional units and the memory ports, and the AVDQ occupancy
+        // histogram counts draining slots, so each of those transitions
+        // must land on an executed tick even when no unit can progress.
+        // (Ports also re-enter here one free at a time: on a multi-ported
+        // memory the sampled LD flag flips at the *last* port free while
+        // the issue gates flip at the first.)
         next.consider(self.fu1.free_at());
         next.consider(self.fu2.free_at());
-        next.consider(self.qmov1.free_at());
-        next.consider(self.qmov2.free_at());
-        next.consider(self.bypass_unit.free_at());
-        // Timed data queues. Every entry is scanned, not just the front:
-        // ALU µops consume up to two entries deep.
-        for q in [&self.ssdq, &self.asdq, &self.sadq, &self.svdq, &self.vsdq] {
-            next.consider_opt(q.next_ready_after(now));
-        }
-        // AVDQ: the VP consumes the front slot once its data lands
-        // (`Cycle::MAX` marks a bypass that has not started — not a timed
-        // event); draining slots release AVDQ capacity when they expire.
-        if let Some(front) = self.avdq.front() {
-            if front.ready_at != Cycle::MAX {
-                next.consider(front.ready_at);
-            }
-        }
-        for &until in &self.avdq_draining {
+        next.consider_opt(self.mem.next_free_at(now));
+        if let Some(&until) = self.avdq_draining.front() {
             next.consider(until);
         }
-        // Store engine: vector data streaming into the VADQ, scalar data
-        // carried by the AP.
-        if let Some(front) = self.vadq.front() {
-            next.consider(front.first_at);
+        // Precise per-unit wake times: for each stalled unit, the exact
+        // earliest cycle its front operation's gates can all be open,
+        // derived from the same state the step functions check. Within a
+        // no-progress window every gate is monotone (operands only become
+        // ready, ports and slots only free), so the wake is the max over
+        // the individual gate times — and `None` means the unit is
+        // blocked on another unit's *progress*, which re-evaluates
+        // everything anyway. Jumps land on ticks that actually advance,
+        // instead of on every timer anywhere in the machine.
+        // Each processor's wake is cached under the progress version: on
+        // consecutive stalls (nothing changed, the clock has not reached
+        // the wake) the cached value is still exact and the whole
+        // gate-time computation is skipped.
+        next.consider_opt(self.cached_wake(&self.wake_ap_cache, now, || self.wake_ap(now)));
+        next.consider_opt(self.cached_wake(&self.wake_sp_cache, now, || self.wake_sp()));
+        next.consider_opt(self.cached_wake(&self.wake_vp_cache, now, || self.wake_vp()));
+        next.consider_opt(self.cached_wake(&self.wake_store_cache, now, || self.wake_store(now)));
+        if self.cfg.bypass {
+            next.consider_opt(
+                self.cached_wake(&self.wake_bypass_cache, now, || self.wake_bypass()),
+            );
         }
-        if let Some(front) = self.ssaq.front() {
-            next.consider_opt(front.ap_data_ready);
-        }
-        // Bypass engine: the front pending copy starts once its store's
-        // data lands (no map entry yet means the enabling event is the VP
-        // issuing the QMOV — progress, not time).
-        if let Some(p) = self.pending_bypasses.front() {
-            next.consider_opt(self.store_data_ready.get(&p.store_seq).copied());
-        }
-        // Scoreboards and the vector register file.
-        next.consider_opt(self.ap_sb.next_ready_after(now));
-        next.consider_opt(self.sp_sb.next_ready_after(now));
-        next.consider_opt(self.vregs.next_event_after(now));
         next.get()
+    }
+
+    // -- per-unit wake times ------------------------------------------------
+
+    /// Reads a wake time through its version-stamped cache, recomputing
+    /// and re-stamping it when the version moved or the clock reached the
+    /// cached value (`Cycle::MAX` encodes "blocked on progress").
+    fn cached_wake(
+        &self,
+        cache: &std::cell::Cell<(u64, Cycle)>,
+        now: Cycle,
+        compute: impl FnOnce() -> Option<Cycle>,
+    ) -> Option<Cycle> {
+        let (version, wake) = cache.get();
+        if version == self.progress_version && now < wake {
+            return (wake != Cycle::MAX).then_some(wake);
+        }
+        let wake = compute();
+        cache.set((self.progress_version, wake.unwrap_or(Cycle::MAX)));
+        wake
+    }
+
+    /// The first cycle at which at least one memory port can accept an
+    /// access, given no new reservations.
+    fn port_ready_at(&self, now: Cycle) -> Cycle {
+        if self.mem.port_free(now) {
+            now
+        } else {
+            self.mem.next_free_at(now).unwrap_or(now)
+        }
+    }
+
+    /// When an AVDQ slot frees: `now` if one is free, the k-th drain
+    /// expiry that brings occupancy under capacity, or `None` when only a
+    /// VP pop (progress) can free one. The drain list is sorted and holds
+    /// only unexpired entries, so the k-th entry is the exact answer.
+    fn avdq_slot_free_at(&self, now: Cycle) -> Option<Cycle> {
+        let busy = self.avdq_busy_slots_at(now);
+        let cap = self.avdq.capacity();
+        if busy < cap {
+            return Some(now);
+        }
+        self.avdq_draining.get(busy - cap).copied()
+    }
+
+    /// The cached disambiguation verdict for the AP's front load. The
+    /// stalled step just evaluated it, so this is a lookup; the fallback
+    /// recomputes without touching the cache.
+    fn cached_conflict(&self, access: &VecAccess) -> Option<Conflict> {
+        let serial = self.apiq.total_pushed() - self.apiq.len() as u64;
+        match self.disambig_cache {
+            Some((gen, s, result)) if gen == self.store_gen && s == serial => result,
+            _ => self.disambiguate(access.range(), access.strided()),
+        }
+    }
+
+    /// Exact wake time of the address processor's front µop, or `None`
+    /// when it is blocked on another unit's progress (a full queue, a
+    /// store drain, data that has not been produced).
+    fn wake_ap(&self, now: Cycle) -> Option<Cycle> {
+        // Drain mode persisting past the stalled tick means stores are
+        // still pending; commits are store-engine progress.
+        if self.ap_drain_until.is_some() {
+            return None;
+        }
+        let op = self.apiq.front()?;
+        match *op {
+            ApOp::Alu {
+                srcs, pops_sadq, ..
+            } => {
+                if (self.sadq.len() as u8) < pops_sadq {
+                    return None; // waiting on an SP push
+                }
+                let mut at = self.ap_sb.ready_after(&srcs);
+                for e in self.sadq.iter().take(pops_sadq as usize) {
+                    at = at.max(e.ready_at);
+                }
+                Some(at)
+            }
+            ApOp::PushAsdq { src } => {
+                if self.asdq.is_full() {
+                    None // waiting on the SP to pop
+                } else {
+                    Some(self.ap_sb.ready_at(src))
+                }
+            }
+            ApOp::ScalarLoad { to_sp, addr, .. } => {
+                // A conflicted load put the AP in drain mode above.
+                if to_sp && self.asdq.is_full() {
+                    return None;
+                }
+                Some(if self.mem.probe_scalar(addr) == CacheAccess::Miss {
+                    self.port_ready_at(now)
+                } else {
+                    now // a hit always issues; unreachable on a stall
+                })
+            }
+            ApOp::ScalarStoreAddr { .. } => None, // stalled ⇒ SSAQ full
+            ApOp::VectorStoreAddr { .. } => None, // stalled ⇒ VSAQ full
+            ApOp::VectorLoad { access } => match self.cached_conflict(&access) {
+                Some(c) if self.cfg.bypass && c.identical => {
+                    // Bypass reservation: only the AVDQ slot gates it.
+                    self.avdq_slot_free_at(now)
+                }
+                Some(_) => None, // hazard: drain mode handles it
+                None => {
+                    let slot = self.avdq_slot_free_at(now)?;
+                    Some(slot.max(self.port_ready_at(now)))
+                }
+            },
+            ApOp::Branch { cond } => Some(self.ap_sb.ready_at(cond)),
+        }
+    }
+
+    /// Exact wake time of the scalar processor's front µop.
+    fn wake_sp(&self) -> Option<Cycle> {
+        let op = self.spiq.front()?;
+        match *op {
+            SpOp::Alu {
+                srcs, pops_asdq, ..
+            } => {
+                if (self.asdq.len() as u8) < pops_asdq {
+                    return None; // waiting on an AP push
+                }
+                let mut at = self.sp_sb.ready_after(&srcs);
+                for e in self.asdq.iter().take(pops_asdq as usize) {
+                    at = at.max(e.ready_at);
+                }
+                Some(at)
+            }
+            SpOp::PopAsdq { .. } => self.asdq.front().map(|e| e.ready_at),
+            SpOp::PushSadq { src } => (!self.sadq.is_full()).then(|| self.sp_sb.ready_at(src)),
+            SpOp::PushSvdq { src } => (!self.svdq.is_full()).then(|| self.sp_sb.ready_at(src)),
+            SpOp::PushSsdq { src } => (!self.ssdq.is_full()).then(|| self.sp_sb.ready_at(src)),
+            SpOp::PopVsdq { .. } => self.vsdq.front().map(|e| e.ready_at),
+            SpOp::Branch { cond } => Some(self.sp_sb.ready_at(cond)),
+        }
+    }
+
+    /// Exact wake time of the vector processor's front µop.
+    fn wake_vp(&self) -> Option<Cycle> {
+        let op = self.vpiq.front()?;
+        match *op {
+            VpOp::Compute {
+                op,
+                dst,
+                reads,
+                pops_svdq,
+                ..
+            } => {
+                let mut at: Cycle = 0;
+                if pops_svdq {
+                    at = self.svdq.front()?.ready_at;
+                }
+                at = at.max(self.vregs.issue_ready_at(&reads, Some(dst), self.chain));
+                at = at.max(if op.requires_general_unit() {
+                    self.fu2.free_at()
+                } else {
+                    self.fu1.free_at().min(self.fu2.free_at())
+                });
+                Some(at)
+            }
+            VpOp::Reduce { src, .. } => {
+                if self.vsdq.is_full() {
+                    return None; // waiting on the SP to pop
+                }
+                let at = self
+                    .vregs
+                    .issue_ready_at(&[src], None, self.chain)
+                    .max(self.fu1.free_at().min(self.fu2.free_at()));
+                Some(at)
+            }
+            VpOp::QmovLoad { dst, reads, .. } => {
+                let front = self.avdq.front()?;
+                if front.ready_at == Cycle::MAX {
+                    return None; // filled by the bypass unit (progress)
+                }
+                let at = front
+                    .ready_at
+                    .max(self.vregs.issue_ready_at(&reads, Some(dst), self.chain))
+                    .max(self.qmov1.free_at().min(self.qmov2.free_at()));
+                Some(at)
+            }
+            VpOp::QmovStore { reads, .. } => {
+                if self.vadq.is_full() {
+                    return None; // waiting on a store commit
+                }
+                let at = self
+                    .vregs
+                    .issue_ready_at(&reads, None, self.chain)
+                    .max(self.qmov1.free_at().min(self.qmov2.free_at()));
+                Some(at)
+            }
+        }
+    }
+
+    /// Wake time of the store engine: the earlier of the next scalar and
+    /// vector commits it could perform.
+    fn wake_store(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = dva_isa::EarliestAfter::new(now.saturating_sub(1));
+        if let Some(front) = self.ssaq.front() {
+            let data = match front.ap_data_ready {
+                Some(t) => Some(t),
+                None => self.ssdq.front().map(|d| d.ready_at),
+            };
+            if let Some(data) = data {
+                next.consider(data.max(self.port_ready_at(now)));
+            }
+        }
+        // Vector stores write back only under the lazy-writeback gates,
+        // all of which flip on progress, not time.
+        let flush = self.pc >= self.compiled.len() && self.pending.is_none();
+        let pressured = self.vsaq.len() + 1 >= self.vsaq.capacity()
+            || self.vadq.len() + 1 >= self.vadq.capacity();
+        let draining = match (self.ap_drain_until, self.vsaq.front()) {
+            (Some(limit), Some(front)) => front.seq <= limit,
+            _ => false,
+        };
+        if flush || pressured || draining {
+            if let Some(data) = self.vadq.front() {
+                next.consider(data.first_at.max(self.port_ready_at(now)));
+            }
+        }
+        next.get()
+    }
+
+    /// Wake time of the bypass unit's front pending copy.
+    fn wake_bypass(&self) -> Option<Cycle> {
+        let pending = self.pending_bypasses.front()?;
+        let data = self.store_data_ready.get(pending.data)?;
+        Some(data.max(self.bypass_unit.free_at()))
     }
 }
 
-impl Processor for Engine<'_> {
+impl Processor for Engine {
     fn step(&mut self, now: Cycle) -> Progress {
         self.now = now;
         // Entries whose drain has completed can never be observed
-        // again (the busy-slot filter already ignores them); dropping
-        // them keeps the scan O(in-flight), not O(loads executed).
-        self.avdq_draining.retain(|&until| until > now);
+        // again (the busy-slot filter already ignores them); the list is
+        // sorted ascending, so expiry is a pop-front-while-expired
+        // instead of a whole-list scan.
+        while self
+            .avdq_draining
+            .front()
+            .is_some_and(|&until| until <= now)
+        {
+            self.avdq_draining.pop_front();
+        }
 
         let mut progress = false;
         // The AP owns the memory port; lazy store writebacks take the
-        // bus only in the cycles the AP leaves it idle.
-        progress |= self.step_ap();
-        progress |= self.step_sp();
-        progress |= self.step_vp();
-        let flush = self.pc >= self.insts.len() && self.pending.is_none();
-        progress |= self.step_store_engine(flush);
+        // bus only in the cycles the AP leaves it idle. Each processor's
+        // attempt is skipped outright while its cached wake time (from
+        // the last fast-forward computation) certifies it must fail; any
+        // sub-unit progress bumps the version and re-enables the
+        // attempts that follow it, including within this same tick. The
+        // AP attempt always runs in drain mode, which counts its stall
+        // cycles inside the attempt.
+        let (ver, wake) = self.wake_ap_cache.get();
+        if self.ap_drain_until.is_some() || ver != self.progress_version || now >= wake {
+            let advanced = self.step_ap();
+            self.progress_version += u64::from(advanced);
+            progress |= advanced;
+        }
+        let (ver, wake) = self.wake_sp_cache.get();
+        if ver != self.progress_version || now >= wake {
+            let advanced = self.step_sp();
+            self.progress_version += u64::from(advanced);
+            progress |= advanced;
+        }
+        let (ver, wake) = self.wake_vp_cache.get();
+        if ver != self.progress_version || now >= wake {
+            let advanced = self.step_vp();
+            self.progress_version += u64::from(advanced);
+            progress |= advanced;
+        }
+        let flush = self.pc >= self.compiled.len() && self.pending.is_none();
+        let (ver, wake) = self.wake_store_cache.get();
+        if ver != self.progress_version || now >= wake {
+            let advanced = self.step_store_engine(flush);
+            self.progress_version += u64::from(advanced);
+            progress |= advanced;
+        }
         if self.cfg.bypass {
-            progress |= self.step_bypass_engine();
+            let (ver, wake) = self.wake_bypass_cache.get();
+            if ver != self.progress_version || now >= wake {
+                let advanced = self.step_bypass_engine();
+                self.progress_version += u64::from(advanced);
+                progress |= advanced;
+            }
         }
 
-        // Fetch/dispatch: one architectural instruction per cycle.
-        if self.pending.is_none() && self.pc < self.insts.len() {
-            self.pending = Some(translate(&self.insts[self.pc], &mut self.next_store_seq));
+        // Fetch/dispatch: one architectural instruction per cycle, read
+        // straight out of the pre-translated bundle stream (no bundle is
+        // ever copied: stalled bundles wait as an index).
+        if self.pending.is_none() && self.pc < self.compiled.len() {
+            self.pending = Some(self.pc);
             self.pc += 1;
         }
-        if let Some(bundle) = self.pending.take() {
-            if self.fp_can_dispatch(bundle.slots()) {
-                if let Some(ap) = bundle.ap {
-                    self.apiq.push(ap);
+        let dispatched = match self.pending {
+            Some(index) => {
+                let bundle = &self.compiled.bundles()[index];
+                if self.fp_can_dispatch(bundle.slots()) {
+                    if let Some(ap) = bundle.ap {
+                        self.apiq.push(ap);
+                    }
+                    for sp in bundle.sp.iter() {
+                        self.spiq.push(*sp);
+                    }
+                    if let Some(vp) = bundle.vp {
+                        self.vpiq.push(vp);
+                    }
+                    true
+                } else {
+                    self.fp_stalls += 1;
+                    false
                 }
-                for sp in &bundle.sp {
-                    self.spiq.push(*sp);
-                }
-                if let Some(vp) = bundle.vp {
-                    self.vpiq.push(vp);
-                }
-                progress = true;
-            } else {
-                self.fp_stalls += 1;
-                self.pending = Some(bundle);
             }
+            None => false,
+        };
+        if dispatched {
+            self.pending = None;
+            self.progress_version += 1;
+            progress = true;
         }
         Progress::from(progress)
     }
 
     /// Structural completion: everything fetched, all queues drained.
     fn is_done(&self) -> bool {
-        let done = self.pc >= self.insts.len()
+        let done = self.pc >= self.compiled.len()
             && self.pending.is_none()
             && self.apiq.is_empty()
             && self.spiq.is_empty()
@@ -891,7 +1386,7 @@ impl Processor for Engine<'_> {
             );
             debug_assert!(
                 self.store_data_ready.is_empty(),
-                "store data-ready entries must be garbage-collected by \
+                "store data-ready slots must be garbage-collected by \
                  structural completion ({} left)",
                 self.store_data_ready.len(),
             );
@@ -943,7 +1438,7 @@ impl Processor for Engine<'_> {
 
     fn report(&self, cycles: Cycle) -> Report {
         Report {
-            insts: self.insts.len() as u64,
+            insts: self.compiled.len() as u64,
             traffic: self.mem.traffic(),
             bus_utilization: self.mem.utilization(cycles),
             port_utilization: self.mem.port_utilizations(cycles),
@@ -958,7 +1453,7 @@ impl Processor for Engine<'_> {
             "DVA pc={}/{} APIQ={} SPIQ={} VPIQ={} AVDQ={} VADQ={} VSAQ={} SSAQ={} \
              next_commit={} drain={:?} pending_byp={}",
             self.pc,
-            self.insts.len(),
+            self.compiled.len(),
             self.apiq.len(),
             self.spiq.len(),
             self.vpiq.len(),
@@ -973,14 +1468,16 @@ impl Processor for Engine<'_> {
     }
 }
 
-/// Drives `engine` to completion through the shared [`Driver`] and
-/// assembles the decoupled machine's result.
-pub(crate) fn run(mut engine: Engine<'_>, fast_forward: bool) -> DvaResult {
+/// Drives `engine` (fresh or [`reset`](Engine::reset)) to completion
+/// through the shared [`Driver`] and assembles the decoupled machine's
+/// result. The engine keeps its buffers afterwards, ready for the next
+/// reset.
+pub(crate) fn drive(engine: &mut Engine, fast_forward: bool) -> DvaResult {
     let mut observers = Observers::with_occupancy(Histogram::new(engine.cfg.queues.avdq));
     let completion = Driver::new()
         .fast_forward(fast_forward)
-        .run(&mut engine, &mut observers);
-    let (core, occupancy) = completion.into_core(&engine, observers);
+        .run(engine, &mut observers);
+    let (core, occupancy) = completion.into_core(engine, observers);
     let avdq_occupancy = occupancy.expect("the DVA observers carry the AVDQ histogram");
     let max_avdq = avdq_occupancy.max_observed().unwrap_or(0);
     DvaResult {
@@ -997,8 +1494,13 @@ pub(crate) fn run(mut engine: Engine<'_>, fast_forward: bool) -> DvaResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dva_isa::{VectorAccess, VectorReg};
+    use dva_isa::{Inst, Program, VectorAccess, VectorReg};
     use dva_testutil::vl;
+
+    fn run(cfg: DvaConfig, program: &Program, fast_forward: bool) -> DvaResult {
+        let compiled = Arc::new(CompiledProgram::compile(program));
+        drive(&mut Engine::new(cfg, compiled), fast_forward)
+    }
 
     /// A long stream of short vector loads rotating over the eight
     /// registers: with deep instruction queues and a long latency the AP
@@ -1020,7 +1522,7 @@ mod tests {
         // `max_avdq` and the fig6/queue-sizing sweeps.
         let cfg = DvaConfig::builder().avdq(128).build();
         let program = load_storm(4, 64);
-        let r = run(Engine::new(cfg, &program), true);
+        let r = run(cfg, &program, true);
         assert_eq!(r.avdq_occupancy.buckets().len(), 128 + 1);
         assert_eq!(r.avdq_occupancy.overflow(), 0);
     }
@@ -1035,7 +1537,7 @@ mod tests {
             .avdq(256)
             .build();
         let program = load_storm(120, 8);
-        let r = run(Engine::new(cfg, &program), true);
+        let r = run(cfg, &program, true);
         assert!(
             r.max_avdq > 64,
             "AVDQ only reached {} slots; the scenario no longer exercises \
@@ -1051,9 +1553,10 @@ mod tests {
     fn orphaned_scalar_queue_entries_are_detected() {
         // Simulates a translator bug: an SVDQ entry nothing ever pops.
         let program = Program::from_insts("empty", Vec::new());
-        let mut engine = Engine::new(DvaConfig::default(), &program);
+        let compiled = Arc::new(CompiledProgram::compile(&program));
+        let mut engine = Engine::new(DvaConfig::default(), compiled);
         engine.svdq.push(Timed::new((), 0));
-        let _ = run(engine, true);
+        let _ = drive(&mut engine, true);
     }
 
     #[test]
@@ -1083,8 +1586,8 @@ mod tests {
                 DvaConfig::byp(latency, 4, 8),
                 DvaConfig::byp(latency, 256, 16),
             ] {
-                let fast = run(Engine::new(cfg, &program), true);
-                let naive = run(Engine::new(cfg, &program), false);
+                let fast = run(cfg, &program, true);
+                let naive = run(cfg, &program, false);
                 assert_eq!(fast, naive, "L={latency} cfg={cfg:?}");
                 assert!(
                     fast.ticks_executed.get() <= naive.ticks_executed.get(),
@@ -1092,5 +1595,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A reset engine must behave exactly like a fresh one, across
+    /// different configurations and programs.
+    #[test]
+    fn reset_is_byte_identical_to_a_fresh_engine() {
+        let storm = Arc::new(CompiledProgram::compile(&load_storm(24, 32)));
+        let mixed = {
+            let insts = vec![
+                Inst::VLoad {
+                    dst: VectorReg::V0,
+                    access: VectorAccess::unit(0x1000, vl(64)),
+                },
+                Inst::VStore {
+                    src: VectorReg::V0,
+                    access: VectorAccess::unit(0x2000, vl(64)),
+                },
+                Inst::VLoad {
+                    dst: VectorReg::V2,
+                    access: VectorAccess::unit(0x2000, vl(64)),
+                },
+            ];
+            Arc::new(CompiledProgram::compile(&Program::from_insts("m", insts)))
+        };
+        let mut engine = Engine::new(DvaConfig::dva(1), Arc::clone(&storm));
+        let _ = drive(&mut engine, true);
+        for (cfg, compiled) in [
+            (DvaConfig::dva(70), &storm),
+            (DvaConfig::byp(30, 4, 8), &mixed),
+            (DvaConfig::builder().latency(5).avdq(4).build(), &storm),
+        ] {
+            engine.reset(cfg, Arc::clone(compiled));
+            let reused = drive(&mut engine, true);
+            let fresh = drive(&mut Engine::new(cfg, Arc::clone(compiled)), true);
+            assert_eq!(reused, fresh, "cfg={cfg:?}");
+        }
+    }
+
+    #[test]
+    fn data_ready_ring_tracks_out_of_order_removal() {
+        let mut ring = DataReadyRing::with_capacity(4);
+        ring.insert(0, 10);
+        ring.insert(1, 20);
+        ring.insert(2, 30);
+        assert_eq!(ring.get(1), Some(20));
+        // Remove the middle slot: the front stays, nothing is released.
+        ring.remove(1);
+        assert_eq!(ring.get(1), None);
+        assert_eq!(ring.get(0), Some(10));
+        assert_eq!(ring.len(), 2);
+        // Removing the front releases it and the dead middle slot.
+        ring.remove(0);
+        assert_eq!(ring.get(2), Some(30));
+        ring.remove(2);
+        assert!(ring.is_empty());
+        // Stale lookups below the base are simply absent.
+        assert_eq!(ring.get(0), None);
+        ring.insert(3, 40);
+        assert_eq!(ring.get(3), Some(40));
     }
 }

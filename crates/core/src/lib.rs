@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod config;
 mod engine;
 mod ideal;
@@ -63,13 +64,17 @@ mod queues;
 mod result;
 mod uops;
 
+pub use compiled::CompiledProgram;
 pub use config::{DvaConfig, DvaConfigBuilder, QueueConfig};
 pub use ideal::{ideal_bound, IdealBound};
 pub use queues::{Fifo, Timed};
 pub use result::DvaResult;
-pub use uops::{translate, ApOp, Bundle, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
+pub use uops::{
+    translate, ApOp, Bundle, DataSlot, SpOp, StoreAlloc, StoreDataSource, StoreSeq, VecAccess, VpOp,
+};
 
 use dva_isa::Program;
+use std::sync::Arc;
 
 /// The decoupled vector architecture simulator.
 ///
@@ -113,11 +118,86 @@ impl DvaSim {
 
     /// Runs `program` to completion and reports the measurements.
     ///
+    /// Translates the program on the fly; when the same program runs more
+    /// than once (latency sweeps, model sweeps), compile it once with
+    /// [`CompiledProgram::compile`] and use [`DvaSim::run_compiled`] or a
+    /// [`DvaRunner`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if the engine detects a deadlock (an internal invariant
     /// violation — valid traces always complete).
     pub fn run(&self, program: &Program) -> DvaResult {
-        engine::run(engine::Engine::new(self.config, program), self.fast_forward)
+        self.run_compiled(&Arc::new(CompiledProgram::compile(program)))
+    }
+
+    /// Runs a pre-translated program to completion — byte-identical to
+    /// [`DvaSim::run`] on the source program, without re-translating it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine detects a deadlock.
+    pub fn run_compiled(&self, compiled: &Arc<CompiledProgram>) -> DvaResult {
+        DvaRunner::new().run(self, compiled)
+    }
+}
+
+/// A reusable decoupled-machine engine: one allocation of the
+/// architectural queues, the data-ready ring and the bypass machinery,
+/// amortized over any number of runs.
+///
+/// Each [`run`](DvaRunner::run) resets the engine to its initial state
+/// (the *reset contract*: a run on a reused engine is byte-identical to a
+/// run on a freshly constructed one — asserted by the engine test suite
+/// and the allocation-regression tests) and drives it to completion.
+/// Configurations and programs may change freely between runs; the
+/// buffers are kept and re-armed. Sweep workers hold one runner per
+/// thread, so a thousand-point grid performs a thousand engine *resets*
+/// but only one engine *construction* per worker.
+///
+/// # Examples
+///
+/// ```
+/// use dva_core::{CompiledProgram, DvaConfig, DvaRunner, DvaSim};
+/// use dva_workloads::{Benchmark, Scale};
+/// use std::sync::Arc;
+///
+/// let compiled = Arc::new(CompiledProgram::compile(
+///     &Benchmark::Trfd.program(Scale::Quick),
+/// ));
+/// let mut runner = DvaRunner::new();
+/// for latency in [1, 30, 100] {
+///     let sim = DvaSim::new(DvaConfig::dva(latency));
+///     assert_eq!(runner.run(&sim, &compiled), sim.run_compiled(&compiled));
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct DvaRunner {
+    engine: Option<engine::Engine>,
+}
+
+impl DvaRunner {
+    /// A runner with no engine yet; the first run constructs one.
+    pub fn new() -> DvaRunner {
+        DvaRunner::default()
+    }
+
+    /// Runs `compiled` under `sim`'s configuration and stepping strategy,
+    /// reusing this runner's engine allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine detects a deadlock.
+    pub fn run(&mut self, sim: &DvaSim, compiled: &Arc<CompiledProgram>) -> DvaResult {
+        let engine = match &mut self.engine {
+            Some(engine) => {
+                engine.reset(sim.config, Arc::clone(compiled));
+                engine
+            }
+            None => self
+                .engine
+                .insert(engine::Engine::new(sim.config, Arc::clone(compiled))),
+        };
+        engine::drive(engine, sim.fast_forward)
     }
 }

@@ -29,10 +29,34 @@ impl<T> Fifo<T> {
         Fifo {
             name,
             cap,
-            items: VecDeque::with_capacity(cap.min(1024)),
+            // Full-capacity preallocation: pushes never touch the heap, so
+            // the engines' steady-state tick loops stay allocation-free.
+            items: VecDeque::with_capacity(cap),
             max_occupancy: 0,
             total_pushed: 0,
         }
+    }
+
+    /// Empties the queue and re-arms it with a (possibly different)
+    /// capacity, keeping the already-allocated storage when it suffices.
+    /// Part of the engines' [`reset`] contract: after `reset` the queue is
+    /// indistinguishable from a freshly constructed one, but re-running a
+    /// simulation allocates nothing.
+    ///
+    /// [`reset`]: crate::DvaRunner
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn reset(&mut self, cap: usize) {
+        assert!(cap > 0, "queue {} must have nonzero capacity", self.name);
+        self.cap = cap;
+        self.items.clear();
+        if self.items.capacity() < cap {
+            self.items.reserve(cap);
+        }
+        self.max_occupancy = 0;
+        self.total_pushed = 0;
     }
 
     /// The queue's diagnostic name.
@@ -144,19 +168,6 @@ impl<T> Timed<T> {
     }
 }
 
-impl<T> Fifo<Timed<T>> {
-    /// The earliest `ready_at` strictly after `now` among queued entries,
-    /// or `None` when every entry is already consumable. Used by the
-    /// engine's next-event (fast-forward) computation.
-    pub fn next_ready_after(&self, now: Cycle) -> Option<Cycle> {
-        self.items
-            .iter()
-            .map(|e| e.ready_at)
-            .filter(|&t| t > now)
-            .min()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +189,24 @@ mod tests {
     }
 
     #[test]
+    fn reset_restores_a_pristine_queue_without_reallocating() {
+        let mut q: Fifo<u32> = Fifo::new("test", 4);
+        q.push(1);
+        q.push(2);
+        q.pop();
+        let storage = q.items.capacity();
+        q.reset(3);
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 3);
+        assert_eq!(q.max_occupancy(), 0);
+        assert_eq!(q.total_pushed(), 0);
+        assert_eq!(q.items.capacity(), storage, "storage must be reused");
+        // Growing past the old storage is allowed (and reallocates).
+        q.reset(8);
+        assert!(q.items.capacity() >= 8);
+    }
+
+    #[test]
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
         let mut q: Fifo<u8> = Fifo::new("tiny", 1);
@@ -196,16 +225,5 @@ mod tests {
         let t = Timed::new('x', 10);
         assert!(!t.is_ready(9));
         assert!(t.is_ready(10));
-    }
-
-    #[test]
-    fn next_ready_scans_every_entry_not_just_the_front() {
-        let mut q: Fifo<Timed<u8>> = Fifo::new("timed", 4);
-        assert_eq!(q.next_ready_after(0), None);
-        q.push(Timed::new(0, 5));
-        q.push(Timed::new(1, 3)); // younger entry, earlier data
-        assert_eq!(q.next_ready_after(0), Some(3));
-        assert_eq!(q.next_ready_after(3), Some(5));
-        assert_eq!(q.next_ready_after(5), None);
     }
 }

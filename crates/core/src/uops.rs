@@ -10,13 +10,61 @@
 //! ISA.
 
 use dva_isa::{
-    Inst, ReduceOp, ScalarBank, ScalarReg, VectorAccess, VectorLength, VectorOp, VectorReg,
+    InlineVec, Inst, MemRange, ReduceOp, ScalarBank, ScalarReg, VectorAccess, VectorLength,
+    VectorOp, VectorReg,
 };
 
 /// Sequence number identifying a store in global program order (both
 /// scalar and vector stores; the machine executes stores strictly in this
 /// order).
 pub type StoreSeq = u64;
+
+/// Dense index of a *vector* store in program order: the slot its data
+/// occupies in the engine's data-ready ring. Scalar stores never carry
+/// one — their data travels through the SSDQ, not the VADQ.
+pub type DataSlot = u32;
+
+/// Allocates store ordering metadata during translation: the global
+/// [`StoreSeq`] every store receives, and the dense [`DataSlot`] assigned
+/// to vector stores only.
+///
+/// One allocator is threaded through the translation of a whole program
+/// (see [`CompiledProgram::compile`](crate::CompiledProgram::compile)), so
+/// the numbering is a pure function of the instruction stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreAlloc {
+    next_seq: StoreSeq,
+    next_data: DataSlot,
+}
+
+impl StoreAlloc {
+    /// A fresh allocator, numbering from zero.
+    pub fn new() -> StoreAlloc {
+        StoreAlloc::default()
+    }
+
+    /// Store sequence numbers handed out so far.
+    pub fn stores(&self) -> StoreSeq {
+        self.next_seq
+    }
+
+    /// Vector-store data slots handed out so far.
+    pub fn vector_stores(&self) -> DataSlot {
+        self.next_data
+    }
+
+    fn take_seq(&mut self) -> StoreSeq {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    fn take_vector(&mut self) -> (StoreSeq, DataSlot) {
+        let data = self.next_data;
+        self.next_data += 1;
+        (self.take_seq(), data)
+    }
+}
 
 /// Where a scalar store's data comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,48 +77,60 @@ pub enum StoreDataSource {
 }
 
 /// The memory access shape of a vector reference, for disambiguation.
+///
+/// The hazard range is computed once at translation time and carried with
+/// the µop, so the engine's per-attempt disambiguation scans compare
+/// precomputed ranges instead of re-deriving them from base/stride/length
+/// on every tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum VecAccess {
-    /// Strided access with a well-defined memory range.
-    Strided(VectorAccess),
-    /// Gather/scatter: cannot be characterized by a range; conflicts with
-    /// everything (paper, Section 4.2).
-    Indexed {
-        /// Vector length of the access.
-        vl: VectorLength,
-    },
+pub struct VecAccess {
+    vl: VectorLength,
+    range: MemRange,
+    /// `Some` for strided accesses; `None` for gather/scatter, which
+    /// cannot be characterized by a range and conflict with everything
+    /// (paper, Section 4.2).
+    strided: Option<VectorAccess>,
 }
 
 impl VecAccess {
-    /// The vector length of the access.
-    pub fn vl(&self) -> VectorLength {
-        match self {
-            VecAccess::Strided(a) => a.vl,
-            VecAccess::Indexed { vl } => *vl,
+    /// A strided access (hazard range precomputed from the access).
+    pub fn strided_access(access: VectorAccess) -> VecAccess {
+        VecAccess {
+            vl: access.vl,
+            range: access.range(),
+            strided: Some(access),
         }
     }
 
-    /// The memory range for hazard checks.
-    pub fn range(&self) -> dva_isa::MemRange {
-        match self {
-            VecAccess::Strided(a) => a.range(),
-            VecAccess::Indexed { .. } => dva_isa::MemRange::ALL,
+    /// A gather/scatter of the given length (conflicts with all memory).
+    pub fn indexed(vl: VectorLength) -> VecAccess {
+        VecAccess {
+            vl,
+            range: MemRange::ALL,
+            strided: None,
         }
+    }
+
+    /// The vector length of the access.
+    pub fn vl(&self) -> VectorLength {
+        self.vl
+    }
+
+    /// The (precomputed) memory range for hazard checks.
+    pub fn range(&self) -> MemRange {
+        self.range
     }
 
     /// The strided access, when this is one (bypass requires an exact
     /// strided match).
     pub fn strided(&self) -> Option<&VectorAccess> {
-        match self {
-            VecAccess::Strided(a) => Some(a),
-            VecAccess::Indexed { .. } => None,
-        }
+        self.strided.as_ref()
     }
 
     /// The element stride, when the access has one — what the memory
     /// model's bank-conflict timing keys on (`None` for gather/scatter).
     pub fn stride(&self) -> Option<dva_isa::Stride> {
-        self.strided().map(|a| a.stride)
+        self.strided.map(|a| a.stride)
     }
 }
 
@@ -121,6 +181,8 @@ pub enum ApOp {
         access: VecAccess,
         /// Global store order.
         seq: StoreSeq,
+        /// The store's slot in the engine's data-ready ring.
+        data: DataSlot,
     },
     /// Branch resolved on the AP (sends its outcome up the AFBQ).
     Branch {
@@ -174,6 +236,10 @@ pub enum SpOp {
 }
 
 /// µops executed by the vector processor, in VPIQ order.
+///
+/// The register read lists are precomputed at translation time as
+/// allocation-free [`InlineVec`]s, so the engine's per-tick issue attempts
+/// never build operand vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VpOp {
     /// Vector computation on FU1/FU2. A scalar operand is popped from the
@@ -183,8 +249,8 @@ pub enum VpOp {
         op: VectorOp,
         /// Destination register.
         dst: VectorReg,
-        /// Vector register sources.
-        srcs: [Option<VectorReg>; 2],
+        /// Vector register sources, in operand order.
+        reads: InlineVec<VectorReg, 2>,
         /// Whether a broadcast operand arrives through the SVDQ.
         pops_svdq: bool,
         /// Vector length.
@@ -199,39 +265,43 @@ pub enum VpOp {
         /// Vector length.
         vl: VectorLength,
     },
-    /// QMOV: move the head AVDQ slot into a vector register (`index` set
-    /// for gathers, which also stream the index register).
+    /// QMOV: move the head AVDQ slot into a vector register (`reads`
+    /// holds the index register for gathers, which stream it alongside).
     QmovLoad {
         /// Destination register.
         dst: VectorReg,
-        /// Index register for gathers.
-        index: Option<VectorReg>,
+        /// Registers streamed while the move runs (the gather index, if
+        /// any).
+        reads: InlineVec<VectorReg, 1>,
         /// Vector length.
         vl: VectorLength,
     },
-    /// QMOV: move a vector register into the VADQ (`index` set for
-    /// scatters).
+    /// QMOV: move a vector register into the VADQ (`reads` additionally
+    /// holds the index register for scatters).
     QmovStore {
-        /// Source register.
-        src: VectorReg,
-        /// Index register for scatters.
-        index: Option<VectorReg>,
+        /// Registers streamed into the queue: the data source, then the
+        /// scatter index, if any.
+        reads: InlineVec<VectorReg, 2>,
         /// Vector length.
         vl: VectorLength,
         /// The store this data belongs to, linking the VADQ entry to its
-        /// VSAQ address entry.
-        seq: StoreSeq,
+        /// VSAQ address entry and data-ready ring slot.
+        data: DataSlot,
     },
 }
 
 /// The µop bundle one architectural instruction expands to.
-#[derive(Debug, Clone, Default)]
+///
+/// Bundles are plain `Copy` data — no heap storage — so a compiled
+/// program's bundle stream can be replayed by the fetch processor without
+/// any per-instruction allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Bundle {
     /// µop for the address processor, if any.
     pub ap: Option<ApOp>,
     /// µops for the scalar processor (an instruction can require both a
     /// data push and its own execution).
-    pub sp: Vec<SpOp>,
+    pub sp: InlineVec<SpOp, 2>,
     /// µop for the vector processor, if any.
     pub vp: Option<VpOp>,
 }
@@ -247,19 +317,28 @@ impl Bundle {
     }
 }
 
+impl Default for SpOp {
+    /// An arbitrary padding value for inline µop storage (never executed).
+    fn default() -> SpOp {
+        SpOp::Branch {
+            cond: ScalarReg::scalar(0),
+        }
+    }
+}
+
 fn is_a(reg: ScalarReg) -> bool {
     reg.bank() == ScalarBank::Address
 }
 
 /// Translates one architectural instruction into its µop bundle,
-/// allocating store sequence numbers from `next_store_seq`.
+/// allocating store ordering metadata from `alloc`.
 ///
 /// # Panics
 ///
 /// Panics on a vector computation whose broadcast operand is an `A`
 /// register — the workload generator only produces `S`-register broadcast
 /// operands, matching the machine's SP→VP queue.
-pub fn translate(inst: &Inst, next_store_seq: &mut StoreSeq) -> Bundle {
+pub fn translate(inst: &Inst, alloc: &mut StoreAlloc) -> Bundle {
     let mut b = Bundle::default();
     match inst {
         Inst::SAlu { dst, src1, src2 } => {
@@ -323,8 +402,7 @@ pub fn translate(inst: &Inst, next_store_seq: &mut StoreSeq) -> Bundle {
             }
         }
         Inst::SStore { src, addr } => {
-            let seq = *next_store_seq;
-            *next_store_seq += 1;
+            let seq = alloc.take_seq();
             if is_a(*src) {
                 b.ap = Some(ApOp::ScalarStoreAddr {
                     addr: *addr,
@@ -354,23 +432,22 @@ pub fn translate(inst: &Inst, next_store_seq: &mut StoreSeq) -> Bundle {
             src2,
             vl,
         } => {
-            let mut srcs = [None, None];
+            let mut reads: InlineVec<VectorReg, 2> = InlineVec::new();
             let mut pops_svdq = false;
-            for (i, operand) in [Some(src1), src2.as_ref()].into_iter().enumerate() {
+            for operand in [Some(src1), src2.as_ref()].into_iter().flatten() {
                 match operand {
-                    Some(dva_isa::VOperand::Reg(v)) => srcs[i] = Some(*v),
-                    Some(dva_isa::VOperand::Scalar(s)) => {
+                    dva_isa::VOperand::Reg(v) => reads.push(*v),
+                    dva_isa::VOperand::Scalar(s) => {
                         assert!(!is_a(*s), "vector broadcast operands must be S registers");
                         b.sp.push(SpOp::PushSvdq { src: *s });
                         pops_svdq = true;
                     }
-                    None => {}
                 }
             }
             b.vp = Some(VpOp::Compute {
                 op: *op,
                 dst: *dst,
-                srcs,
+                reads,
                 pops_svdq,
                 vl: *vl,
             });
@@ -385,50 +462,48 @@ pub fn translate(inst: &Inst, next_store_seq: &mut StoreSeq) -> Bundle {
         }
         Inst::VLoad { dst, access } => {
             b.ap = Some(ApOp::VectorLoad {
-                access: VecAccess::Strided(*access),
+                access: VecAccess::strided_access(*access),
             });
             b.vp = Some(VpOp::QmovLoad {
                 dst: *dst,
-                index: None,
+                reads: InlineVec::new(),
                 vl: access.vl,
             });
         }
         Inst::VStore { src, access } => {
-            let seq = *next_store_seq;
-            *next_store_seq += 1;
+            let (seq, data) = alloc.take_vector();
             b.vp = Some(VpOp::QmovStore {
-                src: *src,
-                index: None,
+                reads: [*src].into_iter().collect(),
                 vl: access.vl,
-                seq,
+                data,
             });
             b.ap = Some(ApOp::VectorStoreAddr {
-                access: VecAccess::Strided(*access),
+                access: VecAccess::strided_access(*access),
                 seq,
+                data,
             });
         }
         Inst::VGather { dst, index, vl, .. } => {
             b.ap = Some(ApOp::VectorLoad {
-                access: VecAccess::Indexed { vl: *vl },
+                access: VecAccess::indexed(*vl),
             });
             b.vp = Some(VpOp::QmovLoad {
                 dst: *dst,
-                index: Some(*index),
+                reads: [*index].into_iter().collect(),
                 vl: *vl,
             });
         }
         Inst::VScatter { src, index, vl, .. } => {
-            let seq = *next_store_seq;
-            *next_store_seq += 1;
+            let (seq, data) = alloc.take_vector();
             b.vp = Some(VpOp::QmovStore {
-                src: *src,
-                index: Some(*index),
+                reads: [*src, *index].into_iter().collect(),
                 vl: *vl,
-                seq,
+                data,
             });
             b.ap = Some(ApOp::VectorStoreAddr {
-                access: VecAccess::Indexed { vl: *vl },
+                access: VecAccess::indexed(*vl),
                 seq,
+                data,
             });
         }
     }
@@ -443,50 +518,68 @@ mod tests {
 
     #[test]
     fn vector_load_splits_into_ap_and_vp_qmov() {
-        let mut seq = 0;
+        let mut alloc = StoreAlloc::new();
         let b = translate(
             &Inst::VLoad {
                 dst: VectorReg::V3,
                 access: VectorAccess::unit(0x1000, vl(64)),
             },
-            &mut seq,
+            &mut alloc,
         );
         assert!(matches!(b.ap, Some(ApOp::VectorLoad { .. })));
-        assert!(matches!(
-            b.vp,
-            Some(VpOp::QmovLoad {
-                dst: VectorReg::V3,
-                index: None,
-                ..
-            })
-        ));
+        let Some(VpOp::QmovLoad {
+            dst: VectorReg::V3,
+            reads,
+            ..
+        }) = b.vp
+        else {
+            panic!("expected QMOV load µop");
+        };
+        assert!(reads.is_empty(), "non-gather loads stream no index");
         assert!(b.sp.is_empty());
-        assert_eq!(seq, 0, "loads do not allocate store sequence numbers");
+        assert_eq!(
+            alloc.stores(),
+            0,
+            "loads do not allocate store sequence numbers"
+        );
     }
 
     #[test]
     fn stores_allocate_global_sequence_numbers() {
-        let mut seq = 0;
-        let _ = translate(
+        let mut alloc = StoreAlloc::new();
+        let b = translate(
             &Inst::VStore {
                 src: VectorReg::V0,
                 access: VectorAccess::new(0x0, Stride::UNIT, vl(8)),
             },
-            &mut seq,
+            &mut alloc,
         );
         let _ = translate(
             &Inst::SStore {
                 src: ScalarReg::scalar(2),
                 addr: 0x10,
             },
-            &mut seq,
+            &mut alloc,
         );
-        assert_eq!(seq, 2);
+        assert_eq!(alloc.stores(), 2);
+        // Only the vector store consumed a data-ready slot, and its AP and
+        // VP µops agree on it.
+        assert_eq!(alloc.vector_stores(), 1);
+        assert!(
+            matches!(
+                b.ap,
+                Some(ApOp::VectorStoreAddr {
+                    seq: 0,
+                    data: 0,
+                    ..
+                })
+            ) && matches!(b.vp, Some(VpOp::QmovStore { data: 0, .. }))
+        );
     }
 
     #[test]
     fn scalar_broadcast_inserts_svdq_push() {
-        let mut seq = 0;
+        let mut alloc = StoreAlloc::new();
         let b = translate(
             &Inst::VCompute {
                 op: VectorOp::Mul,
@@ -495,22 +588,24 @@ mod tests {
                 src2: Some(VOperand::Scalar(ScalarReg::scalar(0))),
                 vl: vl(32),
             },
-            &mut seq,
+            &mut alloc,
         );
         assert_eq!(b.sp.len(), 1);
         assert!(matches!(b.sp[0], SpOp::PushSvdq { .. }));
-        assert!(matches!(
-            b.vp,
-            Some(VpOp::Compute {
-                pops_svdq: true,
-                ..
-            })
-        ));
+        let Some(VpOp::Compute {
+            pops_svdq: true,
+            reads,
+            ..
+        }) = b.vp
+        else {
+            panic!("expected compute µop popping the SVDQ");
+        };
+        assert_eq!(&reads[..], &[VectorReg::V0]);
     }
 
     #[test]
     fn cross_bank_alu_generates_queue_moves() {
-        let mut seq = 0;
+        let mut alloc = StoreAlloc::new();
         // A-register ALU with an S source: SP pushes, AP pops.
         let b = translate(
             &Inst::SAlu {
@@ -518,7 +613,7 @@ mod tests {
                 src1: Some(ScalarReg::scalar(1)),
                 src2: None,
             },
-            &mut seq,
+            &mut alloc,
         );
         assert!(matches!(b.ap, Some(ApOp::Alu { pops_sadq: 1, .. })));
         assert!(matches!(b.sp[0], SpOp::PushSadq { .. }));
@@ -526,7 +621,7 @@ mod tests {
 
     #[test]
     fn reduction_routes_result_to_sp() {
-        let mut seq = 0;
+        let mut alloc = StoreAlloc::new();
         let b = translate(
             &Inst::VReduce {
                 op: ReduceOp::Sum,
@@ -534,7 +629,7 @@ mod tests {
                 src: VectorReg::V2,
                 vl: vl(16),
             },
-            &mut seq,
+            &mut alloc,
         );
         assert!(matches!(b.vp, Some(VpOp::Reduce { .. })));
         assert!(matches!(b.sp[0], SpOp::PopVsdq { .. }));
@@ -542,7 +637,7 @@ mod tests {
 
     #[test]
     fn gather_conflicts_with_all_memory() {
-        let mut seq = 0;
+        let mut alloc = StoreAlloc::new();
         let b = translate(
             &Inst::VGather {
                 dst: VectorReg::V0,
@@ -550,24 +645,56 @@ mod tests {
                 base: 0x1000,
                 vl: vl(8),
             },
-            &mut seq,
+            &mut alloc,
         );
         let Some(ApOp::VectorLoad { access }) = b.ap else {
             panic!("expected vector load µop");
         };
         assert_eq!(access.range(), dva_isa::MemRange::ALL);
         assert!(access.strided().is_none());
+        // The QMOV streams the index register alongside the move.
+        let Some(VpOp::QmovLoad { reads, .. }) = b.vp else {
+            panic!("expected QMOV load µop");
+        };
+        assert_eq!(&reads[..], &[VectorReg::V1]);
+    }
+
+    #[test]
+    fn scatter_streams_data_then_index() {
+        let mut alloc = StoreAlloc::new();
+        let b = translate(
+            &Inst::VScatter {
+                src: VectorReg::V2,
+                index: VectorReg::V5,
+                base: 0x1000,
+                vl: vl(8),
+            },
+            &mut alloc,
+        );
+        let Some(VpOp::QmovStore { reads, .. }) = b.vp else {
+            panic!("expected QMOV store µop");
+        };
+        assert_eq!(&reads[..], &[VectorReg::V2, VectorReg::V5]);
+    }
+
+    #[test]
+    fn strided_access_range_is_precomputed() {
+        let access = VectorAccess::new(0x100, Stride::new(2), vl(4));
+        let vec = VecAccess::strided_access(access);
+        assert_eq!(vec.range(), access.range());
+        assert_eq!(vec.stride(), Some(access.stride));
+        assert_eq!(vec.vl(), access.vl);
     }
 
     #[test]
     fn bundle_slot_counts_match_contents() {
-        let mut seq = 0;
+        let mut alloc = StoreAlloc::new();
         let b = translate(
             &Inst::SLoad {
                 dst: ScalarReg::scalar(3),
                 addr: 0x40,
             },
-            &mut seq,
+            &mut alloc,
         );
         assert_eq!(b.slots(), (1, 1, 0));
     }

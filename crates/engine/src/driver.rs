@@ -80,12 +80,14 @@ impl Observers {
     }
 
     /// Records the machine state for the current sample weight.
+    #[inline]
     pub fn record_state(&mut self, state: UnitState) {
         self.states.add(state, self.weight);
     }
 
     /// Records a queue occupancy for the current sample weight (no-op
     /// when the machine tracks none).
+    #[inline]
     pub fn record_occupancy(&mut self, busy_slots: usize) {
         if let Some(histogram) = &mut self.occupancy {
             histogram.add(busy_slots, self.weight);

@@ -1,0 +1,153 @@
+//! A fixed-capacity, heap-free vector.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// A vector with inline storage for at most `N` elements and no heap
+/// allocation — the workhorse of the simulators' zero-allocation hot
+/// loops, where µops carry tiny bounded operand lists (a vector compute
+/// reads at most two registers, a scatter streams a source and an index).
+///
+/// Dereferences to a slice, so it drops into any `&[T]` API.
+///
+/// # Examples
+///
+/// ```
+/// use dva_isa::InlineVec;
+///
+/// let mut regs: InlineVec<u8, 2> = InlineVec::new();
+/// regs.push(3);
+/// regs.push(7);
+/// assert_eq!(&regs[..], &[3, 7]);
+/// assert!(regs.is_full());
+/// ```
+#[derive(Clone, Copy)]
+pub struct InlineVec<T: Copy, const N: usize> {
+    items: [T; N],
+    len: u8,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector.
+    pub fn new() -> InlineVec<T, N> {
+        const {
+            assert!(
+                N <= u8::MAX as usize,
+                "InlineVec capacity must fit in a byte"
+            )
+        };
+        InlineVec {
+            items: [T::default(); N],
+            len: 0,
+        }
+    }
+}
+
+impl<T: Copy, const N: usize> InlineVec<T, N> {
+    /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vector already holds `N` elements — inline
+    /// capacities are chosen to be provably sufficient, so an overflow is
+    /// a logic error, not a resize.
+    pub fn push(&mut self, item: T) {
+        assert!(!self.is_full(), "InlineVec overflow (capacity {N})");
+        self.items[self.len as usize] = item;
+        self.len += 1;
+    }
+
+    /// Number of elements held.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the vector holds `N` elements.
+    pub fn is_full(&self) -> bool {
+        self.len as usize >= N
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> InlineVec<T, N> {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> InlineVec<T, N> {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Copy, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &InlineVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_len_and_slice_agree() {
+        let mut v: InlineVec<u32, 3> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(&v[..], &[1, 2]);
+        assert!(!v.is_full());
+        v.push(3);
+        assert!(v.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut v: InlineVec<u8, 1> = InlineVec::new();
+        v.push(0);
+        v.push(1);
+    }
+
+    #[test]
+    fn collects_from_iterators_and_compares() {
+        let a: InlineVec<u8, 4> = [1, 2, 3].into_iter().collect();
+        let b: InlineVec<u8, 4> = [1, 2, 3].into_iter().collect();
+        let c: InlineVec<u8, 4> = [1, 2].into_iter().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(format!("{a:?}"), "[1, 2, 3]");
+    }
+}

@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod inline_vec;
 mod inst;
 mod mem;
 mod program;
 mod reg;
 mod vector;
 
+pub use inline_vec::InlineVec;
 pub use inst::{Inst, ReduceOp, ScalarClass, VOperand, VectorOp};
 pub use mem::{MemRange, VectorAccess};
 pub use program::{BasicBlockIter, Program, ProgramBuilder, TraceSummary};

@@ -2,12 +2,18 @@
 
 use crate::inst::Inst;
 use std::fmt;
+use std::sync::Arc;
 
 /// A decoded dynamic instruction trace, as produced by the workload
 /// generator (the stand-in for the paper's Dixie traces).
 ///
 /// Basic-block boundaries are recorded so that block counts (Table 1) can
 /// be reproduced; [`Inst::Branch`] instructions always terminate a block.
+///
+/// The instruction stream is reference-counted: cloning a `Program` (or
+/// deriving one with [`Program::with_name`]) shares the trace instead of
+/// copying it, so sweep sessions and compiled-program caches can hand the
+/// same multi-thousand-instruction trace to many simulations for free.
 ///
 /// # Examples
 ///
@@ -19,13 +25,17 @@ use std::fmt;
 /// b.end_block();
 /// let program = b.finish();
 /// assert_eq!(program.basic_blocks(), 1);
+///
+/// // Cheap share-not-copy derivation:
+/// let alias = program.with_name("tiny-alias");
+/// assert_eq!(alias.insts().as_ptr(), program.insts().as_ptr());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
-    name: String,
-    insts: Vec<Inst>,
+    name: Arc<str>,
+    insts: Arc<[Inst]>,
     /// Indices into `insts` where each basic block begins.
-    block_starts: Vec<usize>,
+    block_starts: Arc<[usize]>,
 }
 
 impl Program {
@@ -42,6 +52,18 @@ impl Program {
     /// The workload name (e.g. `"ARC2D"`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// This trace under a different name, sharing the instruction stream
+    /// (no instructions are copied — both programs point at the same
+    /// reference-counted storage).
+    #[must_use]
+    pub fn with_name(&self, name: impl Into<String>) -> Program {
+        Program {
+            name: Arc::from(name.into()),
+            insts: Arc::clone(&self.insts),
+            block_starts: Arc::clone(&self.block_starts),
+        }
     }
 
     /// The dynamic instruction stream.
@@ -75,11 +97,11 @@ impl Program {
     /// Summary counts over the trace (the raw material for Table 1).
     pub fn summary(&self) -> TraceSummary {
         let mut s = TraceSummary {
-            name: self.name.clone(),
+            name: self.name.to_string(),
             basic_blocks: self.basic_blocks() as u64,
             ..TraceSummary::default()
         };
-        for inst in &self.insts {
+        for inst in self.insts() {
             if inst.is_vector() {
                 s.vector_insts += 1;
                 s.vector_ops += inst.operations();
@@ -186,9 +208,9 @@ impl ProgramBuilder {
     /// Finishes the trace.
     pub fn finish(self) -> Program {
         Program {
-            name: self.name,
-            insts: self.insts,
-            block_starts: self.block_starts,
+            name: Arc::from(self.name),
+            insts: Arc::from(self.insts),
+            block_starts: Arc::from(self.block_starts),
         }
     }
 }
@@ -311,6 +333,19 @@ mod tests {
         assert_eq!(s.vectorization(), 0.0);
         assert_eq!(s.avg_vector_length(), 0.0);
         assert!(program.is_empty());
+    }
+
+    #[test]
+    fn with_name_shares_the_instruction_storage() {
+        let program = Program::from_insts("orig", vec![salu(), branch(true), vload(8)]);
+        let alias = program.with_name("alias");
+        assert_eq!(alias.name(), "alias");
+        assert_eq!(alias.insts(), program.insts());
+        assert_eq!(alias.basic_blocks(), program.basic_blocks());
+        // Shared, not copied: both views point at the same storage, as do
+        // plain clones.
+        assert_eq!(alias.insts().as_ptr(), program.insts().as_ptr());
+        assert_eq!(program.clone().insts().as_ptr(), program.insts().as_ptr());
     }
 
     #[test]

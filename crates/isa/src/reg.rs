@@ -73,6 +73,13 @@ impl fmt::Display for VectorReg {
     }
 }
 
+impl Default for VectorReg {
+    /// `V0` — the fill value for inline operand lists.
+    fn default() -> VectorReg {
+        VectorReg::V0
+    }
+}
+
 /// The two scalar register files of the Convex architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ScalarBank {

@@ -29,14 +29,17 @@ impl MemCore {
         }
     }
 
+    #[inline]
     fn port_free(&self, now: Cycle) -> bool {
         self.ports.iter().any(|p| p.is_free(now))
     }
 
+    #[inline]
     fn busy(&self, now: Cycle) -> bool {
         self.ports.iter().any(|p| !p.is_free(now))
     }
 
+    #[inline]
     fn next_free_at(&self, now: Cycle) -> Option<Cycle> {
         self.ports
             .iter()
@@ -406,6 +409,145 @@ impl MemoryModel for MultiPortMemory {
         _stride: Option<Stride>,
     ) -> Cycle {
         self.core.vector_store(now, vl, vl.cycles())
+    }
+}
+
+/// The concrete backend union the engines embed directly: one enum over
+/// the three [`MemoryModel`] implementations, dispatched by `match`.
+///
+/// The trait object returned by [`MemoryParams::build`] costs a virtual
+/// call per probe — and the engines probe the memory several times per
+/// tick (`port_free`, `busy`, `next_free_at` feed the issue gates, the
+/// Figure 1 state sampling and the fast-forward next-event computation).
+/// Holding this enum instead devirtualizes the entire hot path: every
+/// accessor is a `match` over three inlineable arms, and the engine owns
+/// its memory inline instead of behind a heap allocation. Build one with
+/// [`MemoryParams::instantiate`].
+#[derive(Debug, Clone)]
+pub enum Memory {
+    /// The paper's flat model.
+    Flat(FlatMemory),
+    /// Interleaved banks.
+    Banked(BankedMemory),
+    /// Independent address buses.
+    MultiPort(MultiPortMemory),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            Memory::Flat($inner) => $body,
+            Memory::Banked($inner) => $body,
+            Memory::MultiPort($inner) => $body,
+        }
+    };
+}
+
+impl MemoryModel for Memory {
+    #[inline]
+    fn params(&self) -> MemoryParams {
+        dispatch!(self, m => m.params())
+    }
+
+    #[inline]
+    fn port_free(&self, now: Cycle) -> bool {
+        dispatch!(self, m => m.port_free(now))
+    }
+
+    #[inline]
+    fn busy(&self, now: Cycle) -> bool {
+        dispatch!(self, m => m.busy(now))
+    }
+
+    #[inline]
+    fn next_free_at(&self, now: Cycle) -> Option<Cycle> {
+        dispatch!(self, m => m.next_free_at(now))
+    }
+
+    #[inline]
+    fn quiesce_at(&self) -> Cycle {
+        dispatch!(self, m => m.quiesce_at())
+    }
+
+    #[inline]
+    fn issue_vector_load(
+        &mut self,
+        now: Cycle,
+        vl: VectorLength,
+        stride: Option<Stride>,
+    ) -> LoadIssue {
+        dispatch!(self, m => m.issue_vector_load(now, vl, stride))
+    }
+
+    #[inline]
+    fn issue_vector_store(
+        &mut self,
+        now: Cycle,
+        vl: VectorLength,
+        stride: Option<Stride>,
+    ) -> Cycle {
+        dispatch!(self, m => m.issue_vector_store(now, vl, stride))
+    }
+
+    #[inline]
+    fn probe_scalar(&self, addr: u64) -> CacheAccess {
+        dispatch!(self, m => m.probe_scalar(addr))
+    }
+
+    #[inline]
+    fn scalar_load(&mut self, now: Cycle, addr: u64) -> LoadIssue {
+        dispatch!(self, m => m.scalar_load(now, addr))
+    }
+
+    #[inline]
+    fn scalar_store(&mut self, now: Cycle, addr: u64) -> Cycle {
+        dispatch!(self, m => m.scalar_store(now, addr))
+    }
+
+    #[inline]
+    fn record_bypass(&mut self, vl: VectorLength) {
+        dispatch!(self, m => m.record_bypass(vl))
+    }
+
+    #[inline]
+    fn traffic(&self) -> Traffic {
+        dispatch!(self, m => m.traffic())
+    }
+
+    #[inline]
+    fn cache(&self) -> &ScalarCache {
+        dispatch!(self, m => m.cache())
+    }
+
+    #[inline]
+    fn ports(&self) -> &[AddressBus] {
+        dispatch!(self, m => m.ports())
+    }
+}
+
+impl MemoryParams {
+    /// Instantiates the configured backend as a concrete [`Memory`] —
+    /// the statically-dispatched counterpart of [`MemoryParams::build`],
+    /// used by the engines' hot loops.
+    ///
+    /// ```
+    /// use dva_memory::{Memory, MemoryModel, MemoryModelKind, MemoryParams};
+    /// let mem = MemoryParams::with_latency(30)
+    ///     .with_model(MemoryModelKind::MultiPort { ports: 2 })
+    ///     .instantiate();
+    /// assert!(matches!(mem, Memory::MultiPort(_)));
+    /// assert_eq!(mem.ports().len(), 2);
+    /// ```
+    pub fn instantiate(&self) -> Memory {
+        match self.model {
+            MemoryModelKind::Flat => Memory::Flat(FlatMemory::new(*self)),
+            MemoryModelKind::Banked { banks, bank_busy } => {
+                Memory::Banked(BankedMemory::new(*self, banks, bank_busy))
+            }
+            MemoryModelKind::MultiPort { ports } => {
+                Memory::MultiPort(MultiPortMemory::new(*self, ports))
+            }
+        }
     }
 }
 

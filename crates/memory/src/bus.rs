@@ -32,11 +32,13 @@ impl AddressBus {
     }
 
     /// Whether the bus is free at cycle `now`.
+    #[inline]
     pub fn is_free(&self, now: Cycle) -> bool {
         now >= self.busy_until
     }
 
     /// The first cycle at which the bus becomes free.
+    #[inline]
     pub fn free_at(&self) -> Cycle {
         self.busy_until
     }

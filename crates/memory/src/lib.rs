@@ -51,7 +51,7 @@ mod bus;
 mod cache;
 mod model;
 
-pub use backends::{BankedMemory, FlatMemory, MultiPortMemory};
+pub use backends::{BankedMemory, FlatMemory, Memory, MultiPortMemory};
 pub use bus::AddressBus;
 pub use cache::{CacheAccess, ScalarCache, ScalarCacheParams};
 pub use model::{LoadIssue, MemoryModel, MemoryModelKind, MemoryParams};

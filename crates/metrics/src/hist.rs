@@ -45,6 +45,7 @@ impl Histogram {
     }
 
     /// Records `count` observations of `value`.
+    #[inline]
     pub fn add(&mut self, value: usize, count: u64) {
         if value >= self.buckets.len() {
             self.overflow += count;

@@ -27,6 +27,7 @@ impl UnitState {
     }
 
     /// Builds a state from its component flags.
+    #[inline]
     pub fn from_flags(fu2: bool, fu1: bool, ld: bool) -> UnitState {
         let mut bits = 0;
         if ld {
@@ -47,6 +48,7 @@ impl UnitState {
     }
 
     /// Index of this state in `0..8` (LD is bit 0, FU1 bit 1, FU2 bit 2).
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -127,6 +129,7 @@ impl StateTracker {
     }
 
     /// Records `cycles` cycles spent in `state`.
+    #[inline]
     pub fn add(&mut self, state: UnitState, cycles: u64) {
         self.counts[state.index()] += cycles;
     }

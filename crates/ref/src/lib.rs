@@ -36,8 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod result;
 mod sim;
 
+pub use compiled::CompiledProgram;
 pub use result::RefResult;
-pub use sim::{RefParams, RefParamsBuilder, RefSim};
+pub use sim::{RefParams, RefParamsBuilder, RefRunner, RefSim};

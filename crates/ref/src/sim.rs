@@ -5,12 +5,14 @@
 //! the watchdog and the statistics bookkeeping all live in the shared
 //! [`dva_engine::Driver`].
 
+use crate::compiled::{CompiledProgram, RefOp};
 use crate::result::RefResult;
 use dva_engine::{Driver, Observers, Processor, Progress, Report};
-use dva_isa::{Cycle, Inst, Program, VOperand};
-use dva_memory::{CacheAccess, MemoryModel, MemoryParams};
+use dva_isa::{Cycle, Program};
+use dva_memory::{CacheAccess, Memory, MemoryModel, MemoryParams};
 use dva_metrics::UnitState;
 use dva_uarch::{ChainPolicy, FuPipe, Producer, Scoreboard, UarchParams, VectorRegFile};
+use std::sync::Arc;
 
 /// Configuration of the reference machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -120,46 +122,130 @@ impl RefSim {
     }
 
     /// Runs `program` to completion and reports the measurements.
+    ///
+    /// Decodes the program on the fly; when the same program runs more
+    /// than once (latency sweeps, model sweeps), compile it once with
+    /// [`CompiledProgram::compile`] and use [`RefSim::run_compiled`] or a
+    /// [`RefRunner`] instead.
     pub fn run(&self, program: &Program) -> RefResult {
-        let mut engine = Engine::new(self.params, self.chain, program);
-        let mut observers = Observers::new();
-        let completion = Driver::new()
-            .fast_forward(self.fast_forward)
-            .run(&mut engine, &mut observers);
-        let (core, _) = completion.into_core(&engine, observers);
-        RefResult { core }
+        self.run_compiled(&Arc::new(CompiledProgram::compile(program)))
+    }
+
+    /// Runs a pre-decoded program to completion — byte-identical to
+    /// [`RefSim::run`] on the source program, without re-decoding it.
+    pub fn run_compiled(&self, compiled: &Arc<CompiledProgram>) -> RefResult {
+        let mut engine = Engine::new(self.params, self.chain, Arc::clone(compiled));
+        drive(&mut engine, self.fast_forward)
     }
 }
 
-struct Engine<'a> {
+/// A reusable reference-machine engine, mirroring
+/// [`DvaRunner`](https://docs.rs/dva-core) on the decoupled side: each
+/// [`run`](RefRunner::run) resets the engine and drives it to completion,
+/// byte-identical to a fresh [`RefSim::run`] (the reset contract), while
+/// reusing the engine's allocations across runs.
+///
+/// # Examples
+///
+/// ```
+/// use dva_ref::{CompiledProgram, RefParams, RefRunner, RefSim};
+/// use dva_workloads::{Benchmark, Scale};
+/// use std::sync::Arc;
+///
+/// let compiled = Arc::new(CompiledProgram::compile(
+///     &Benchmark::Trfd.program(Scale::Quick),
+/// ));
+/// let mut runner = RefRunner::new();
+/// for latency in [1, 30, 100] {
+///     let sim = RefSim::new(RefParams::with_latency(latency));
+///     assert_eq!(runner.run(&sim, &compiled), sim.run_compiled(&compiled));
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct RefRunner {
+    engine: Option<Engine>,
+}
+
+impl RefRunner {
+    /// A runner with no engine yet; the first run constructs one.
+    pub fn new() -> RefRunner {
+        RefRunner::default()
+    }
+
+    /// Runs `compiled` under `sim`'s parameters, chaining policy and
+    /// stepping strategy, reusing this runner's engine allocations.
+    pub fn run(&mut self, sim: &RefSim, compiled: &Arc<CompiledProgram>) -> RefResult {
+        let engine = match &mut self.engine {
+            Some(engine) => {
+                engine.reset(sim.params, sim.chain, Arc::clone(compiled));
+                engine
+            }
+            None => self
+                .engine
+                .insert(Engine::new(sim.params, sim.chain, Arc::clone(compiled))),
+        };
+        drive(engine, sim.fast_forward)
+    }
+}
+
+/// Drives `engine` (fresh or reset) to completion through the shared
+/// [`Driver`] and assembles the reference machine's result.
+fn drive(engine: &mut Engine, fast_forward: bool) -> RefResult {
+    let mut observers = Observers::new();
+    let completion = Driver::new()
+        .fast_forward(fast_forward)
+        .run(engine, &mut observers);
+    let (core, _) = completion.into_core(engine, observers);
+    RefResult { core }
+}
+
+#[derive(Debug)]
+struct Engine {
     params: RefParams,
     chain: ChainPolicy,
     now: Cycle,
-    insts: &'a [Inst],
+    compiled: Arc<CompiledProgram>,
     pc: usize,
     regs: VectorRegFile,
     sb: Scoreboard,
     fu1: FuPipe,
     fu2: FuPipe,
-    mem: Box<dyn MemoryModel>,
+    mem: Memory,
     dispatch_stalls: u64,
 }
 
-impl<'a> Engine<'a> {
-    fn new(params: RefParams, chain: ChainPolicy, program: &'a Program) -> Engine<'a> {
+impl Engine {
+    fn new(params: RefParams, chain: ChainPolicy, compiled: Arc<CompiledProgram>) -> Engine {
         Engine {
             params,
             chain,
             now: 0,
-            insts: program.insts(),
+            compiled,
             pc: 0,
             regs: VectorRegFile::new(&params.uarch),
             sb: Scoreboard::new(),
             fu1: FuPipe::new("FU1"),
             fu2: FuPipe::new("FU2"),
-            mem: params.memory.build(),
+            mem: params.memory.instantiate(),
             dispatch_stalls: 0,
         }
+    }
+
+    /// Restores the engine to its initial state for a fresh run — the
+    /// same reset contract as the decoupled engine: a run after `reset`
+    /// is byte-identical to a run on a freshly constructed engine.
+    fn reset(&mut self, params: RefParams, chain: ChainPolicy, compiled: Arc<CompiledProgram>) {
+        self.params = params;
+        self.chain = chain;
+        self.now = 0;
+        self.compiled = compiled;
+        self.pc = 0;
+        self.regs = VectorRegFile::new(&params.uarch);
+        self.sb = Scoreboard::new();
+        self.fu1 = FuPipe::new("FU1");
+        self.fu2 = FuPipe::new("FU2");
+        self.mem = params.memory.instantiate();
+        self.dispatch_stalls = 0;
     }
 
     fn state_at(&self, now: Cycle) -> UnitState {
@@ -170,58 +256,49 @@ impl<'a> Engine<'a> {
         )
     }
 
-    /// Attempts to issue `inst` at the current cycle. Returns `true` when
-    /// the instruction left the dispatcher.
-    fn try_issue(&mut self, inst: &Inst) -> bool {
+    /// Attempts to issue the pre-decoded `op` at the current cycle.
+    /// Returns `true` when the instruction left the dispatcher.
+    fn try_issue(&mut self, op: RefOp) -> bool {
         let now = self.now;
         let startup = self.params.uarch.fu_startup;
-        match inst {
-            Inst::SAlu { dst, src1, src2 } => {
-                if !self.sb.all_ready(&[*src1, *src2], now) {
+        match op {
+            RefOp::SAlu { dst, srcs } => {
+                if !self.sb.all_ready(&srcs, now) {
                     return false;
                 }
-                self.sb.set_ready(*dst, now + 1);
+                self.sb.set_ready(dst, now + 1);
                 true
             }
-            Inst::SLoad { dst, addr } => {
-                if self.mem.probe_scalar(*addr) == CacheAccess::Miss && !self.mem.port_free(now) {
+            RefOp::SLoad { dst, addr } => {
+                if self.mem.probe_scalar(addr) == CacheAccess::Miss && !self.mem.port_free(now) {
                     return false;
                 }
-                let issue = self.mem.scalar_load(now, *addr);
-                self.sb.set_ready(*dst, issue.data_complete_at);
+                let issue = self.mem.scalar_load(now, addr);
+                self.sb.set_ready(dst, issue.data_complete_at);
                 true
             }
-            Inst::SStore { src, addr } => {
-                if !self.sb.is_ready(*src, now) || !self.mem.port_free(now) {
+            RefOp::SStore { src, addr } => {
+                if !self.sb.is_ready(src, now) || !self.mem.port_free(now) {
                     return false;
                 }
-                self.mem.scalar_store(now, *addr);
+                self.mem.scalar_store(now, addr);
                 true
             }
-            Inst::Branch { cond, .. } => self.sb.is_ready(*cond, now),
-            Inst::VCompute {
-                op,
+            RefOp::Branch { cond } => self.sb.is_ready(cond, now),
+            RefOp::VCompute {
                 dst,
-                src1,
-                src2,
+                reads,
+                sregs,
+                general_unit,
                 vl,
             } => {
-                let mut reads = Vec::with_capacity(2);
-                let mut sregs = [None, None];
-                for (i, operand) in [Some(src1), src2.as_ref()].into_iter().enumerate() {
-                    match operand {
-                        Some(VOperand::Reg(v)) => reads.push(*v),
-                        Some(VOperand::Scalar(s)) => sregs[i] = Some(*s),
-                        None => {}
-                    }
-                }
                 if !self.sb.all_ready(&sregs, now) {
                     return false;
                 }
-                if !self.regs.can_issue(now, &reads, Some(*dst), self.chain) {
+                if !self.regs.can_issue(now, &reads, Some(dst), self.chain) {
                     return false;
                 }
-                let unit = if op.requires_general_unit() {
+                let unit = if general_unit {
                     &mut self.fu2
                 } else if self.fu1.is_free(now) {
                     &mut self.fu1
@@ -234,7 +311,7 @@ impl<'a> Engine<'a> {
                 unit.reserve(now, vl.cycles());
                 self.regs.begin_reads(now, &reads, vl.cycles());
                 self.regs.begin_write(
-                    *dst,
+                    dst,
                     now,
                     now + startup,
                     now + startup + vl.cycles(),
@@ -242,8 +319,8 @@ impl<'a> Engine<'a> {
                 );
                 true
             }
-            Inst::VReduce { dst, src, vl, .. } => {
-                if !self.regs.can_issue(now, &[*src], None, self.chain) {
+            RefOp::VReduce { dst, src, vl } => {
+                if !self.regs.can_issue(now, &[src], None, self.chain) {
                     return false;
                 }
                 let unit = if self.fu1.is_free(now) {
@@ -254,23 +331,20 @@ impl<'a> Engine<'a> {
                     return false;
                 };
                 unit.reserve(now, vl.cycles());
-                self.regs.begin_reads(now, &[*src], vl.cycles());
+                self.regs.begin_reads(now, &[src], vl.cycles());
                 // The scalar result is available once the whole vector has
                 // streamed through the adder tree.
-                self.sb.set_ready(*dst, now + startup + vl.cycles() + 1);
+                self.sb.set_ready(dst, now + startup + vl.cycles() + 1);
                 true
             }
-            Inst::VLoad { dst, access } => {
-                if !self.mem.port_free(now)
-                    || !self.regs.can_issue(now, &[], Some(*dst), self.chain)
+            RefOp::VLoad { dst, vl, stride } => {
+                if !self.mem.port_free(now) || !self.regs.can_issue(now, &[], Some(dst), self.chain)
                 {
                     return false;
                 }
-                let issue = self
-                    .mem
-                    .issue_vector_load(now, access.vl, Some(access.stride));
+                let issue = self.mem.issue_vector_load(now, vl, Some(stride));
                 self.regs.begin_write(
-                    *dst,
+                    dst,
                     now,
                     issue.data_first_at,
                     issue.data_complete_at,
@@ -278,26 +352,24 @@ impl<'a> Engine<'a> {
                 );
                 true
             }
-            Inst::VStore { src, access } => {
-                if !self.mem.port_free(now) || !self.regs.can_issue(now, &[*src], None, self.chain)
-                {
+            RefOp::VStore { src, vl, stride } => {
+                if !self.mem.port_free(now) || !self.regs.can_issue(now, &[src], None, self.chain) {
                     return false;
                 }
-                self.mem
-                    .issue_vector_store(now, access.vl, Some(access.stride));
-                self.regs.begin_reads(now, &[*src], access.vl.cycles());
+                self.mem.issue_vector_store(now, vl, Some(stride));
+                self.regs.begin_reads(now, &[src], vl.cycles());
                 true
             }
-            Inst::VGather { dst, index, vl, .. } => {
+            RefOp::VGather { dst, index, vl } => {
                 if !self.mem.port_free(now)
-                    || !self.regs.can_issue(now, &[*index], Some(*dst), self.chain)
+                    || !self.regs.can_issue(now, &[index], Some(dst), self.chain)
                 {
                     return false;
                 }
-                let issue = self.mem.issue_vector_load(now, *vl, None);
-                self.regs.begin_reads(now, &[*index], vl.cycles());
+                let issue = self.mem.issue_vector_load(now, vl, None);
+                self.regs.begin_reads(now, &[index], vl.cycles());
                 self.regs.begin_write(
-                    *dst,
+                    dst,
                     now,
                     issue.data_first_at,
                     issue.data_complete_at,
@@ -305,25 +377,90 @@ impl<'a> Engine<'a> {
                 );
                 true
             }
-            Inst::VScatter { src, index, vl, .. } => {
+            RefOp::VScatter { src, index, vl } => {
                 if !self.mem.port_free(now)
-                    || !self.regs.can_issue(now, &[*src, *index], None, self.chain)
+                    || !self.regs.can_issue(now, &[src, index], None, self.chain)
                 {
                     return false;
                 }
-                self.mem.issue_vector_store(now, *vl, None);
-                self.regs.begin_reads(now, &[*src, *index], vl.cycles());
+                self.mem.issue_vector_store(now, vl, None);
+                self.regs.begin_reads(now, &[src, index], vl.cycles());
                 true
             }
         }
     }
+
+    /// The first cycle at which at least one address port can accept an
+    /// access, given no new reservations.
+    fn port_ready_at(&self, now: Cycle) -> Cycle {
+        if self.mem.port_free(now) {
+            now
+        } else {
+            self.mem.next_free_at(now).unwrap_or(now)
+        }
+    }
+
+    /// The exact earliest cycle the stalled front instruction can issue,
+    /// assuming the machine keeps stalling until then: the max over the
+    /// same gate conditions [`Engine::try_issue`] checks, each of which
+    /// only opens over time while nothing issues.
+    fn wake_at(&self, now: Cycle) -> Cycle {
+        let either_fu = self.fu1.free_at().min(self.fu2.free_at());
+        match self.compiled.ops()[self.pc] {
+            RefOp::SAlu { srcs, .. } => self.sb.ready_after(&srcs),
+            RefOp::SLoad { addr, .. } => {
+                if self.mem.probe_scalar(addr) == CacheAccess::Miss {
+                    self.port_ready_at(now)
+                } else {
+                    now // a hit always issues; unreachable on a stall
+                }
+            }
+            RefOp::SStore { src, .. } => self.sb.ready_at(src).max(self.port_ready_at(now)),
+            RefOp::Branch { cond } => self.sb.ready_at(cond),
+            RefOp::VCompute {
+                dst,
+                reads,
+                sregs,
+                general_unit,
+                ..
+            } => {
+                let unit = if general_unit {
+                    self.fu2.free_at()
+                } else {
+                    either_fu
+                };
+                self.sb
+                    .ready_after(&sregs)
+                    .max(self.regs.issue_ready_at(&reads, Some(dst), self.chain))
+                    .max(unit)
+            }
+            RefOp::VReduce { src, .. } => self
+                .regs
+                .issue_ready_at(&[src], None, self.chain)
+                .max(either_fu),
+            RefOp::VLoad { dst, .. } => {
+                self.port_ready_at(now)
+                    .max(self.regs.issue_ready_at(&[], Some(dst), self.chain))
+            }
+            RefOp::VStore { src, .. } => {
+                self.port_ready_at(now)
+                    .max(self.regs.issue_ready_at(&[src], None, self.chain))
+            }
+            RefOp::VGather { dst, index, .. } => self
+                .port_ready_at(now)
+                .max(self.regs.issue_ready_at(&[index], Some(dst), self.chain)),
+            RefOp::VScatter { src, index, .. } => self
+                .port_ready_at(now)
+                .max(self.regs.issue_ready_at(&[src, index], None, self.chain)),
+        }
+    }
 }
 
-impl Processor for Engine<'_> {
+impl Processor for Engine {
     fn step(&mut self, now: Cycle) -> Progress {
         self.now = now;
-        let insts = self.insts;
-        if self.try_issue(&insts[self.pc]) {
+        let op = self.compiled.ops()[self.pc];
+        if self.try_issue(op) {
             self.pc += 1;
             Progress::Advanced
         } else {
@@ -333,22 +470,27 @@ impl Processor for Engine<'_> {
     }
 
     fn is_done(&self) -> bool {
-        self.pc >= self.insts.len()
+        self.pc >= self.compiled.len()
     }
 
-    /// The earliest cycle strictly after `now` at which any gating
-    /// condition of [`Engine::try_issue`] can change: a scalar register
-    /// or vector register becoming ready, a chaining window opening, a
-    /// functional unit freeing, or an address port freeing. `None` when
-    /// the machine is fully quiet (the stalled instruction can then never
-    /// issue — impossible for valid traces).
+    /// The earliest cycle strictly after `now` at which anything
+    /// observable can change: a sampled state flag flipping (a functional
+    /// unit or address port freeing), or the stalled front instruction's
+    /// gates all opening. The dispatcher is the machine's only actor, so
+    /// its wake time — the max over the specific gate times
+    /// [`Engine::try_issue`] checks, each monotone while the machine
+    /// stalls — is exact: the jump lands on the issue cycle itself
+    /// instead of on every intermediate timer. `None` when the machine is
+    /// fully quiet (the stalled instruction can then never issue —
+    /// impossible for valid traces).
     fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
         let mut next = dva_isa::EarliestAfter::new(now);
-        next.consider_opt(self.mem.next_free_at(now));
+        // Sample-exactness events: the Figure 1 state tuple.
         next.consider(self.fu1.free_at());
         next.consider(self.fu2.free_at());
-        next.consider_opt(self.sb.next_ready_after(now));
-        next.consider_opt(self.regs.next_event_after(now));
+        next.consider_opt(self.mem.next_free_at(now));
+        // The stalled instruction's precise wake time.
+        next.consider(self.wake_at(now));
         next.get()
     }
 
@@ -371,7 +513,7 @@ impl Processor for Engine<'_> {
 
     fn report(&self, cycles: Cycle) -> Report {
         Report {
-            insts: self.insts.len() as u64,
+            insts: self.compiled.len() as u64,
             traffic: self.mem.traffic(),
             bus_utilization: self.mem.utilization(cycles),
             port_utilization: self.mem.port_utilizations(cycles),
@@ -385,8 +527,8 @@ impl Processor for Engine<'_> {
         format!(
             "REF pc={}/{} cannot issue {:?}",
             self.pc,
-            self.insts.len(),
-            self.insts[self.pc],
+            self.compiled.len(),
+            self.compiled.program().insts()[self.pc],
         )
     }
 }
@@ -394,7 +536,7 @@ impl Processor for Engine<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dva_isa::{ReduceOp, ScalarReg, VectorAccess, VectorOp, VectorReg};
+    use dva_isa::{Inst, ReduceOp, ScalarReg, VOperand, VectorAccess, VectorOp, VectorReg};
     use dva_testutil::{vadd, vl, vload};
 
     fn run(insts: Vec<Inst>, latency: u64) -> RefResult {

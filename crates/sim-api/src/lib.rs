@@ -49,10 +49,12 @@
 #![warn(missing_docs)]
 
 mod machine;
+mod prepare;
 mod result;
 mod sweep;
 
 pub use machine::{CustomMachine, CustomSim, Machine};
+pub use prepare::{PreparedProgram, Runners};
 pub use result::{MachineDetail, SimResult};
 pub use sweep::{Sweep, SweepPoint, SweepResults};
 

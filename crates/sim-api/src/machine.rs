@@ -1,7 +1,8 @@
 //! The unified machine abstraction.
 
+use crate::prepare::{PreparedProgram, Runners};
 use crate::result::SimResult;
-use dva_core::{ideal_bound, DvaConfig, DvaSim};
+use dva_core::{DvaConfig, DvaSim};
 use dva_engine::{Driver, Observers, Processor};
 use dva_isa::Program;
 use dva_memory::MemoryModelKind;
@@ -11,7 +12,7 @@ use std::fmt;
 /// One of the paper's machines, ready to simulate any [`Program`].
 ///
 /// `Machine` unifies the front doors of the workspace — [`RefSim`],
-/// [`DvaSim`], [`ideal_bound`] and any user-defined
+/// [`DvaSim`], [`ideal_bound`](dva_core::ideal_bound) and any user-defined
 /// [`Processor`] via [`Machine::custom`] — behind one
 /// [`simulate`](Machine::simulate) method returning one [`SimResult`]
 /// type, so experiment code can treat "which machine" as data.
@@ -242,21 +243,47 @@ impl Machine {
     /// ignores the flag). Exists so equivalence tests and benchmarks can
     /// compare the two; results are byte-identical either way.
     pub fn simulate_with(&self, program: &Program, fast_forward: bool) -> SimResult {
+        self.simulate_prepared(
+            &PreparedProgram::new(program),
+            fast_forward,
+            &mut Runners::new(),
+        )
+    }
+
+    /// Runs a [`PreparedProgram`] — byte-identical to
+    /// [`simulate_with`](Machine::simulate_with) on the source program,
+    /// but the program's compiled form is reused from the preparation and
+    /// the engine allocations are reused from `runners`. This is the hot
+    /// entry point [`Sweep`](crate::Sweep) workers drive the grid
+    /// through: one preparation per program, one `runners` per worker
+    /// thread.
+    pub fn simulate_prepared(
+        &self,
+        prepared: &PreparedProgram,
+        fast_forward: bool,
+        runners: &mut Runners,
+    ) -> SimResult {
         match self {
-            Machine::Ref(params) => RefSim::new(*params)
-                .with_fast_forward(fast_forward)
-                .run(program)
+            Machine::Ref(params) => runners
+                .reference
+                .run(
+                    &RefSim::new(*params).with_fast_forward(fast_forward),
+                    prepared.reference(),
+                )
                 .into(),
-            Machine::Dva(config) => DvaSim::new(*config)
-                .with_fast_forward(fast_forward)
-                .run(program)
+            Machine::Dva(config) => runners
+                .dva
+                .run(
+                    &DvaSim::new(*config).with_fast_forward(fast_forward),
+                    prepared.dva(),
+                )
                 .into(),
-            Machine::Ideal => SimResult::from_ideal(ideal_bound(program), program),
+            Machine::Ideal => SimResult::from_ideal(prepared.ideal(), prepared.program()),
             Machine::Custom(custom) => {
                 let CustomSim {
                     mut processor,
                     mut observers,
-                } = (custom.build)(program);
+                } = (custom.build)(prepared.program());
                 let completion = Driver::new()
                     .fast_forward(fast_forward)
                     .run(processor.as_mut(), &mut observers);
@@ -319,7 +346,7 @@ mod tests {
         assert_eq!(unified.traffic, native.traffic);
 
         let unified = Machine::ideal().simulate(&program);
-        assert_eq!(unified.cycles, ideal_bound(&program).cycles());
+        assert_eq!(unified.cycles, dva_core::ideal_bound(&program).cycles());
     }
 
     /// The one-off ablation machine the tentpole promises: a toy

@@ -1,12 +1,12 @@
 //! Parallel sweep sessions over machines × programs × latencies ×
 //! memory models.
 
+use crate::prepare::{PreparedProgram, Runners};
 use crate::{Machine, SimResult};
 use dva_isa::Program;
 use dva_memory::MemoryModelKind;
 use dva_workloads::{Benchmark, Scale};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 /// A sweep session: the cross-product of machines, programs, memory
 /// latencies and memory-model backends, executed by a pool of OS
@@ -36,7 +36,7 @@ use std::sync::Arc;
 pub struct Sweep {
     machines: Vec<Machine>,
     benchmarks: Vec<Benchmark>,
-    programs: Vec<Arc<Program>>,
+    programs: Vec<Program>,
     latencies: Vec<u64>,
     memory_models: Vec<MemoryModelKind>,
     scale: Scale,
@@ -135,10 +135,12 @@ impl Sweep {
     }
 
     /// Adds a custom (non-benchmark) program; its [`Program::name`] labels
-    /// the points.
+    /// the points. Programs share their instruction storage, so deriving
+    /// sweep variants from an existing trace (e.g. via
+    /// [`Program::with_name`]) copies no instructions.
     #[must_use]
     pub fn program(mut self, program: Program) -> Sweep {
-        self.programs.push(Arc::new(program));
+        self.programs.push(program);
         self
     }
 
@@ -226,26 +228,36 @@ impl Sweep {
 
     /// Runs every point of the session, fanning out across worker
     /// threads, and returns the points in deterministic grid order.
+    ///
+    /// Each program is *translated once*: the grid shares one
+    /// [`PreparedProgram`] per program axis entry (compiled lazily, by
+    /// whichever worker gets there first), and each worker thread reuses
+    /// one set of engine allocations ([`Runners`]) across all the points
+    /// it claims. Results are byte-identical to simulating every point
+    /// from scratch.
     pub fn run(&self) -> SweepResults {
-        // Resolve the program axis once; simulations share the traces.
-        let mut targets: Vec<(Option<Benchmark>, Arc<Program>)> = Vec::new();
-        for &benchmark in &self.benchmarks {
-            targets.push((Some(benchmark), Arc::new(benchmark.program(self.scale))));
-        }
-        for program in &self.programs {
-            targets.push((None, Arc::clone(program)));
-        }
+        // Resolve the program axis once; all grid points of a program
+        // share one prepared (translate-once) form.
+        let targets: Vec<(Option<Benchmark>, PreparedProgram)> = self
+            .benchmarks
+            .iter()
+            .map(|&benchmark| {
+                (
+                    Some(benchmark),
+                    PreparedProgram::new(&benchmark.program(self.scale)),
+                )
+            })
+            .chain(
+                self.programs
+                    .iter()
+                    .map(|program| (None, PreparedProgram::new(program))),
+            )
+            .collect();
 
         // The job grid, in the order the points are returned. An empty
         // latency (or memory-model) grid means "each machine at its own
         // latency (or model)".
-        type Job = (
-            Option<Benchmark>,
-            Arc<Program>,
-            Machine,
-            u64,
-            MemoryModelKind,
-        );
+        type Job = (usize, Machine, u64, MemoryModelKind);
         let latencies: Vec<Option<u64>> = if self.latencies.is_empty() {
             vec![None]
         } else {
@@ -257,7 +269,7 @@ impl Sweep {
             self.memory_models.iter().copied().map(Some).collect()
         };
         let mut jobs: Vec<Job> = Vec::new();
-        for (benchmark, program) in &targets {
+        for target in 0..targets.len() {
             for &latency in &latencies {
                 for &model in &models {
                     for &machine in &self.machines {
@@ -269,8 +281,7 @@ impl Sweep {
                             stamped = stamped.with_memory_model(model);
                         }
                         jobs.push((
-                            *benchmark,
-                            Arc::clone(program),
+                            target,
                             stamped,
                             latency.unwrap_or_else(|| machine.latency().unwrap_or(0)),
                             model.unwrap_or_else(|| {
@@ -290,19 +301,23 @@ impl Sweep {
         }
         .clamp(1, jobs.len().max(1));
 
-        let run_job = |(benchmark, program, machine, latency, memory): &Job| SweepPoint {
-            machine: *machine,
-            label: machine.label(),
-            benchmark: *benchmark,
-            program: program.name().to_string(),
-            latency: *latency,
-            memory: *memory,
-            result: machine.simulate_with(program, self.fast_forward),
+        let run_job = |(target, machine, latency, memory): &Job, runners: &mut Runners| {
+            let (benchmark, prepared) = &targets[*target];
+            SweepPoint {
+                machine: *machine,
+                label: machine.label(),
+                benchmark: *benchmark,
+                program: prepared.program().name().to_string(),
+                latency: *latency,
+                memory: *memory,
+                result: machine.simulate_prepared(prepared, self.fast_forward, runners),
+            }
         };
 
         if workers <= 1 {
+            let mut runners = Runners::new();
             return SweepResults {
-                points: jobs.iter().map(run_job).collect(),
+                points: jobs.iter().map(|job| run_job(job, &mut runners)).collect(),
             };
         }
 
@@ -315,11 +330,12 @@ impl Sweep {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let mut runners = Runners::new();
                         let mut local = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             let Some(job) = jobs.get(idx) else { break };
-                            local.push((idx, run_job(job)));
+                            local.push((idx, run_job(job, &mut runners)));
                         }
                         local
                     })
@@ -561,7 +577,10 @@ mod tests {
     #[test]
     fn custom_programs_ride_alongside_benchmarks() {
         let program = Benchmark::Trfd.program(Scale::Quick);
-        let custom = Program::from_insts("custom", program.insts().to_vec());
+        // `with_name` shares the benchmark's instruction storage — adding
+        // a derived program to a sweep copies no instructions.
+        let custom = program.with_name("custom");
+        assert_eq!(custom.insts().as_ptr(), program.insts().as_ptr());
         let results = Sweep::new()
             .machine(Machine::dva(1))
             .program(custom)
@@ -570,5 +589,7 @@ mod tests {
         assert_eq!(results.points.len(), 1);
         assert_eq!(results.points[0].program, "custom");
         assert_eq!(results.points[0].benchmark, None);
+        // The derived points match the benchmark's own simulation.
+        assert_eq!(results.points[0].result, Machine::dva(1).simulate(&program));
     }
 }

@@ -1,0 +1,60 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The engines promise an allocation-free steady-state tick loop; this
+//! module gives tests a way to *pin* that promise. A test binary
+//! registers the [`CountingAllocator`] as its global allocator and
+//! compares [`allocation_count`] deltas around engine runs — if a run
+//! twice as long allocates exactly as much as a short one, the per-tick
+//! allocation count is provably zero.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: dva_testutil::CountingAllocator = dva_testutil::CountingAllocator;
+//!
+//! let before = dva_testutil::allocation_count();
+//! run_the_engine();
+//! let allocs = dva_testutil::allocation_count() - before;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Heap allocations (including reallocations) performed since process
+/// start, when [`CountingAllocator`] is installed as the global
+/// allocator. Always zero otherwise.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A [`System`]-backed allocator that counts every allocation.
+///
+/// Deallocations are deliberately not tracked: regression tests compare
+/// *allocation* deltas, and frees of equal-sized buffers would mask a
+/// steady-state churn of alloc/free pairs.
+pub struct CountingAllocator;
+
+// The impl forwards verbatim to `System`; the only addition is a relaxed
+// counter increment on each allocating entry point.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

@@ -6,8 +6,14 @@
 //! Only `dva-isa` is a dependency, so any crate above the ISA — and any
 //! crate's dev-dependencies — can use them without a cycle.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the counting allocator must implement the
+// (unsafe) `GlobalAlloc` trait; that one impl carries a local `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod alloc_counter;
+
+pub use alloc_counter::{allocation_count, CountingAllocator};
 
 use dva_isa::{Inst, Program, VOperand, VectorAccess, VectorLength, VectorOp, VectorReg};
 

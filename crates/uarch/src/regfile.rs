@@ -53,6 +53,28 @@ struct BankPorts {
 
 const NUM_BANKS: usize = NUM_VECTOR_REGS / VECTOR_BANK_SIZE;
 
+/// Read-port demand per bank for an operand list, deduplicating repeated
+/// registers (a register read twice by one instruction needs one port).
+/// Shared by [`VectorRegFile::can_issue`] and
+/// [`VectorRegFile::issue_ready_at`], whose answers must stay exactly
+/// consistent for the fast-forward wake times to be sound.
+fn read_port_need(reads: &[VectorReg]) -> [usize; NUM_BANKS] {
+    let mut need = [0usize; NUM_BANKS];
+    let mut seen: [Option<VectorReg>; 2] = [None, None];
+    for &r in reads {
+        if seen.contains(&Some(r)) {
+            continue;
+        }
+        if seen[0].is_none() {
+            seen[0] = Some(r);
+        } else {
+            seen[1] = Some(r);
+        }
+        need[r.bank()] += 1;
+    }
+    need
+}
+
 /// The eight-register vector register file.
 ///
 /// Tracks read-after-write (with chaining), write-after-write and
@@ -121,22 +143,7 @@ impl VectorRegFile {
             }
         }
         if self.check_ports {
-            // Count read ports needed per bank (a register read twice by
-            // one instruction needs only one port).
-            let mut need = [0usize; NUM_BANKS];
-            let mut seen: [Option<VectorReg>; 2] = [None, None];
-            for &r in reads {
-                if seen.contains(&Some(r)) {
-                    continue;
-                }
-                if seen[0].is_none() {
-                    seen[0] = Some(r);
-                } else {
-                    seen[1] = Some(r);
-                }
-                need[r.bank()] += 1;
-            }
-            for (bank, &n) in need.iter().enumerate() {
+            for (bank, &n) in read_port_need(reads).iter().enumerate() {
                 let free = self.banks[bank]
                     .read_free
                     .iter()
@@ -153,6 +160,45 @@ impl VectorRegFile {
             }
         }
         true
+    }
+
+    /// The earliest cycle at which [`can_issue`](VectorRegFile::can_issue)
+    /// with the same operands would pass, **assuming no further activity
+    /// begins in the meantime** — the register file's contribution to a
+    /// stalled instruction's precise wake time. Every gating condition is
+    /// monotone while the machine makes no progress (operands only become
+    /// ready, ports only free), so the earliest issue cycle is the max
+    /// over the individual gates' flip times; `can_issue(t, ..)` is true
+    /// at exactly `t >= issue_ready_at(..)` until something else issues.
+    pub fn issue_ready_at(
+        &self,
+        reads: &[VectorReg],
+        write: Option<VectorReg>,
+        policy: ChainPolicy,
+    ) -> Cycle {
+        let mut at: Cycle = 0;
+        for &r in reads {
+            at = at.max(self.read_ready_at(r, policy));
+        }
+        if let Some(w) = write {
+            at = at.max(self.write_ready_at(w));
+        }
+        if self.check_ports {
+            // The n-th port of a bank is available at the n-th smallest
+            // free time.
+            for (bank, &n) in read_port_need(reads).iter().enumerate() {
+                let [a, b] = self.banks[bank].read_free;
+                at = at.max(match n {
+                    0 => 0,
+                    1 => a.min(b),
+                    _ => a.max(b),
+                });
+            }
+            if let Some(w) = write {
+                at = at.max(self.banks[w.bank()].write_free);
+            }
+        }
+        at
     }
 
     /// Marks `reads` as being streamed for `duration` cycles starting at
@@ -242,11 +288,19 @@ impl VectorRegFile {
     /// structural condition tracked by the register file can change: a
     /// chaining window opening (`first_elem_at + 1`), a write completing,
     /// a reader draining, or a bank port freeing. `None` when the file is
-    /// fully quiet. Used by the engines' next-event (fast-forward)
-    /// computation.
+    /// fully quiet.
+    ///
+    /// The engines' fast-forward no longer needs this global scan — they
+    /// ask [`issue_ready_at`](VectorRegFile::issue_ready_at) for the
+    /// stalled instruction's specific operands instead — but it remains
+    /// the right probe for custom processors that cannot enumerate their
+    /// gates.
     pub fn next_event_after(&self, now: Cycle) -> Option<Cycle> {
         let mut next = dva_isa::EarliestAfter::new(now);
         for st in &self.regs {
+            if st.ready_at.max(st.readers_until) <= now {
+                continue; // quiet: every window it could open is past
+            }
             // The chaining window opens at first_elem_at + 1, clamped to
             // ready_at exactly as in `read_ready_at`.
             next.consider(st.first_elem_at.saturating_add(1).min(st.ready_at));
@@ -351,6 +405,34 @@ mod tests {
         rf.begin_reads(0, &[VectorReg::V4], 30);
         assert_eq!(rf.next_event_after(5), Some(30));
         assert_eq!(rf.next_event_after(68), None);
+    }
+
+    #[test]
+    fn issue_ready_at_is_the_first_cycle_can_issue_passes() {
+        let policy = ChainPolicy::reference();
+        let mut rf = regfile();
+        rf.begin_write(VectorReg::V0, 0, 4, 68, Producer::MemoryLoad); // not chainable
+        rf.begin_reads(0, &[VectorReg::V2], 30);
+        rf.begin_write(VectorReg::V4, 0, 4, 40, Producer::FunctionalUnit);
+        for (reads, write) in [
+            (vec![VectorReg::V0], Some(VectorReg::V6)), // RAW on load
+            (vec![], Some(VectorReg::V2)),              // WAR on reader
+            (vec![VectorReg::V4], None),                // chainable RAW
+            (vec![VectorReg::V1], None),                // bank 0 port vs V0 write
+            (vec![VectorReg::V0, VectorReg::V4], Some(VectorReg::V2)),
+        ] {
+            let t = rf.issue_ready_at(&reads, write, policy);
+            assert!(
+                rf.can_issue(t, &reads, write, policy),
+                "reads={reads:?} write={write:?}: not issuable at claimed t={t}"
+            );
+            if t > 0 {
+                assert!(
+                    !rf.can_issue(t - 1, &reads, write, policy),
+                    "reads={reads:?} write={write:?}: already issuable before t={t}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::kernel::Kernel;
 use dva_isa::{Program, ReduceOp, VectorOp};
 
 /// Trace volume knob.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Scale {
     /// Very small traces for unit tests and Criterion benches.
     Quick,
@@ -188,8 +188,37 @@ impl Benchmark {
         }
     }
 
-    /// Builds the program's synthetic trace at the given scale.
+    /// The program's synthetic trace at the given scale.
+    ///
+    /// Generation is deterministic, so the trace is built once per
+    /// process and served from a cache afterwards — the returned
+    /// [`Program`] shares the cached instruction storage (programs are
+    /// reference-counted), so repeated sweeps pay nothing for the
+    /// program axis.
     pub fn program(self, scale: Scale) -> Program {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<(Benchmark, Scale), Program>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(program) = cache.lock().unwrap().get(&(self, scale)) {
+            return program.clone();
+        }
+        // Generate outside the lock: traces take long enough to build
+        // that blocking other worker threads on the mutex would serialize
+        // a parallel sweep's startup.
+        let program = self.generate(scale);
+        cache
+            .lock()
+            .unwrap()
+            .entry((self, scale))
+            .or_insert(program)
+            .clone()
+    }
+
+    /// Builds the program's synthetic trace at the given scale, bypassing
+    /// the cache (generation is deterministic: this always equals
+    /// [`Benchmark::program`]).
+    pub fn generate(self, scale: Scale) -> Program {
         self.spec(scale).compile(self.seed())
     }
 
