@@ -16,6 +16,7 @@
 //! `BENCH_UPDATE` set the baseline is rewritten; otherwise the tree is
 //! left untouched.
 
+use dva_serve::{ResultCache, SweepService, DEFAULT_MEMORY_CAPACITY};
 use dva_sim_api::{Machine, MemoryModelKind, Sweep};
 use dva_workloads::{Benchmark, Scale};
 use std::fmt::Write as _;
@@ -80,9 +81,46 @@ fn main() {
         1e3 * median,
     );
 
+    // Warm-cache throughput through the sweep service: the first job pays
+    // for every grid point, a repeat of the identical job is answered
+    // entirely from the content-addressed cache.
+    let service = SweepService::new(ResultCache::in_memory(DEFAULT_MEMORY_CAPACITY));
+    let (cached, summary) = service.run(&sweep).expect("grid is serializable");
+    assert_eq!(summary.simulated, points, "cold service run simulates all");
+    assert_eq!(cached.points, warm.points, "served results are identical");
+    let mut warm_times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let (results, summary) = criterion::black_box(service.run(&sweep).expect("warm run"));
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(summary.cache_hits, points, "warm run is all cache hits");
+            assert_eq!(results.points, warm.points, "cached results are identical");
+            secs
+        })
+        .collect();
+    warm_times.sort_by(f64::total_cmp);
+    let warm_median = warm_times[warm_times.len() / 2];
+    let warm_points_per_sec = points as f64 / warm_median;
+    println!(
+        "sweep_throughput: warm cache {points} points in {:.2}ms -> {warm_points_per_sec:.1} \
+         points/sec ({:.1}x the cold sweep)",
+        1e3 * warm_median,
+        warm_points_per_sec / points_per_sec,
+    );
+    if warm_points_per_sec < 10.0 * points_per_sec {
+        println!(
+            "PERF-WARN: warm-cache throughput {warm_points_per_sec:.1} points/sec is below 10x \
+             the cold sweep {points_per_sec:.1} (cache lookups should dwarf simulation)"
+        );
+    }
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     if std::env::var_os("BENCH_UPDATE").is_some() && !smoke {
-        std::fs::write(path, render_json(points, median, points_per_sec)).expect("write baseline");
+        std::fs::write(
+            path,
+            render_json(points, median, points_per_sec, warm_points_per_sec),
+        )
+        .expect("write baseline");
         println!("sweep_throughput: wrote {path}");
         return;
     }
@@ -120,7 +158,12 @@ fn json_f64(doc: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
-fn render_json(points: usize, median_secs: f64, points_per_sec: f64) -> String {
+fn render_json(
+    points: usize,
+    median_secs: f64,
+    points_per_sec: f64,
+    warm_cache_points_per_sec: f64,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"sweep_throughput\",\n");
@@ -135,6 +178,10 @@ fn render_json(points: usize, median_secs: f64, points_per_sec: f64) -> String {
     let _ = writeln!(out, "  \"points\": {points},");
     let _ = writeln!(out, "  \"median_seconds\": {median_secs:.6},");
     let _ = writeln!(out, "  \"points_per_sec\": {points_per_sec:.1},");
+    let _ = writeln!(
+        out,
+        "  \"warm_cache_points_per_sec\": {warm_cache_points_per_sec:.1},"
+    );
     let _ = writeln!(
         out,
         "  \"pre_compiled_programs_points_per_sec\": {PRE_COMPILED_POINTS_PER_SEC:.1}"

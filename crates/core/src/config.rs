@@ -1,5 +1,6 @@
 //! Configuration of the decoupled machine.
 
+use dva_json::{FromJson, Json, JsonError, ToJson};
 use dva_memory::MemoryParams;
 use dva_uarch::UarchParams;
 
@@ -87,6 +88,52 @@ impl DvaConfig {
 impl Default for DvaConfig {
     fn default() -> Self {
         DvaConfig::dva(1)
+    }
+}
+
+impl ToJson for QueueConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("instruction_queue", Json::from(self.instruction_queue)),
+            ("avdq", Json::from(self.avdq)),
+            ("store_queue", Json::from(self.store_queue)),
+            ("scalar_store_queue", Json::from(self.scalar_store_queue)),
+            ("scalar_data_queue", Json::from(self.scalar_data_queue)),
+        ])
+    }
+}
+
+impl FromJson for QueueConfig {
+    fn from_json(json: &Json) -> Result<QueueConfig, JsonError> {
+        Ok(QueueConfig {
+            instruction_queue: json.field("instruction_queue")?.as_usize()?,
+            avdq: json.field("avdq")?.as_usize()?,
+            store_queue: json.field("store_queue")?.as_usize()?,
+            scalar_store_queue: json.field("scalar_store_queue")?.as_usize()?,
+            scalar_data_queue: json.field("scalar_data_queue")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for DvaConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("uarch", self.uarch.to_json()),
+            ("memory", self.memory.to_json()),
+            ("queues", self.queues.to_json()),
+            ("bypass", Json::from(self.bypass)),
+        ])
+    }
+}
+
+impl FromJson for DvaConfig {
+    fn from_json(json: &Json) -> Result<DvaConfig, JsonError> {
+        Ok(DvaConfig {
+            uarch: UarchParams::from_json(json.field("uarch")?)?,
+            memory: MemoryParams::from_json(json.field("memory")?)?,
+            queues: QueueConfig::from_json(json.field("queues")?)?,
+            bypass: json.field("bypass")?.as_bool()?,
+        })
     }
 }
 
@@ -230,6 +277,21 @@ mod tests {
         assert_eq!(c.queues.instruction_queue, 4);
         assert_eq!(c.queues.scalar_store_queue, 2);
         assert_eq!(c.queues.scalar_data_queue, 8);
+    }
+
+    #[test]
+    fn configurations_round_trip_through_json() {
+        for config in [
+            DvaConfig::dva(30),
+            DvaConfig::byp(100, 4, 8),
+            DvaConfig::builder()
+                .latency(50)
+                .instruction_queue(4)
+                .scalar_data_queue(64)
+                .build(),
+        ] {
+            assert_eq!(DvaConfig::from_json(&config.to_json()).unwrap(), config);
+        }
     }
 
     #[test]

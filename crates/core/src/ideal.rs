@@ -16,6 +16,7 @@
 //! same artifact for FLO52).
 
 use dva_isa::{Cycle, Inst, Program};
+use dva_json::{FromJson, Json, JsonError, ToJson};
 use dva_memory::{CacheAccess, ScalarCache, ScalarCacheParams};
 
 /// Per-resource operation totals and the resulting bound.
@@ -60,6 +61,30 @@ impl IdealBound {
         } else {
             "scalar cache"
         }
+    }
+}
+
+impl ToJson for IdealBound {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("fu2_only", Json::from(self.fu2_only)),
+            ("either_fu", Json::from(self.either_fu)),
+            ("memory_port", Json::from(self.memory_port)),
+            ("scalar_processor", Json::from(self.scalar_processor)),
+            ("scalar_cache", Json::from(self.scalar_cache)),
+        ])
+    }
+}
+
+impl FromJson for IdealBound {
+    fn from_json(json: &Json) -> Result<IdealBound, JsonError> {
+        Ok(IdealBound {
+            fu2_only: json.field("fu2_only")?.as_u64()?,
+            either_fu: json.field("either_fu")?.as_u64()?,
+            memory_port: json.field("memory_port")?.as_u64()?,
+            scalar_processor: json.field("scalar_processor")?.as_u64()?,
+            scalar_cache: json.field("scalar_cache")?.as_u64()?,
+        })
     }
 }
 

@@ -99,3 +99,14 @@ mod result;
 
 pub use driver::{Completion, Driver, Observers, Processor, Progress, WATCHDOG_TICKS};
 pub use result::{Report, ResultCore};
+
+/// Version stamp of the simulation engine's *observable behaviour*.
+///
+/// Cached results (the sweep service's content-addressed store) are only
+/// valid as long as re-simulating the same point would reproduce them
+/// byte for byte. Any change that can alter simulated results — engine
+/// semantics, machine models, workload generation, metric accounting —
+/// must bump this constant; persisted caches stamped with an older
+/// version are discarded wholesale. Pure refactors proven byte-identical
+/// by the grid-diff suites keep the stamp.
+pub const ENGINE_VERSION: u32 = 6;

@@ -1,6 +1,7 @@
 //! The shared result core every machine's measurements are built on.
 
 use dva_isa::Cycle;
+use dva_json::{FromJson, Json, JsonError, ToJson};
 use dva_metrics::{CacheStats, Diag, StateTracker, Traffic};
 
 /// Measurements every machine reports: the common core that
@@ -76,6 +77,57 @@ impl ResultCore {
     }
 }
 
+impl ToJson for ResultCore {
+    /// The stable wire/disk form of the core. Every model quantity is
+    /// carried; the `ticks_executed` diagnostic rides along (it restores
+    /// on round-trip but, as always with [`Diag`], never affects
+    /// equality).
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::from(self.cycles)),
+            ("insts", Json::from(self.insts)),
+            ("states", self.states.to_json()),
+            ("traffic", self.traffic.to_json()),
+            ("bus_utilization", Json::from(self.bus_utilization)),
+            (
+                "port_utilization",
+                Json::Array(
+                    self.port_utilization
+                        .iter()
+                        .map(|&p| Json::from(p))
+                        .collect(),
+                ),
+            ),
+            ("cache_hit_rate", Json::from(self.cache_hit_rate)),
+            ("cache", self.cache.to_json()),
+            ("stall_cycles", Json::from(self.stall_cycles)),
+            ("ticks_executed", Json::from(self.ticks_executed.get())),
+        ])
+    }
+}
+
+impl FromJson for ResultCore {
+    fn from_json(json: &Json) -> Result<ResultCore, JsonError> {
+        Ok(ResultCore {
+            cycles: json.field("cycles")?.as_u64()?,
+            insts: json.field("insts")?.as_u64()?,
+            states: StateTracker::from_json(json.field("states")?)?,
+            traffic: Traffic::from_json(json.field("traffic")?)?,
+            bus_utilization: json.field("bus_utilization")?.as_f64()?,
+            port_utilization: json
+                .field("port_utilization")?
+                .as_array()?
+                .iter()
+                .map(Json::as_f64)
+                .collect::<Result<_, _>>()?,
+            cache_hit_rate: json.field("cache_hit_rate")?.as_f64()?,
+            cache: CacheStats::from_json(json.field("cache")?)?,
+            stall_cycles: json.field("stall_cycles")?.as_u64()?,
+            ticks_executed: Diag(json.field("ticks_executed")?.as_u64()?),
+        })
+    }
+}
+
 /// A processor's contribution to the [`ResultCore`]: the counters only
 /// the machine model itself can produce, handed to the driver's result
 /// assembly once the clock has stopped.
@@ -122,5 +174,24 @@ mod tests {
     #[test]
     fn zero_cycle_runs_have_zero_ipc() {
         assert_eq!(ResultCore::untimed(0, 0).ipc(), 0.0);
+    }
+
+    #[test]
+    fn result_core_round_trips_through_json() {
+        let mut core = ResultCore::untimed(120, 40);
+        core.states.add(dva_metrics::UnitState::LD, 50);
+        core.traffic.vector_load_elems = 640;
+        core.bus_utilization = 0.125;
+        core.port_utilization = vec![0.25, 1.0 / 3.0];
+        core.cache_hit_rate = 0.75;
+        core.cache.load_hits = 3;
+        core.stall_cycles = 17;
+        core.ticks_executed = Diag(99);
+        let back = ResultCore::from_json(&core.to_json()).unwrap();
+        assert_eq!(back, core);
+        // Even the float fields and the diagnostic restore exactly: the
+        // rendered bytes are a fixed point.
+        assert_eq!(back.to_json().render(), core.to_json().render());
+        assert_eq!(back.ticks_executed.get(), 99);
     }
 }

@@ -6,6 +6,7 @@ use crate::backends::{BankedMemory, FlatMemory, MultiPortMemory};
 use crate::bus::AddressBus;
 use crate::cache::{CacheAccess, ScalarCache, ScalarCacheParams};
 use dva_isa::{Cycle, Stride, VectorLength};
+use dva_json::{FromJson, Json, JsonError, ToJson};
 use dva_metrics::Traffic;
 use std::fmt;
 
@@ -140,6 +141,81 @@ impl MemoryParams {
 impl Default for MemoryParams {
     fn default() -> Self {
         MemoryParams::with_latency(1)
+    }
+}
+
+impl ToJson for MemoryModelKind {
+    /// A tagged object: `{"kind":"flat"}`, `{"kind":"banked",...}` or
+    /// `{"kind":"multiport",...}`.
+    fn to_json(&self) -> Json {
+        match self {
+            MemoryModelKind::Flat => Json::obj([("kind", Json::from("flat"))]),
+            MemoryModelKind::Banked { banks, bank_busy } => Json::obj([
+                ("kind", Json::from("banked")),
+                ("banks", Json::from(*banks)),
+                ("bank_busy", Json::from(*bank_busy)),
+            ]),
+            MemoryModelKind::MultiPort { ports } => Json::obj([
+                ("kind", Json::from("multiport")),
+                ("ports", Json::from(*ports)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for MemoryModelKind {
+    fn from_json(json: &Json) -> Result<MemoryModelKind, JsonError> {
+        match json.field("kind")?.as_str()? {
+            "flat" => Ok(MemoryModelKind::Flat),
+            "banked" => Ok(MemoryModelKind::Banked {
+                banks: u32::try_from(json.field("banks")?.as_u64()?)
+                    .map_err(|_| JsonError::msg("bank count out of range"))?,
+                bank_busy: json.field("bank_busy")?.as_u64()?,
+            }),
+            "multiport" => Ok(MemoryModelKind::MultiPort {
+                ports: u32::try_from(json.field("ports")?.as_u64()?)
+                    .map_err(|_| JsonError::msg("port count out of range"))?,
+            }),
+            other => Err(JsonError(format!("unknown memory model kind `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for ScalarCacheParams {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lines", Json::from(self.lines)),
+            ("line_bytes", Json::from(self.line_bytes)),
+        ])
+    }
+}
+
+impl FromJson for ScalarCacheParams {
+    fn from_json(json: &Json) -> Result<ScalarCacheParams, JsonError> {
+        Ok(ScalarCacheParams {
+            lines: json.field("lines")?.as_usize()?,
+            line_bytes: json.field("line_bytes")?.as_usize()?,
+        })
+    }
+}
+
+impl ToJson for MemoryParams {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("latency", Json::from(self.latency)),
+            ("cache", self.cache.to_json()),
+            ("model", self.model.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MemoryParams {
+    fn from_json(json: &Json) -> Result<MemoryParams, JsonError> {
+        Ok(MemoryParams {
+            latency: json.field("latency")?.as_u64()?,
+            cache: ScalarCacheParams::from_json(json.field("cache")?)?,
+            model: MemoryModelKind::from_json(json.field("model")?)?,
+        })
     }
 }
 
@@ -298,6 +374,23 @@ mod tests {
             "banked16x4"
         );
         assert_eq!(MemoryModelKind::MultiPort { ports: 4 }.label(), "4-port");
+    }
+
+    #[test]
+    fn memory_configuration_round_trips_through_json() {
+        for model in [
+            MemoryModelKind::Flat,
+            MemoryModelKind::Banked {
+                banks: 16,
+                bank_busy: 4,
+            },
+            MemoryModelKind::MultiPort { ports: 3 },
+        ] {
+            assert_eq!(MemoryModelKind::from_json(&model.to_json()).unwrap(), model);
+            let params = MemoryParams::with_latency(70).with_model(model);
+            assert_eq!(MemoryParams::from_json(&params.to_json()).unwrap(), params);
+        }
+        assert!(MemoryModelKind::from_json(&Json::obj([("kind", Json::from("warp"))])).is_err());
     }
 
     #[test]

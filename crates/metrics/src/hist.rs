@@ -39,6 +39,20 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from its raw parts (the inverse of
+    /// [`buckets`](Self::buckets)/[`overflow`](Self::overflow), used by
+    /// the JSON round-trip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is empty or absurdly large (the same bound as
+    /// [`Histogram::new`]).
+    pub fn from_parts(buckets: Vec<u64>, overflow: u64) -> Histogram {
+        assert!(!buckets.is_empty(), "histogram needs at least one bucket");
+        assert!(buckets.len() <= (1 << 20), "histogram too large");
+        Histogram { buckets, overflow }
+    }
+
     /// Records one observation of `value`.
     pub fn tick(&mut self, value: usize) {
         self.add(value, 1);

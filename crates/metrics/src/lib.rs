@@ -33,6 +33,7 @@
 mod cache_stats;
 mod diag;
 mod hist;
+mod serial;
 mod states;
 mod table;
 mod traffic;

@@ -1,0 +1,165 @@
+//! Stable JSON forms of the metric types.
+//!
+//! These impls define the *wire and disk format* of every measurement —
+//! the sweep service's result cache and protocol are built on them, so
+//! the field names are a compatibility surface. The golden-format test
+//! in `dva-sim-api` pins the rendered bytes; changing a field here must
+//! go together with a bump of `dva_engine::ENGINE_VERSION`.
+
+use crate::{CacheStats, Histogram, StateTracker, Traffic};
+use dva_json::{FromJson, Json, JsonError, ToJson};
+
+fn u64_array(json: &Json) -> Result<Vec<u64>, JsonError> {
+    json.as_array()?.iter().map(Json::as_u64).collect()
+}
+
+impl ToJson for StateTracker {
+    /// The eight per-state cycle counts, in [`crate::UnitState::index`]
+    /// order.
+    fn to_json(&self) -> Json {
+        Json::Array(self.counts().iter().map(|&c| Json::from(c)).collect())
+    }
+}
+
+impl FromJson for StateTracker {
+    fn from_json(json: &Json) -> Result<StateTracker, JsonError> {
+        let counts = u64_array(json)?;
+        let counts: [u64; 8] = counts
+            .try_into()
+            .map_err(|_| JsonError::msg("state tracker needs exactly 8 counts"))?;
+        Ok(StateTracker::from_counts(counts))
+    }
+}
+
+impl ToJson for Traffic {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("vector_load_elems", Json::from(self.vector_load_elems)),
+            ("vector_store_elems", Json::from(self.vector_store_elems)),
+            ("scalar_load_words", Json::from(self.scalar_load_words)),
+            ("scalar_store_words", Json::from(self.scalar_store_words)),
+            ("bypassed_elems", Json::from(self.bypassed_elems)),
+            ("bypassed_loads", Json::from(self.bypassed_loads)),
+        ])
+    }
+}
+
+impl FromJson for Traffic {
+    fn from_json(json: &Json) -> Result<Traffic, JsonError> {
+        Ok(Traffic {
+            vector_load_elems: json.field("vector_load_elems")?.as_u64()?,
+            vector_store_elems: json.field("vector_store_elems")?.as_u64()?,
+            scalar_load_words: json.field("scalar_load_words")?.as_u64()?,
+            scalar_store_words: json.field("scalar_store_words")?.as_u64()?,
+            bypassed_elems: json.field("bypassed_elems")?.as_u64()?,
+            bypassed_loads: json.field("bypassed_loads")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("load_hits", Json::from(self.load_hits)),
+            ("load_misses", Json::from(self.load_misses)),
+            ("store_hits", Json::from(self.store_hits)),
+            ("store_misses", Json::from(self.store_misses)),
+        ])
+    }
+}
+
+impl FromJson for CacheStats {
+    fn from_json(json: &Json) -> Result<CacheStats, JsonError> {
+        Ok(CacheStats {
+            load_hits: json.field("load_hits")?.as_u64()?,
+            load_misses: json.field("load_misses")?.as_u64()?,
+            store_hits: json.field("store_hits")?.as_u64()?,
+            store_misses: json.field("store_misses")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for Histogram {
+    /// Buckets plus the overflow count; the bucket vector's length is the
+    /// configured capacity, so the shape round-trips exactly.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "buckets",
+                Json::Array(self.buckets().iter().map(|&c| Json::from(c)).collect()),
+            ),
+            ("overflow", Json::from(self.overflow())),
+        ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(json: &Json) -> Result<Histogram, JsonError> {
+        let buckets = u64_array(json.field("buckets")?)?;
+        if buckets.is_empty() {
+            return Err(JsonError::msg("histogram needs at least one bucket"));
+        }
+        Ok(Histogram::from_parts(
+            buckets,
+            json.field("overflow")?.as_u64()?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnitState;
+
+    #[test]
+    fn state_tracker_round_trips() {
+        let mut t = StateTracker::new();
+        t.add(UnitState::FU2 | UnitState::LD, 7);
+        t.add(UnitState::empty(), 3);
+        let back = StateTracker::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_json().render(), t.to_json().render());
+    }
+
+    #[test]
+    fn traffic_and_cache_round_trip() {
+        let traffic = Traffic {
+            vector_load_elems: 1,
+            vector_store_elems: 2,
+            scalar_load_words: 3,
+            scalar_store_words: 4,
+            bypassed_elems: 5,
+            bypassed_loads: 6,
+        };
+        assert_eq!(Traffic::from_json(&traffic.to_json()).unwrap(), traffic);
+        let cache = CacheStats {
+            load_hits: 9,
+            load_misses: 1,
+            store_hits: 0,
+            store_misses: 2,
+        };
+        assert_eq!(CacheStats::from_json(&cache.to_json()).unwrap(), cache);
+    }
+
+    #[test]
+    fn histogram_round_trips_shape_and_overflow() {
+        let mut h = Histogram::new(4);
+        h.add(2, 10);
+        h.add(9, 3); // clamps into the last bucket, counts as overflow
+        let back = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.buckets().len(), 5);
+        assert_eq!(back.overflow(), 3);
+    }
+
+    #[test]
+    fn malformed_shapes_are_rejected() {
+        assert!(StateTracker::from_json(&Json::Array(vec![Json::Int(1)])).is_err());
+        assert!(Histogram::from_json(&Json::obj([
+            ("buckets", Json::Array(vec![])),
+            ("overflow", Json::Int(0)),
+        ]))
+        .is_err());
+        assert!(Traffic::from_json(&Json::obj([("nope", Json::Null)])).is_err());
+    }
+}

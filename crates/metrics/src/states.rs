@@ -123,6 +123,13 @@ impl StateTracker {
         StateTracker::default()
     }
 
+    /// Rebuilds a tracker from per-state cycle counts in
+    /// [`UnitState::index`] order (the inverse of [`counts`](Self::counts),
+    /// used by the JSON round-trip).
+    pub fn from_counts(counts: [u64; 8]) -> StateTracker {
+        StateTracker { counts }
+    }
+
     /// Records one cycle spent in `state`.
     pub fn tick(&mut self, state: UnitState) {
         self.counts[state.index()] += 1;

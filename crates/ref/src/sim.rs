@@ -23,6 +23,24 @@ pub struct RefParams {
     pub memory: MemoryParams,
 }
 
+impl dva_json::ToJson for RefParams {
+    fn to_json(&self) -> dva_json::Json {
+        dva_json::Json::obj([
+            ("uarch", self.uarch.to_json()),
+            ("memory", self.memory.to_json()),
+        ])
+    }
+}
+
+impl dva_json::FromJson for RefParams {
+    fn from_json(json: &dva_json::Json) -> Result<RefParams, dva_json::JsonError> {
+        Ok(RefParams {
+            uarch: UarchParams::from_json(json.field("uarch")?)?,
+            memory: MemoryParams::from_json(json.field("memory")?)?,
+        })
+    }
+}
+
 impl RefParams {
     /// Default microarchitecture with the given memory latency.
     pub fn with_latency(latency: u64) -> RefParams {

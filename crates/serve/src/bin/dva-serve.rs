@@ -1,0 +1,100 @@
+//! The sweep daemon: serves the `dva-serve` protocol over stdin/stdout
+//! (default) or a Unix socket, with an optional persistent result cache.
+//!
+//! ```text
+//! dva-serve [--stdio | --socket PATH] [--cache-dir DIR] [--mem-cap N]
+//! ```
+
+use dva_serve::{ResultCache, SweepService, DEFAULT_MEMORY_CAPACITY};
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+
+struct Options {
+    socket: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
+    mem_cap: usize,
+}
+
+const USAGE: &str = "\
+dva-serve: persistent sweep daemon with a content-addressed result cache
+
+USAGE:
+    dva-serve [OPTIONS]
+
+OPTIONS:
+    --stdio            Serve one session over stdin/stdout (the default)
+    --socket PATH      Bind a Unix socket and serve until a client sends
+                       a shutdown request
+    --cache-dir DIR    Persist results to DIR/results.jsonl (reloaded on
+                       restart; discarded when the engine version moves)
+    --mem-cap N        In-memory result capacity before LRU eviction
+    --help             Show this help
+
+PROTOCOL:
+    Newline-delimited JSON. Requests: {\"type\":\"ping\"},
+    {\"type\":\"sweep\",\"spec\":...}, {\"type\":\"shutdown\"}.
+    See the dva-serve crate docs for the full schema.";
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        socket: None,
+        cache_dir: None,
+        mem_cap: DEFAULT_MEMORY_CAPACITY,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => options.socket = None,
+            "--socket" => {
+                let path = args.next().ok_or("--socket needs a path")?;
+                options.socket = Some(PathBuf::from(path));
+            }
+            "--cache-dir" => {
+                let dir = args.next().ok_or("--cache-dir needs a directory")?;
+                options.cache_dir = Some(PathBuf::from(dir));
+            }
+            "--mem-cap" => {
+                let n = args.next().ok_or("--mem-cap needs a number")?;
+                options.mem_cap = n
+                    .parse()
+                    .map_err(|_| format!("--mem-cap: not a number: {n}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown option {other} (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("dva-serve: {message}");
+            exit(2);
+        }
+    };
+    let cache = match &options.cache_dir {
+        Some(dir) => match ResultCache::persistent(dir, options.mem_cap) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("dva-serve: cannot open cache at {}: {e}", dir.display());
+                exit(1);
+            }
+        },
+        None => ResultCache::in_memory(options.mem_cap),
+    };
+    let service = SweepService::new(cache);
+    let outcome = match &options.socket {
+        Some(path) => dva_serve::serve_unix(Arc::new(service), path),
+        None => dva_serve::serve_stdio(&service),
+    };
+    if let Err(e) = outcome {
+        eprintln!("dva-serve: {e}");
+        exit(1);
+    }
+}

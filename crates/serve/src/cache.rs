@@ -1,0 +1,302 @@
+//! The content-addressed result store: an in-memory LRU tier over an
+//! optional on-disk tier.
+//!
+//! Both tiers map a [`PointKey`] to the full [`SimResult`] of that
+//! simulation. The memory tier is bounded (LRU eviction); the disk tier
+//! is an append-only JSON-lines file headed by an engine-version stamp —
+//! opening a file written by a different
+//! [`ENGINE_VERSION`] discards it wholesale,
+//! so stale results can never be served after the simulators change
+//! observable behaviour.
+
+use crate::key::PointKey;
+use dva_engine::ENGINE_VERSION;
+use dva_json::Json;
+use dva_sim_api::SimResult;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// How big the in-memory tier may grow before least-recently-used
+/// results are dropped (they survive on disk when a disk tier exists).
+pub const DEFAULT_MEMORY_CAPACITY: usize = 4096;
+
+/// A two-tier result store. See the module docs.
+pub struct ResultCache {
+    /// Memory tier: key → (result, last-use stamp).
+    memory: HashMap<PointKey, (SimResult, u64)>,
+    /// Monotonic use counter backing the LRU order.
+    clock: u64,
+    capacity: usize,
+    disk: Option<DiskTier>,
+}
+
+struct DiskTier {
+    /// Everything the file holds, loaded at open. Unbounded: the disk is
+    /// the persistent tier, so it never evicts.
+    entries: HashMap<PointKey, SimResult>,
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl ResultCache {
+    /// A memory-only cache holding at most `capacity` results.
+    pub fn in_memory(capacity: usize) -> ResultCache {
+        ResultCache {
+            memory: HashMap::new(),
+            clock: 0,
+            capacity: capacity.max(1),
+            disk: None,
+        }
+    }
+
+    /// A cache backed by `dir/results.jsonl`, created (with the version
+    /// header) if absent, loaded if present, and discarded — truncated —
+    /// if it was written by a different engine version or is corrupt.
+    pub fn persistent(dir: &Path, capacity: usize) -> io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("results.jsonl");
+        // An unreadable file counts as stale.
+        let entries = load_entries(&path).unwrap_or_default();
+        let (entries, fresh) = match entries {
+            Some(entries) => (entries, false),
+            None => (HashMap::new(), true),
+        };
+        let mut options = OpenOptions::new();
+        options.create(true);
+        if fresh {
+            options.write(true).truncate(true);
+        } else {
+            options.append(true);
+        }
+        let mut writer = BufWriter::new(options.open(&path)?);
+        if fresh {
+            let header = Json::obj([("engine_version", Json::from(ENGINE_VERSION))]);
+            writeln!(writer, "{}", header.render())?;
+            writer.flush()?;
+        }
+        Ok(ResultCache {
+            memory: HashMap::new(),
+            clock: 0,
+            capacity: capacity.max(1),
+            disk: Some(DiskTier {
+                entries,
+                writer,
+                path,
+            }),
+        })
+    }
+
+    /// The file backing the disk tier, if there is one.
+    pub fn disk_path(&self) -> Option<&Path> {
+        self.disk.as_ref().map(|d| d.path.as_path())
+    }
+
+    /// Results currently resident in the memory tier.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Results persisted in the disk tier.
+    pub fn disk_len(&self) -> usize {
+        self.disk.as_ref().map_or(0, |d| d.entries.len())
+    }
+
+    /// Looks a result up, refreshing its LRU position (a disk hit is
+    /// promoted into the memory tier).
+    pub fn get(&mut self, key: &PointKey) -> Option<SimResult> {
+        self.clock += 1;
+        if let Some((result, stamp)) = self.memory.get_mut(key) {
+            *stamp = self.clock;
+            return Some(result.clone());
+        }
+        let promoted = self.disk.as_ref()?.entries.get(key)?.clone();
+        self.insert_memory(key.clone(), promoted.clone());
+        Some(promoted)
+    }
+
+    /// Stores a result in both tiers. Disk write failures surface as an
+    /// error but leave the memory tier updated — the job that produced
+    /// the result still completes.
+    pub fn store(&mut self, key: PointKey, result: SimResult) -> io::Result<()> {
+        self.clock += 1;
+        self.insert_memory(key.clone(), result.clone());
+        if let Some(disk) = self.disk.as_mut() {
+            if !disk.entries.contains_key(&key) {
+                let line = Json::obj([
+                    ("key", Json::from(key.as_str())),
+                    ("result", result.to_json()),
+                ]);
+                writeln!(disk.writer, "{}", line.render())?;
+                disk.writer.flush()?;
+                disk.entries.insert(key, result);
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_memory(&mut self, key: PointKey, result: SimResult) {
+        self.memory.insert(key, (result, self.clock));
+        while self.memory.len() > self.capacity {
+            // O(n) eviction scan: capacities are small (thousands) and
+            // eviction is off the simulation fast path.
+            let oldest = self
+                .memory
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(key, _)| key.clone())
+                .expect("non-empty map over capacity");
+            self.memory.remove(&oldest);
+        }
+    }
+}
+
+/// Reads the disk tier. `Ok(None)` means "stale or absent — start over";
+/// `Err` is a real I/O failure on an existing file.
+fn load_entries(path: &Path) -> io::Result<Option<HashMap<PointKey, SimResult>>> {
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut lines = BufReader::new(file).lines();
+    let Some(header) = lines.next() else {
+        return Ok(None); // empty file: treat as absent
+    };
+    let stale = || Ok(None);
+    let Ok(header) = Json::parse(&header?) else {
+        return stale();
+    };
+    let version = header
+        .field("engine_version")
+        .ok()
+        .and_then(|v| v.as_u64().ok());
+    if version != Some(u64::from(ENGINE_VERSION)) {
+        return stale();
+    }
+    let mut entries = HashMap::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue; // tolerate a torn trailing write
+        }
+        let Ok(parsed) = Json::parse(&line) else {
+            continue;
+        };
+        let entry = (|| {
+            let key = parsed.field("key")?.as_str()?.to_string();
+            let result = SimResult::from_json(parsed.field("result")?)?;
+            Ok::<_, dva_json::JsonError>((PointKey::from_string(key), result))
+        })();
+        if let Ok((key, result)) = entry {
+            entries.insert(key, result);
+        }
+    }
+    Ok(Some(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::PointKey;
+    use dva_sim_api::{Machine, Sweep};
+    use dva_workloads::{Benchmark, Scale};
+
+    fn keyed_points(n: usize) -> Vec<(PointKey, SimResult)> {
+        let sweep = Sweep::new()
+            .machines([Machine::reference(1), Machine::dva(1)])
+            .benchmark(Benchmark::Trfd)
+            .latencies((1..=n as u64 / 2 + 1).collect::<Vec<_>>())
+            .scale(Scale::Quick)
+            .threads(1);
+        let grid = sweep.grid();
+        let results = sweep.run();
+        grid.iter()
+            .zip(results.points)
+            .take(n)
+            .map(|(spec, point)| (PointKey::of(spec, true).unwrap(), point.result))
+            .collect()
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_result() {
+        let points = keyed_points(3);
+        let mut cache = ResultCache::in_memory(2);
+        cache
+            .store(points[0].0.clone(), points[0].1.clone())
+            .unwrap();
+        cache
+            .store(points[1].0.clone(), points[1].1.clone())
+            .unwrap();
+        // Touch the older entry so the *other* one becomes LRU.
+        assert!(cache.get(&points[0].0).is_some());
+        cache
+            .store(points[2].0.clone(), points[2].1.clone())
+            .unwrap();
+        assert_eq!(cache.memory_len(), 2);
+        assert!(cache.get(&points[0].0).is_some(), "recently used: kept");
+        assert!(
+            cache.get(&points[1].0).is_none(),
+            "least recently used: evicted"
+        );
+        assert!(cache.get(&points[2].0).is_some(), "newest: kept");
+    }
+
+    #[test]
+    fn disk_tier_survives_reopen_with_byte_identical_results() {
+        let dir = std::env::temp_dir().join(format!("dva-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let points = keyed_points(4);
+        {
+            let mut cache = ResultCache::persistent(&dir, 64).unwrap();
+            for (key, result) in &points {
+                cache.store(key.clone(), result.clone()).unwrap();
+            }
+            assert_eq!(cache.disk_len(), points.len());
+        }
+        // A fresh cache over the same directory serves every result,
+        // byte-identically, without re-simulating anything.
+        let mut cache = ResultCache::persistent(&dir, 64).unwrap();
+        assert_eq!(cache.memory_len(), 0, "memory tier starts cold");
+        assert_eq!(cache.disk_len(), points.len());
+        for (key, result) in &points {
+            let cached = cache.get(key).expect("persisted");
+            assert_eq!(&cached, result);
+            assert_eq!(
+                format!("{cached:?}"),
+                format!("{result:?}"),
+                "restart must preserve results byte for byte"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_discards_the_disk_tier() {
+        let dir = std::env::temp_dir().join(format!("dva-serve-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let points = keyed_points(1);
+        {
+            let mut cache = ResultCache::persistent(&dir, 64).unwrap();
+            cache
+                .store(points[0].0.clone(), points[0].1.clone())
+                .unwrap();
+        }
+        // Rewrite the header as if an older engine had produced the file.
+        let path = dir.join("results.jsonl");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = body.lines().collect();
+        let stale_header = format!("{{\"engine_version\":{}}}", ENGINE_VERSION - 1);
+        lines[0] = &stale_header;
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let mut cache = ResultCache::persistent(&dir, 64).unwrap();
+        assert_eq!(cache.disk_len(), 0, "stale file discarded");
+        assert!(cache.get(&points[0].0).is_none());
+        // And the file was restarted with the current version.
+        let reread = std::fs::read_to_string(&path).unwrap();
+        assert!(reread.starts_with(&format!("{{\"engine_version\":{ENGINE_VERSION}}}")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

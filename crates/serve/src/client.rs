@@ -1,0 +1,111 @@
+//! A typed client for the `dva-serve` protocol.
+
+use crate::exec::JobSummary;
+use crate::proto::{Request, Response};
+use dva_sim_api::{Sweep, SweepPoint, SweepResults};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+fn bad_data(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// A connection to a sweep server. Generic over the transport so tests
+/// can drive an in-memory pipe; [`Client::connect`] makes the Unix-socket
+/// one.
+pub struct Client<R, W> {
+    reader: BufReader<R>,
+    writer: W,
+}
+
+impl Client<UnixStream, UnixStream> {
+    /// Connects to a server's Unix socket.
+    pub fn connect(path: &Path) -> io::Result<Client<UnixStream, UnixStream>> {
+        let stream = UnixStream::connect(path)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+}
+
+impl<R: io::Read, W: Write> Client<R, W> {
+    /// A client over an arbitrary transport (the read and write halves of
+    /// a connection to a server).
+    pub fn over(reader: R, writer: W) -> Client<R, W> {
+        Client {
+            reader: BufReader::new(reader),
+            writer,
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> io::Result<()> {
+        let line = request.render().map_err(|e| bad_data(e.to_string()))?;
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    fn receive(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if !line.trim().is_empty() {
+                return Response::parse(line.trim_end()).map_err(|e| bad_data(e.to_string()));
+            }
+        }
+    }
+
+    /// Probes the server, returning its engine version.
+    pub fn ping(&mut self) -> io::Result<u32> {
+        self.send(&Request::Ping)?;
+        match self.receive()? {
+            Response::Pong { engine_version } => Ok(engine_version),
+            other => Err(bad_data(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Submits a sweep and calls `on_point` for every grid point as it
+    /// streams in (in deterministic grid order), returning the job
+    /// summary once the server reports completion.
+    pub fn submit_streaming(
+        &mut self,
+        sweep: &Sweep,
+        mut on_point: impl FnMut(usize, SweepPoint),
+    ) -> io::Result<JobSummary> {
+        self.send(&Request::Sweep(Box::new(sweep.clone())))?;
+        loop {
+            match self.receive()? {
+                Response::Point { index, point } => on_point(index, *point),
+                Response::Summary(summary) => return Ok(summary),
+                Response::Error { message } => return Err(bad_data(message)),
+                other => return Err(bad_data(format!("unexpected response {other:?}"))),
+            }
+        }
+    }
+
+    /// Submits a sweep and collects the streamed points, returning the
+    /// full result set — byte-identical to a local `sweep.run()` — and
+    /// the job summary.
+    pub fn submit(&mut self, sweep: &Sweep) -> io::Result<(SweepResults, JobSummary)> {
+        let mut points = Vec::new();
+        let summary = self.submit_streaming(sweep, |_, point| points.push(point))?;
+        Ok((SweepResults { points }, summary))
+    }
+
+    /// Asks the server to shut down (acknowledged with a `bye`).
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        match self.receive()? {
+            Response::Bye => Ok(()),
+            other => Err(bad_data(format!("expected bye, got {other:?}"))),
+        }
+    }
+}

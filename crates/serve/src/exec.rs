@@ -1,0 +1,256 @@
+//! The sweep service: jobs in, streamed points out, every simulation
+//! checked against the result cache first.
+
+use crate::cache::ResultCache;
+use crate::key::PointKey;
+use dva_json::JsonError;
+use dva_sim_api::{IndexedSweepStream, PointSpec, Sweep, SweepPoint, SweepResults};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// What a job cost: how many points it covered, and how many of those
+/// were served from cache versus actually simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSummary {
+    /// Grid points in the job.
+    pub total: usize,
+    /// Points answered from the result cache.
+    pub cache_hits: usize,
+    /// Points simulated (and then cached) by this job.
+    pub simulated: usize,
+}
+
+/// A persistent sweep service: submit [`Sweep`] sessions, get streamed
+/// points back, never simulate the same point twice.
+///
+/// The service is cheap to share (`Arc` it for a multi-connection
+/// server); the cache behind it is a single mutex-guarded store, touched
+/// only at job setup and once per completed point.
+pub struct SweepService {
+    cache: Arc<Mutex<ResultCache>>,
+}
+
+impl SweepService {
+    /// A service over the given result cache.
+    pub fn new(cache: ResultCache) -> SweepService {
+        SweepService {
+            cache: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// Submits a job: resolves the sweep's grid against the cache, starts
+    /// simulating only the misses (work-stealing, streaming), and returns
+    /// a [`ServeRun`] yielding every point — hit or miss — in
+    /// deterministic grid order, byte-identical to `sweep.run()`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the sweep contains a machine that cannot be
+    /// content-addressed (a [`Machine::custom`](dva_sim_api::Machine::custom)
+    /// machine).
+    pub fn submit(&self, sweep: &Sweep) -> Result<ServeRun, JsonError> {
+        let specs = sweep.grid();
+        let total = specs.len();
+        let mut hits: VecDeque<(usize, SweepPoint)> = VecDeque::new();
+        let mut misses: Vec<PointSpec> = Vec::new();
+        let mut miss_keys: VecDeque<PointKey> = VecDeque::new();
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for spec in specs {
+                let key = PointKey::of(&spec, sweep.fast_forward_enabled())?;
+                match cache.get(&key) {
+                    Some(result) => hits.push_back((spec.index, point_from(&spec, result))),
+                    None => {
+                        misses.push(spec);
+                        miss_keys.push_back(key);
+                    }
+                }
+            }
+        }
+        let summary = JobSummary {
+            total,
+            cache_hits: hits.len(),
+            simulated: misses.len(),
+        };
+        // Misses are submitted in grid order, so the stream yields them
+        // by ascending grid index — mergeable against the hit queue.
+        let stream = sweep.run_subset_streaming(misses);
+        Ok(ServeRun {
+            cache: Arc::clone(&self.cache),
+            hits,
+            stream,
+            miss_keys,
+            summary,
+            yielded: 0,
+        })
+    }
+
+    /// Runs a job to completion, returning the collected results (equal
+    /// to `sweep.run()`) and what they cost.
+    pub fn run(&self, sweep: &Sweep) -> Result<(SweepResults, JobSummary), JsonError> {
+        let mut run = self.submit(sweep)?;
+        let points: Vec<SweepPoint> = run.by_ref().collect();
+        Ok((SweepResults { points }, run.summary()))
+    }
+
+    /// Results resident in the cache's memory tier.
+    pub fn cached_results(&self) -> usize {
+        self.cache.lock().unwrap().memory_len()
+    }
+}
+
+/// Rebuilds the full sweep point for a cached result. Every field except
+/// the measurement is a pure function of the spec, so a cached point is
+/// byte-identical to a freshly measured one.
+fn point_from(spec: &PointSpec, result: dva_sim_api::SimResult) -> SweepPoint {
+    SweepPoint {
+        machine: spec.machine,
+        label: spec.machine.label(),
+        benchmark: spec.benchmark,
+        program: spec.program.name().to_string(),
+        latency: spec.latency,
+        memory: spec.memory,
+        result,
+    }
+}
+
+/// A running job: an iterator over its points in grid order, merging
+/// cached hits with freshly simulated misses as they stream in. Created
+/// by [`SweepService::submit`].
+pub struct ServeRun {
+    cache: Arc<Mutex<ResultCache>>,
+    /// Cached points, ascending grid index.
+    hits: VecDeque<(usize, SweepPoint)>,
+    /// Simulated points arrive here, also by ascending grid index.
+    stream: IndexedSweepStream,
+    /// Keys of the streamed points, aligned with the stream's order.
+    miss_keys: VecDeque<PointKey>,
+    summary: JobSummary,
+    yielded: usize,
+}
+
+impl ServeRun {
+    /// What this job cost. Known from the moment the job was submitted —
+    /// callable before, during or after consuming the stream.
+    pub fn summary(&self) -> JobSummary {
+        self.summary
+    }
+}
+
+impl Iterator for ServeRun {
+    type Item = SweepPoint;
+
+    fn next(&mut self) -> Option<SweepPoint> {
+        let take_hit = match (self.hits.front(), self.stream.size_hint().0) {
+            (Some(_), 0) => true,
+            (Some((hit_index, _)), _) => {
+                // The next streamed point has the smallest unseen miss
+                // index; compare against position instead of peeking by
+                // noting indices are yielded in ascending interleaved
+                // order: the next overall index is `yielded`.
+                *hit_index == self.yielded
+            }
+            (None, _) => false,
+        };
+        let point = if take_hit {
+            Some(self.hits.pop_front().expect("checked").1)
+        } else {
+            match self.stream.next() {
+                Some((_, point)) => {
+                    let key = self.miss_keys.pop_front().expect("one key per miss");
+                    // A disk-tier write failure must not kill the job;
+                    // the result is still correct and still in memory.
+                    let _ = self.cache.lock().unwrap().store(key, point.result.clone());
+                    Some(point)
+                }
+                None => self.hits.pop_front().map(|(_, point)| point),
+            }
+        };
+        if point.is_some() {
+            self.yielded += 1;
+        }
+        point
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.summary.total - self.yielded;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ServeRun {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResultCache;
+    use dva_sim_api::Machine;
+    use dva_workloads::{Benchmark, Scale};
+
+    fn sweep_at(latencies: Vec<u64>) -> Sweep {
+        Sweep::new()
+            .machines([Machine::reference(1), Machine::dva(1), Machine::ideal()])
+            .benchmarks([Benchmark::Trfd, Benchmark::Dyfesm])
+            .latencies(latencies)
+            .scale(Scale::Quick)
+            .threads(2)
+    }
+
+    fn sweep() -> Sweep {
+        sweep_at(vec![1, 30])
+    }
+
+    #[test]
+    fn first_job_simulates_second_job_hits() {
+        let service = SweepService::new(ResultCache::in_memory(1024));
+        let fresh = sweep().threads(1).run();
+
+        let (first, cost) = service.run(&sweep()).unwrap();
+        assert_eq!(first, fresh, "served results equal a fresh run");
+        assert_eq!(cost.total, 12);
+        assert_eq!(cost.cache_hits, 0);
+        assert_eq!(cost.simulated, 12);
+
+        let (second, cost) = service.run(&sweep()).unwrap();
+        assert_eq!(second, fresh, "cached results are byte-identical");
+        assert_eq!(cost.cache_hits, 12);
+        assert_eq!(cost.simulated, 0, "repeat jobs simulate nothing");
+    }
+
+    #[test]
+    fn overlapping_jobs_only_simulate_the_new_points() {
+        let service = SweepService::new(ResultCache::in_memory(1024));
+        let narrow = sweep().clone();
+        let (_, cost) = service.run(&narrow).unwrap();
+        assert_eq!(cost.simulated, 12);
+
+        // Widen the latency axis: old latencies hit, new ones miss —
+        // except IDEAL, whose key ignores latency entirely.
+        let wide = sweep_at(vec![1, 30, 70]);
+        let (results, cost) = service.run(&wide).unwrap();
+        assert_eq!(results, wide.clone().threads(1).run());
+        assert_eq!(cost.total, 18);
+        // New points: REF and DVA at latency 70 for both benchmarks (4).
+        // IDEAL at 70 hits the latency-free cached bound.
+        assert_eq!(cost.simulated, 4);
+        assert_eq!(cost.cache_hits, 14);
+    }
+
+    #[test]
+    fn streamed_points_arrive_in_grid_order_and_summary_is_upfront() {
+        let service = SweepService::new(ResultCache::in_memory(1024));
+        // Preload the latency-1 half of the grid.
+        let half = sweep_at(vec![1]);
+        service.run(&half).unwrap();
+
+        let job = sweep();
+        let run = service.submit(&job).unwrap();
+        let summary = run.summary();
+        // Latency-1 points all hit (6), and so do the IDEAL points at
+        // latency 30 — IDEAL keys carry no latency.
+        assert_eq!(summary.cache_hits, 8);
+        assert_eq!(summary.simulated, 4);
+        let streamed: Vec<SweepPoint> = run.collect();
+        assert_eq!(streamed, job.threads(1).run().points);
+    }
+}

@@ -1,0 +1,223 @@
+//! The `dva-serve` wire protocol: newline-delimited JSON, symmetric over
+//! stdin/stdout and Unix sockets.
+//!
+//! Requests (one object per line):
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"type":"ping"}` | `{"type":"pong","engine_version":N}` |
+//! | `{"type":"sweep","spec":…}` | a `point` line per grid point, then one `summary` |
+//! | `{"type":"shutdown"}` | `{"type":"bye"}`, then the server exits |
+//!
+//! Responses:
+//!
+//! - `{"type":"point","index":N,"point":…}` — one completed grid point,
+//!   streamed in deterministic grid order as it becomes available.
+//! - `{"type":"summary","total":T,"cache_hits":H,"simulated":S}` — job
+//!   complete.
+//! - `{"type":"error","message":"…"}` — the request failed; the
+//!   connection stays usable.
+
+use crate::exec::JobSummary;
+use dva_json::{Json, JsonError};
+use dva_sim_api::{Sweep, SweepPoint};
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// Run a sweep job.
+    Sweep(Box<Sweep>),
+    /// Stop the server after answering.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, JsonError> {
+        let json = Json::parse(line)?;
+        match json.field("type")?.as_str()? {
+            "ping" => Ok(Request::Ping),
+            "sweep" => Ok(Request::Sweep(Box::new(Sweep::from_json(
+                json.field("spec")?,
+            )?))),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(JsonError(format!("unknown request type `{other}`"))),
+        }
+    }
+
+    /// Renders this request as its wire line (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Fails only for sweeps that cannot be serialized (custom machines
+    /// or custom programs).
+    pub fn render(&self) -> Result<String, JsonError> {
+        Ok(match self {
+            Request::Ping => Json::obj([("type", Json::from("ping"))]).render(),
+            Request::Sweep(sweep) => {
+                Json::obj([("type", Json::from("sweep")), ("spec", sweep.to_json()?)]).render()
+            }
+            Request::Shutdown => Json::obj([("type", Json::from("shutdown"))]).render(),
+        })
+    }
+}
+
+/// A server response line.
+#[derive(Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`]: the server's engine version.
+    Pong {
+        /// The server's `dva_engine::ENGINE_VERSION`.
+        engine_version: u32,
+    },
+    /// One completed grid point.
+    Point {
+        /// The point's position in the sweep's grid order.
+        index: usize,
+        /// The measurement.
+        point: Box<SweepPoint>,
+    },
+    /// A job finished.
+    Summary(JobSummary),
+    /// A request failed.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Answer to [`Request::Shutdown`].
+    Bye,
+}
+
+impl Response {
+    /// Parses one response line.
+    pub fn parse(line: &str) -> Result<Response, JsonError> {
+        let json = Json::parse(line)?;
+        Ok(match json.field("type")?.as_str()? {
+            "pong" => Response::Pong {
+                engine_version: u32::try_from(json.field("engine_version")?.as_u64()?)
+                    .map_err(|_| JsonError("engine_version out of range".to_string()))?,
+            },
+            "point" => Response::Point {
+                index: json.field("index")?.as_usize()?,
+                point: Box::new(SweepPoint::from_json(json.field("point")?)?),
+            },
+            "summary" => Response::Summary(JobSummary {
+                total: json.field("total")?.as_usize()?,
+                cache_hits: json.field("cache_hits")?.as_usize()?,
+                simulated: json.field("simulated")?.as_usize()?,
+            }),
+            "error" => Response::Error {
+                message: json.field("message")?.as_str()?.to_string(),
+            },
+            "bye" => Response::Bye,
+            other => Err(JsonError(format!("unknown response type `{other}`")))?,
+        })
+    }
+
+    /// Renders this response as its wire line (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Fails only for points measured on machines that cannot be
+    /// serialized; the server never produces those.
+    pub fn render(&self) -> Result<String, JsonError> {
+        Ok(match self {
+            Response::Pong { engine_version } => Json::obj([
+                ("type", Json::from("pong")),
+                ("engine_version", Json::from(*engine_version)),
+            ])
+            .render(),
+            Response::Point { index, point } => Json::obj([
+                ("type", Json::from("point")),
+                ("index", Json::from(*index)),
+                ("point", point.to_json()?),
+            ])
+            .render(),
+            Response::Summary(summary) => Json::obj([
+                ("type", Json::from("summary")),
+                ("total", Json::from(summary.total)),
+                ("cache_hits", Json::from(summary.cache_hits)),
+                ("simulated", Json::from(summary.simulated)),
+            ])
+            .render(),
+            Response::Error { message } => Json::obj([
+                ("type", Json::from("error")),
+                ("message", Json::from(message.as_str())),
+            ])
+            .render(),
+            Response::Bye => Json::obj([("type", Json::from("bye"))]).render(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dva_engine::ENGINE_VERSION;
+    use dva_sim_api::Machine;
+    use dva_workloads::{Benchmark, Scale};
+
+    #[test]
+    fn requests_round_trip() {
+        for request in [
+            Request::Ping,
+            Request::Shutdown,
+            Request::Sweep(Box::new(
+                Sweep::new()
+                    .machines([Machine::reference(1), Machine::ideal()])
+                    .benchmark(Benchmark::Trfd)
+                    .latencies([1, 30])
+                    .scale(Scale::Quick),
+            )),
+        ] {
+            let line = request.render().unwrap();
+            let back = Request::parse(&line).unwrap();
+            assert_eq!(back.render().unwrap(), line);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let point = Machine::dva(1).simulate(&Benchmark::Trfd.program(Scale::Quick));
+        let sweep_point = SweepPoint {
+            machine: Machine::dva(1),
+            label: "DVA".to_string(),
+            benchmark: Some(Benchmark::Trfd),
+            program: "TRFD".to_string(),
+            latency: 1,
+            memory: dva_sim_api::MemoryModelKind::Flat,
+            result: point,
+        };
+        for response in [
+            Response::Pong {
+                engine_version: ENGINE_VERSION,
+            },
+            Response::Point {
+                index: 7,
+                point: Box::new(sweep_point),
+            },
+            Response::Summary(JobSummary {
+                total: 12,
+                cache_hits: 5,
+                simulated: 7,
+            }),
+            Response::Error {
+                message: "no such benchmark".to_string(),
+            },
+            Response::Bye,
+        ] {
+            let line = response.render().unwrap();
+            assert_eq!(Response::parse(&line).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_report_errors() {
+        assert!(Request::parse("{}").is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"type\":\"warp\"}").is_err());
+        assert!(Response::parse("{\"type\":\"warp\"}").is_err());
+    }
+}

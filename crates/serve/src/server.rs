@@ -1,0 +1,128 @@
+//! Serving the protocol: a generic line loop, plus stdio and Unix-socket
+//! front ends.
+
+use crate::exec::SweepService;
+use crate::proto::{Request, Response};
+use dva_engine::ENGINE_VERSION;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Serves one connection: reads request lines until EOF or a shutdown
+/// request, writing response lines (flushed per line, so clients see
+/// points as they complete). Returns `true` if the client asked the
+/// whole server to shut down.
+pub fn serve_connection(
+    service: &SweepService,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> io::Result<bool> {
+    let respond = |writer: &mut dyn Write, response: &Response| -> io::Result<()> {
+        let line = response
+            .render()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(writer, "{line}")?;
+        writer.flush()
+    };
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                respond(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => respond(
+                &mut writer,
+                &Response::Pong {
+                    engine_version: ENGINE_VERSION,
+                },
+            )?,
+            Request::Shutdown => {
+                respond(&mut writer, &Response::Bye)?;
+                return Ok(true);
+            }
+            Request::Sweep(sweep) => match service.submit(&sweep) {
+                Err(e) => respond(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                )?,
+                Ok(mut run) => {
+                    let summary = run.summary();
+                    for (index, point) in run.by_ref().enumerate() {
+                        respond(
+                            &mut writer,
+                            &Response::Point {
+                                index,
+                                point: Box::new(point),
+                            },
+                        )?;
+                    }
+                    respond(&mut writer, &Response::Summary(summary))?;
+                }
+            },
+        }
+    }
+    Ok(false)
+}
+
+/// Serves the protocol over stdin/stdout until EOF or a shutdown
+/// request.
+pub fn serve_stdio(service: &SweepService) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_connection(service, stdin.lock(), stdout.lock())?;
+    Ok(())
+}
+
+/// Binds `path` and serves connections until a client sends a shutdown
+/// request. Each connection is handled on its own thread; they share the
+/// service (and therefore the result cache). A pre-existing socket file
+/// at `path` is replaced.
+pub fn serve_unix(service: Arc<SweepService>, path: &Path) -> io::Result<()> {
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for connection in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = connection?;
+        let service = Arc::clone(&service);
+        let shutdown_flag = Arc::clone(&shutdown);
+        let wake_path = path.to_path_buf();
+        workers.push(std::thread::spawn(move || {
+            let Ok(reader) = stream.try_clone().map(BufReader::new) else {
+                return;
+            };
+            if let Ok(true) = serve_connection(&service, reader, &stream) {
+                shutdown_flag.store(true, Ordering::SeqCst);
+                // The accept loop is blocked in `incoming`; a throwaway
+                // connection unblocks it so it can observe the flag.
+                let _ = std::os::unix::net::UnixStream::connect(&wake_path);
+            }
+        }));
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

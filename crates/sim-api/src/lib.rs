@@ -51,11 +51,14 @@
 mod machine;
 mod prepare;
 mod result;
+mod stream;
 mod sweep;
+mod wire;
 
 pub use machine::{CustomMachine, CustomSim, Machine};
 pub use prepare::{PreparedProgram, Runners};
 pub use result::{MachineDetail, SimResult};
+pub use stream::{IndexedSweepStream, PointSpec, SweepStream};
 pub use sweep::{Sweep, SweepPoint, SweepResults};
 
 // Re-exported so custom machines can be written against this crate

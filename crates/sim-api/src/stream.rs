@@ -1,0 +1,439 @@
+//! Streaming, work-stealing execution of sweep grids.
+//!
+//! [`Sweep::run`](crate::Sweep::run) used to partition the grid up front;
+//! this module replaces that with a work-stealing scheduler that also
+//! *streams*: each worker owns a deque seeded with a contiguous chunk of
+//! the grid (neighbouring points share a program, so its compiled form
+//! stays warm on one worker), pops its own work from the front, and
+//! steals from the back of the busiest other deque when it runs dry.
+//! Completed points flow over a channel to the consuming thread, which
+//! holds them back until every earlier grid position has arrived — so the
+//! stream yields in deterministic grid order no matter how the workers
+//! interleave, and collecting it is byte-identical to a sequential run.
+
+use crate::prepare::{PreparedProgram, Runners};
+use crate::sweep::SweepPoint;
+use crate::Machine;
+use dva_isa::Program;
+use dva_memory::MemoryModelKind;
+use dva_workloads::Benchmark;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One coordinate of a sweep grid, produced by
+/// [`Sweep::grid`](crate::Sweep::grid): everything needed to measure the
+/// point, plus its position in the grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// Position of this point in the grid's deterministic order.
+    pub index: usize,
+    /// The benchmark, when the program came from the benchmark suite.
+    pub benchmark: Option<Benchmark>,
+    /// The program to run (shares the session's instruction storage).
+    pub program: Program,
+    /// The machine, already stamped with this point's latency and model.
+    pub machine: Machine,
+    /// The latency coordinate (the machine's own when the grid had none).
+    pub latency: u64,
+    /// The memory-model coordinate (the machine's own when the grid had
+    /// none).
+    pub memory: MemoryModelKind,
+}
+
+/// A spec bound to its shared translate-once program.
+pub(crate) struct Entry {
+    pub(crate) spec: PointSpec,
+    pub(crate) prepared: Arc<PreparedProgram>,
+}
+
+impl Entry {
+    /// Measures the point. This is the one place a [`SweepPoint`] is
+    /// built, so every execution path (sequential, streamed, stolen)
+    /// produces identical bytes.
+    pub(crate) fn measure(&self, fast_forward: bool, runners: &mut Runners) -> SweepPoint {
+        SweepPoint {
+            machine: self.spec.machine,
+            label: self.spec.machine.label(),
+            benchmark: self.spec.benchmark,
+            program: self.prepared.program().name().to_string(),
+            latency: self.spec.latency,
+            memory: self.spec.memory,
+            result: self
+                .spec
+                .machine
+                .simulate_prepared(&self.prepared, fast_forward, runners),
+        }
+    }
+}
+
+/// Binds each spec to a [`PreparedProgram`], shared between all specs
+/// whose programs share instruction storage — the grid pays one
+/// translation per program no matter how many points reference it.
+pub(crate) fn prepare(specs: Vec<PointSpec>) -> Vec<Entry> {
+    let mut seen: Vec<(usize, Arc<PreparedProgram>)> = Vec::new();
+    specs
+        .into_iter()
+        .map(|spec| {
+            let key = spec.program.insts().as_ptr() as usize;
+            let prepared = match seen.iter().find(|(k, _)| *k == key) {
+                Some((_, prepared)) => Arc::clone(prepared),
+                None => {
+                    let prepared = Arc::new(PreparedProgram::new(&spec.program));
+                    seen.push((key, Arc::clone(&prepared)));
+                    prepared
+                }
+            };
+            Entry { spec, prepared }
+        })
+        .collect()
+}
+
+/// The scheduler state the workers share.
+struct Shared {
+    entries: Vec<Entry>,
+    /// One deque per worker, holding positions into `entries`.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    fast_forward: bool,
+}
+
+/// Claims the next job for worker `own`: its own deque's front, else the
+/// back of the busiest other deque (stealing the far end takes the work
+/// least likely to share a warm program with the victim's current point).
+fn next_job(shared: &Shared, own: usize) -> Option<usize> {
+    if let Some(pos) = shared.queues[own].lock().unwrap().pop_front() {
+        return Some(pos);
+    }
+    loop {
+        let mut victim: Option<(usize, usize)> = None; // (queue length, index)
+        for (i, queue) in shared.queues.iter().enumerate() {
+            if i == own {
+                continue;
+            }
+            let len = queue.lock().unwrap().len();
+            if len > 0 && victim.is_none_or(|(best, _)| len > best) {
+                victim = Some((len, i));
+            }
+        }
+        let (_, victim) = victim?;
+        // The victim may have drained between the scan and this lock;
+        // losing that race just means rescanning.
+        if let Some(pos) = shared.queues[victim].lock().unwrap().pop_back() {
+            return Some(pos);
+        }
+    }
+}
+
+/// A completed point travelling back to the consumer, ordered by its
+/// position in the requested sequence.
+struct Sequenced {
+    pos: usize,
+    index: usize,
+    point: SweepPoint,
+}
+
+impl PartialEq for Sequenced {
+    fn eq(&self, other: &Sequenced) -> bool {
+        self.pos == other.pos
+    }
+}
+
+impl Eq for Sequenced {}
+
+impl PartialOrd for Sequenced {
+    fn partial_cmp(&self, other: &Sequenced) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sequenced {
+    fn cmp(&self, other: &Sequenced) -> Ordering {
+        self.pos.cmp(&other.pos)
+    }
+}
+
+/// The engine behind both public stream types: workers, the result
+/// channel, and the reorder buffer that restores sequence order.
+struct RawStream {
+    /// `None` once the stream has finished or been dropped.
+    rx: Option<Receiver<Sequenced>>,
+    /// Completed points that arrived ahead of their turn (min-heap).
+    pending: BinaryHeap<Reverse<Sequenced>>,
+    next_pos: usize,
+    total: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn spawn(entries: Vec<Entry>, workers: usize, fast_forward: bool) -> RawStream {
+    let total = entries.len();
+    let workers = workers.clamp(1, total.max(1));
+
+    // Seed each deque with a contiguous chunk of the sequence: points of
+    // one program are adjacent, so each worker starts on as few distinct
+    // programs as possible.
+    let mut queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let chunk = total.div_ceil(workers).max(1);
+    for pos in 0..total {
+        let owner = (pos / chunk).min(workers - 1);
+        queues[owner].get_mut().unwrap().push_back(pos);
+    }
+
+    let shared = Arc::new(Shared {
+        entries,
+        queues,
+        fast_forward,
+    });
+    let (tx, rx) = channel();
+    let handles = (0..workers)
+        .map(|w| {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut runners = Runners::new();
+                while let Some(pos) = next_job(&shared, w) {
+                    let entry = &shared.entries[pos];
+                    let point = entry.measure(shared.fast_forward, &mut runners);
+                    let sequenced = Sequenced {
+                        pos,
+                        index: entry.spec.index,
+                        point,
+                    };
+                    // A send fails only when the consumer dropped the
+                    // stream: stop claiming work and exit.
+                    if tx.send(sequenced).is_err() {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+    RawStream {
+        rx: Some(rx),
+        pending: BinaryHeap::new(),
+        next_pos: 0,
+        total,
+        workers: handles,
+    }
+}
+
+impl RawStream {
+    fn next_in_order(&mut self) -> Option<(usize, SweepPoint)> {
+        if self.next_pos >= self.total {
+            self.finish();
+            return None;
+        }
+        loop {
+            if self
+                .pending
+                .peek()
+                .is_some_and(|Reverse(s)| s.pos == self.next_pos)
+            {
+                let Reverse(s) = self.pending.pop().expect("peeked");
+                self.next_pos += 1;
+                if self.next_pos >= self.total {
+                    // Exhausting the stream joins the workers, so a
+                    // finished iteration implies a quiesced pool.
+                    self.finish();
+                }
+                return Some((s.index, s.point));
+            }
+            let rx = self.rx.as_ref().expect("stream polled after finish");
+            match rx.recv() {
+                Ok(sequenced) => self.pending.push(Reverse(sequenced)),
+                Err(_) => {
+                    // Every worker hung up with points still missing:
+                    // one of them panicked. Joining propagates it.
+                    self.finish();
+                    unreachable!("sweep workers exited without completing the grid");
+                }
+            }
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.total - self.next_pos
+    }
+
+    fn finish(&mut self) {
+        self.rx.take();
+        for handle in self.workers.drain(..) {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Drop for RawStream {
+    fn drop(&mut self) {
+        // Closing the channel makes every pending send fail, so workers
+        // abandon the rest of the grid; join them without re-raising (a
+        // worker panic mid-drop must not abort an unwinding thread).
+        self.rx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A running sweep yielding points in deterministic grid order as they
+/// complete. Created by [`Sweep::run_streaming`](crate::Sweep::run_streaming).
+pub struct SweepStream {
+    inner: RawStream,
+}
+
+impl Iterator for SweepStream {
+    type Item = SweepPoint;
+
+    fn next(&mut self) -> Option<SweepPoint> {
+        self.inner.next_in_order().map(|(_, point)| point)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.inner.remaining(), Some(self.inner.remaining()))
+    }
+}
+
+impl ExactSizeIterator for SweepStream {}
+
+/// A running subset sweep yielding `(grid_index, point)` pairs in the
+/// order the specs were submitted. Created by
+/// [`Sweep::run_subset_streaming`](crate::Sweep::run_subset_streaming).
+pub struct IndexedSweepStream {
+    inner: RawStream,
+}
+
+impl Iterator for IndexedSweepStream {
+    type Item = (usize, SweepPoint);
+
+    fn next(&mut self) -> Option<(usize, SweepPoint)> {
+        self.inner.next_in_order()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.inner.remaining(), Some(self.inner.remaining()))
+    }
+}
+
+impl ExactSizeIterator for IndexedSweepStream {}
+
+pub(crate) fn stream_all(entries: Vec<Entry>, workers: usize, fast_forward: bool) -> SweepStream {
+    SweepStream {
+        inner: spawn(entries, workers, fast_forward),
+    }
+}
+
+pub(crate) fn stream_indexed(
+    entries: Vec<Entry>,
+    workers: usize,
+    fast_forward: bool,
+) -> IndexedSweepStream {
+    // Reindex to submission order: the reorder buffer sequences by
+    // position in `entries`, while each yielded pair keeps the spec's own
+    // grid index for the caller's bookkeeping.
+    IndexedSweepStream {
+        inner: spawn(entries, workers, fast_forward),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sweep;
+    use dva_workloads::Scale;
+
+    fn sweep(threads: usize) -> Sweep {
+        Sweep::new()
+            .machines([Machine::reference(1), Machine::dva(1), Machine::ideal()])
+            .benchmarks([Benchmark::Trfd, Benchmark::Dyfesm])
+            .latencies([1, 30])
+            .scale(Scale::Quick)
+            .threads(threads)
+    }
+
+    #[test]
+    fn streaming_matches_run_for_every_thread_count() {
+        let reference = sweep(1).run();
+        for threads in [1, 2, 3, 8] {
+            let streamed: Vec<_> = sweep(threads).run_streaming().collect();
+            assert_eq!(
+                streamed, reference.points,
+                "streamed points must be byte-identical at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_enumerates_what_run_measures() {
+        let sweep = sweep(1);
+        let specs = sweep.grid();
+        let results = sweep.run();
+        assert_eq!(specs.len(), results.points.len());
+        for (spec, point) in specs.iter().zip(&results.points) {
+            assert_eq!(spec.index, point_index(&results, point));
+            assert_eq!(spec.machine, point.machine);
+            assert_eq!(spec.latency, point.latency);
+            assert_eq!(spec.memory, point.memory);
+            assert_eq!(spec.program.name(), point.program);
+        }
+        // All points of one benchmark share instruction storage.
+        assert_eq!(
+            specs[0].program.insts().as_ptr(),
+            specs[1].program.insts().as_ptr()
+        );
+    }
+
+    fn point_index(results: &crate::SweepResults, point: &SweepPoint) -> usize {
+        results.points.iter().position(|p| p == point).unwrap()
+    }
+
+    #[test]
+    fn subsets_stream_in_submission_order_with_grid_indices() {
+        let session = sweep(4);
+        let full = session.run();
+        // Every third point, submitted in reverse grid order.
+        let mut subset: Vec<PointSpec> = session.grid().into_iter().step_by(3).collect();
+        subset.reverse();
+        let expected: Vec<usize> = subset.iter().map(|s| s.index).collect();
+        let streamed: Vec<(usize, SweepPoint)> = session.run_subset_streaming(subset).collect();
+        let order: Vec<usize> = streamed.iter().map(|(i, _)| *i).collect();
+        assert_eq!(order, expected, "pairs arrive in submission order");
+        for (index, point) in streamed {
+            assert_eq!(point, full.points[index], "byte-identical to the full run");
+        }
+    }
+
+    #[test]
+    fn dropping_a_stream_cancels_the_remaining_work() {
+        let mut stream = sweep(2).run_streaming();
+        let first = stream.next().unwrap();
+        assert_eq!(first.label, "REF");
+        drop(stream); // must not hang or leak workers
+    }
+
+    #[test]
+    fn empty_sessions_stream_nothing() {
+        let mut stream = Sweep::new().run_streaming();
+        assert_eq!(stream.size_hint(), (0, Some(0)));
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate_to_the_consumer() {
+        fn explode(_: &Program) -> crate::CustomSim<'_> {
+            panic!("boom")
+        }
+        let results: Vec<_> = Sweep::new()
+            .machine(Machine::custom("BOOM", explode))
+            .benchmark(Benchmark::Trfd)
+            .scale(Scale::Quick)
+            .threads(2)
+            .run_streaming()
+            .collect();
+        drop(results);
+    }
+}

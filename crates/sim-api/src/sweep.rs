@@ -1,12 +1,12 @@
 //! Parallel sweep sessions over machines × programs × latencies ×
 //! memory models.
 
-use crate::prepare::{PreparedProgram, Runners};
+use crate::prepare::Runners;
+use crate::stream::{self, IndexedSweepStream, PointSpec, SweepStream};
 use crate::{Machine, SimResult};
 use dva_isa::Program;
 use dva_memory::MemoryModelKind;
 use dva_workloads::{Benchmark, Scale};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A sweep session: the cross-product of machines, programs, memory
 /// latencies and memory-model backends, executed by a pool of OS
@@ -34,14 +34,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Sweep {
-    machines: Vec<Machine>,
-    benchmarks: Vec<Benchmark>,
-    programs: Vec<Program>,
-    latencies: Vec<u64>,
-    memory_models: Vec<MemoryModelKind>,
-    scale: Scale,
-    threads: usize,
-    fast_forward: bool,
+    pub(crate) machines: Vec<Machine>,
+    pub(crate) benchmarks: Vec<Benchmark>,
+    pub(crate) programs: Vec<Program>,
+    pub(crate) latencies: Vec<u64>,
+    pub(crate) memory_models: Vec<MemoryModelKind>,
+    pub(crate) scale: Scale,
+    pub(crate) threads: usize,
+    pub(crate) fast_forward: bool,
 }
 
 impl Default for Sweep {
@@ -195,12 +195,34 @@ impl Sweep {
         self
     }
 
-    /// Sets the worker thread count; `0` (the default) uses the machine's
-    /// available parallelism. `1` forces a sequential run.
+    /// Sets the worker thread count; `0` (the default) is clamped to the
+    /// machine's available parallelism when the sweep runs (see
+    /// [`effective_threads`](Sweep::effective_threads)). `1` forces a
+    /// sequential run.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Sweep {
         self.threads = threads;
         self
+    }
+
+    /// Whether the engines' next-event fast-forward is enabled for this
+    /// session (see [`fast_forward`](Sweep::fast_forward)).
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// The worker count [`run`](Sweep::run) will actually use before
+    /// clamping to the grid size: the configured
+    /// [`threads`](Sweep::threads), with `0` resolved to
+    /// [`std::thread::available_parallelism`] (or `1` when that cannot be
+    /// determined).
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 
     /// Enables or disables the engines' next-event fast-forward (on by
@@ -226,38 +248,27 @@ impl Sweep {
         self.len() == 0
     }
 
-    /// Runs every point of the session, fanning out across worker
-    /// threads, and returns the points in deterministic grid order.
+    /// Enumerates the session's grid — every point [`run`](Sweep::run)
+    /// would measure, in the deterministic order it would return them —
+    /// without simulating anything.
     ///
-    /// Each program is *translated once*: the grid shares one
-    /// [`PreparedProgram`] per program axis entry (compiled lazily, by
-    /// whichever worker gets there first), and each worker thread reuses
-    /// one set of engine allocations ([`Runners`]) across all the points
-    /// it claims. Results are byte-identical to simulating every point
-    /// from scratch.
-    pub fn run(&self) -> SweepResults {
-        // Resolve the program axis once; all grid points of a program
-        // share one prepared (translate-once) form.
-        let targets: Vec<(Option<Benchmark>, PreparedProgram)> = self
+    /// This is the coordinate system external schedulers (the `dva-serve`
+    /// result cache) address points by: each [`PointSpec`] carries its
+    /// grid `index`, and a subset can be executed with
+    /// [`run_subset_streaming`](Sweep::run_subset_streaming).
+    ///
+    /// An empty latency (or memory-model) grid means "each machine at its
+    /// own latency (or model)". Benchmark programs are generated here, at
+    /// the session's [`scale`](Sweep::scale); all points of one program
+    /// axis entry share the program's instruction storage.
+    pub fn grid(&self) -> Vec<PointSpec> {
+        let programs: Vec<(Option<Benchmark>, Program)> = self
             .benchmarks
             .iter()
-            .map(|&benchmark| {
-                (
-                    Some(benchmark),
-                    PreparedProgram::new(&benchmark.program(self.scale)),
-                )
-            })
-            .chain(
-                self.programs
-                    .iter()
-                    .map(|program| (None, PreparedProgram::new(program))),
-            )
+            .map(|&benchmark| (Some(benchmark), benchmark.program(self.scale)))
+            .chain(self.programs.iter().map(|p| (None, p.clone())))
             .collect();
 
-        // The job grid, in the order the points are returned. An empty
-        // latency (or memory-model) grid means "each machine at its own
-        // latency (or model)".
-        type Job = (usize, Machine, u64, MemoryModelKind);
         let latencies: Vec<Option<u64>> = if self.latencies.is_empty() {
             vec![None]
         } else {
@@ -268,8 +279,8 @@ impl Sweep {
         } else {
             self.memory_models.iter().copied().map(Some).collect()
         };
-        let mut jobs: Vec<Job> = Vec::new();
-        for target in 0..targets.len() {
+        let mut specs = Vec::with_capacity(self.len());
+        for (benchmark, program) in &programs {
             for &latency in &latencies {
                 for &model in &models {
                     for &machine in &self.machines {
@@ -280,76 +291,85 @@ impl Sweep {
                         if let Some(model) = model {
                             stamped = stamped.with_memory_model(model);
                         }
-                        jobs.push((
-                            target,
-                            stamped,
-                            latency.unwrap_or_else(|| machine.latency().unwrap_or(0)),
-                            model.unwrap_or_else(|| {
+                        specs.push(PointSpec {
+                            index: specs.len(),
+                            benchmark: *benchmark,
+                            program: program.clone(),
+                            machine: stamped,
+                            latency: latency.unwrap_or_else(|| machine.latency().unwrap_or(0)),
+                            memory: model.unwrap_or_else(|| {
                                 machine.memory_model().unwrap_or(MemoryModelKind::Flat)
                             }),
-                        ));
+                        });
                     }
                 }
             }
         }
+        specs
+    }
 
-        let workers = match self.threads {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            n => n,
-        }
-        .clamp(1, jobs.len().max(1));
-
-        let run_job = |(target, machine, latency, memory): &Job, runners: &mut Runners| {
-            let (benchmark, prepared) = &targets[*target];
-            SweepPoint {
-                machine: *machine,
-                label: machine.label(),
-                benchmark: *benchmark,
-                program: prepared.program().name().to_string(),
-                latency: *latency,
-                memory: *memory,
-                result: machine.simulate_prepared(prepared, self.fast_forward, runners),
-            }
-        };
-
+    /// Runs every point of the session, fanning out across worker
+    /// threads, and returns the points in deterministic grid order.
+    ///
+    /// Each program is *translated once*: the grid shares one
+    /// [`PreparedProgram`](crate::PreparedProgram) per program axis entry
+    /// (compiled lazily, by whichever worker gets there first), and each
+    /// worker thread reuses one set of engine allocations ([`Runners`])
+    /// across all the points it claims. Results are byte-identical to
+    /// simulating every point from scratch — and to collecting
+    /// [`run_streaming`](Sweep::run_streaming), which this delegates to
+    /// when more than one worker is in play.
+    pub fn run(&self) -> SweepResults {
+        let specs = self.grid();
+        let workers = self.effective_threads().clamp(1, specs.len().max(1));
         if workers <= 1 {
+            // Inline sequential path: no threads, no channel — the
+            // reference implementation the parallel paths are tested
+            // against.
+            let entries = stream::prepare(specs);
             let mut runners = Runners::new();
             return SweepResults {
-                points: jobs.iter().map(|job| run_job(job, &mut runners)).collect(),
+                points: entries
+                    .iter()
+                    .map(|entry| entry.measure(self.fast_forward, &mut runners))
+                    .collect(),
             };
         }
-
-        // Work-stealing by atomic index: each worker claims the next
-        // unclaimed job, keeps (index, point) pairs locally, and the
-        // merge re-establishes grid order — identical to the sequential
-        // path byte for byte.
-        let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, SweepPoint)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut runners = Runners::new();
-                        let mut local = Vec::new();
-                        loop {
-                            let idx = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(job) = jobs.get(idx) else { break };
-                            local.push((idx, run_job(job, &mut runners)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("sweep worker panicked"))
-                .collect()
-        });
-        indexed.sort_by_key(|(idx, _)| *idx);
         SweepResults {
-            points: indexed.into_iter().map(|(_, point)| point).collect(),
+            points: self.run_streaming().collect(),
         }
+    }
+
+    /// Runs the session like [`run`](Sweep::run), but yields each
+    /// [`SweepPoint`] as soon as it (and every point before it) has been
+    /// measured, instead of waiting for the whole grid.
+    ///
+    /// Points arrive in exactly the order [`run`](Sweep::run) returns
+    /// them — deterministic grid order, independent of the thread count —
+    /// so `sweep.run_streaming().collect()` equals `sweep.run().points`
+    /// byte for byte. Workers execute points out of order (work stealing);
+    /// the stream holds completed points back until their turn.
+    ///
+    /// Dropping the stream early cancels the remaining work: workers
+    /// finish the point in hand and exit.
+    pub fn run_streaming(&self) -> SweepStream {
+        let specs = self.grid();
+        let workers = self.effective_threads().clamp(1, specs.len().max(1));
+        stream::stream_all(stream::prepare(specs), workers, self.fast_forward)
+    }
+
+    /// Runs an arbitrary subset of this session's [`grid`](Sweep::grid),
+    /// yielding `(grid_index, point)` pairs in the order the specs were
+    /// given (independent of the thread count).
+    ///
+    /// This is the entry point for external schedulers that know some
+    /// points already — the `dva-serve` result cache hands the misses
+    /// here and merges the streamed points with its hits by grid index.
+    /// Specs need not come from this session's grid at all; threading and
+    /// fast-forward come from `self`, everything else from each spec.
+    pub fn run_subset_streaming(&self, specs: Vec<PointSpec>) -> IndexedSweepStream {
+        let workers = self.effective_threads().clamp(1, specs.len().max(1));
+        stream::stream_indexed(stream::prepare(specs), workers, self.fast_forward)
     }
 }
 
@@ -572,6 +592,18 @@ mod tests {
         assert_eq!(results.points.len(), 2);
         assert_eq!(results.points[0].memory, banked);
         assert_eq!(results.points[1].memory, MemoryModelKind::Flat); // IDEAL has no memory
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_available_parallelism() {
+        let sweep = Sweep::new(); // threads defaults to 0
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(sweep.effective_threads(), expected);
+        assert!(sweep.effective_threads() >= 1);
+        assert_eq!(sweep.clone().threads(3).effective_threads(), 3);
+        assert_eq!(sweep.threads(0).effective_threads(), expected);
     }
 
     #[test]

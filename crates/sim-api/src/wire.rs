@@ -1,0 +1,461 @@
+//! Stable JSON forms of machines, results and sweep specifications —
+//! the wire format of the `dva-serve` sweep service and the disk format
+//! of its result cache.
+//!
+//! Everything here is *fallible* in exactly one place: machines built
+//! with [`Machine::custom`] carry a function pointer and cannot cross a
+//! process boundary, so serializing them (or a sweep/point containing
+//! one) reports an error instead of silently dropping the machine.
+//!
+//! The rendered bytes are a compatibility surface: object fields are
+//! emitted in a fixed order and numbers render canonically (see
+//! [`dva_json`]), so equal values always produce equal bytes. A golden
+//! test pins the format; changes must bump
+//! [`dva_engine::ENGINE_VERSION`] so persisted caches are discarded.
+
+use crate::sweep::{Sweep, SweepPoint, SweepResults};
+use crate::{Machine, MachineDetail, SimResult};
+use dva_core::{DvaConfig, IdealBound};
+use dva_engine::ResultCore;
+use dva_json::{FromJson, Json, JsonError, ToJson};
+use dva_memory::MemoryModelKind;
+use dva_metrics::Histogram;
+use dva_ref::RefParams;
+use dva_workloads::{Benchmark, Scale};
+
+impl Machine {
+    /// The stable JSON form of this machine's full configuration —
+    /// including the stamped latency and memory model, except for IDEAL,
+    /// which has neither (so all IDEAL points of a latency grid share one
+    /// form; the `dva-serve` cache exploits exactly that).
+    ///
+    /// # Errors
+    ///
+    /// Fails for [`Machine::custom`] machines, which carry a function
+    /// pointer and cannot cross a process boundary.
+    pub fn to_json(&self) -> Result<Json, JsonError> {
+        machine_to_json(self)
+    }
+
+    /// Reconstructs a machine from its [`Machine::to_json`] form.
+    pub fn from_json(json: &Json) -> Result<Machine, JsonError> {
+        machine_from_json(json)
+    }
+}
+
+/// The JSON form of a [`Machine`], or an error for custom machines.
+pub(crate) fn machine_to_json(machine: &Machine) -> Result<Json, JsonError> {
+    Ok(match machine {
+        Machine::Ref(params) => {
+            Json::obj([("kind", Json::from("ref")), ("params", params.to_json())])
+        }
+        Machine::Dva(config) => {
+            Json::obj([("kind", Json::from("dva")), ("config", config.to_json())])
+        }
+        Machine::Ideal => Json::obj([("kind", Json::from("ideal"))]),
+        Machine::Custom(custom) => {
+            return Err(JsonError(format!(
+                "custom machine `{:?}` cannot be serialized (it carries a function pointer); \
+                 only REF/DVA/BYP/IDEAL machines cross the wire",
+                custom
+            )))
+        }
+    })
+}
+
+pub(crate) fn machine_from_json(json: &Json) -> Result<Machine, JsonError> {
+    match json.field("kind")?.as_str()? {
+        "ref" => Ok(Machine::Ref(RefParams::from_json(json.field("params")?)?)),
+        "dva" => Ok(Machine::Dva(DvaConfig::from_json(json.field("config")?)?)),
+        "ideal" => Ok(Machine::Ideal),
+        other => Err(JsonError(format!("unknown machine kind `{other}`"))),
+    }
+}
+
+fn detail_to_json(detail: &MachineDetail) -> Json {
+    match detail {
+        MachineDetail::Reference => Json::obj([("kind", Json::from("reference"))]),
+        MachineDetail::Decoupled {
+            avdq_occupancy,
+            bypassed_loads,
+            drain_stall_cycles,
+            max_vpiq,
+            max_apiq,
+            max_avdq,
+        } => Json::obj([
+            ("kind", Json::from("decoupled")),
+            ("avdq_occupancy", avdq_occupancy.to_json()),
+            ("bypassed_loads", Json::from(*bypassed_loads)),
+            ("drain_stall_cycles", Json::from(*drain_stall_cycles)),
+            ("max_vpiq", Json::from(*max_vpiq)),
+            ("max_apiq", Json::from(*max_apiq)),
+            ("max_avdq", Json::from(*max_avdq)),
+        ]),
+        MachineDetail::Ideal(bound) => {
+            Json::obj([("kind", Json::from("ideal")), ("bound", bound.to_json())])
+        }
+        MachineDetail::Custom { occupancy } => Json::obj([
+            ("kind", Json::from("custom")),
+            (
+                "occupancy",
+                occupancy
+                    .as_ref()
+                    .map(ToJson::to_json)
+                    .unwrap_or(Json::Null),
+            ),
+        ]),
+    }
+}
+
+fn detail_from_json(json: &Json) -> Result<MachineDetail, JsonError> {
+    Ok(match json.field("kind")?.as_str()? {
+        "reference" => MachineDetail::Reference,
+        "decoupled" => MachineDetail::Decoupled {
+            avdq_occupancy: Histogram::from_json(json.field("avdq_occupancy")?)?,
+            bypassed_loads: json.field("bypassed_loads")?.as_u64()?,
+            drain_stall_cycles: json.field("drain_stall_cycles")?.as_u64()?,
+            max_vpiq: json.field("max_vpiq")?.as_usize()?,
+            max_apiq: json.field("max_apiq")?.as_usize()?,
+            max_avdq: json.field("max_avdq")?.as_usize()?,
+        },
+        "ideal" => MachineDetail::Ideal(IdealBound::from_json(json.field("bound")?)?),
+        "custom" => MachineDetail::Custom {
+            occupancy: match json.field("occupancy")? {
+                Json::Null => None,
+                value => Some(Histogram::from_json(value)?),
+            },
+        },
+        other => return Err(JsonError(format!("unknown detail kind `{other}`"))),
+    })
+}
+
+impl SimResult {
+    /// The stable JSON form of this result: the shared core plus the
+    /// machine-specific detail. Always succeeds (results carry no
+    /// function pointers), so this is infallible unlike
+    /// [`SweepPoint::to_json`].
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("core", self.core.to_json()),
+            ("detail", detail_to_json(&self.detail)),
+        ])
+    }
+
+    /// Reconstructs a result from its [`SimResult::to_json`] form.
+    pub fn from_json(json: &Json) -> Result<SimResult, JsonError> {
+        Ok(SimResult {
+            core: ResultCore::from_json(json.field("core")?)?,
+            detail: detail_from_json(json.field("detail")?)?,
+        })
+    }
+}
+
+/// The spelling of a [`Scale`] on the wire.
+pub(crate) fn scale_to_str(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Default => "default",
+        Scale::Full => "full",
+    }
+}
+
+pub(crate) fn scale_from_str(text: &str) -> Result<Scale, JsonError> {
+    match text {
+        "quick" => Ok(Scale::Quick),
+        "default" => Ok(Scale::Default),
+        "full" => Ok(Scale::Full),
+        other => Err(JsonError(format!("unknown scale `{other}`"))),
+    }
+}
+
+impl SweepPoint {
+    /// The stable JSON form of one grid point: the full coordinate
+    /// (machine, program, latency, memory model) plus the measurement.
+    ///
+    /// # Errors
+    ///
+    /// Fails for points measured on a [`Machine::custom`] machine, which
+    /// cannot be serialized.
+    pub fn to_json(&self) -> Result<Json, JsonError> {
+        Ok(Json::obj([
+            ("machine", machine_to_json(&self.machine)?),
+            ("label", Json::from(self.label.as_str())),
+            (
+                "benchmark",
+                self.benchmark
+                    .map(|b| Json::from(b.name()))
+                    .unwrap_or(Json::Null),
+            ),
+            ("program", Json::from(self.program.as_str())),
+            ("latency", Json::from(self.latency)),
+            ("memory", self.memory.to_json()),
+            ("result", self.result.to_json()),
+        ]))
+    }
+
+    /// Reconstructs a point from its [`SweepPoint::to_json`] form.
+    pub fn from_json(json: &Json) -> Result<SweepPoint, JsonError> {
+        let benchmark = match json.field("benchmark")? {
+            Json::Null => None,
+            name => {
+                let name = name.as_str()?;
+                Some(
+                    Benchmark::from_name(name)
+                        .ok_or_else(|| JsonError(format!("unknown benchmark `{name}`")))?,
+                )
+            }
+        };
+        Ok(SweepPoint {
+            machine: machine_from_json(json.field("machine")?)?,
+            label: json.field("label")?.as_str()?.to_string(),
+            benchmark,
+            program: json.field("program")?.as_str()?.to_string(),
+            latency: json.field("latency")?.as_u64()?,
+            memory: MemoryModelKind::from_json(json.field("memory")?)?,
+            result: SimResult::from_json(json.field("result")?)?,
+        })
+    }
+}
+
+impl SweepResults {
+    /// The stable JSON form of a whole result set, point order preserved.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any point was measured on a [`Machine::custom`] machine.
+    pub fn to_json(&self) -> Result<Json, JsonError> {
+        let points = self
+            .points
+            .iter()
+            .map(SweepPoint::to_json)
+            .collect::<Result<_, _>>()?;
+        Ok(Json::obj([("points", Json::Array(points))]))
+    }
+
+    /// Reconstructs a result set from its [`SweepResults::to_json`] form.
+    pub fn from_json(json: &Json) -> Result<SweepResults, JsonError> {
+        Ok(SweepResults {
+            points: json
+                .field("points")?
+                .as_array()?
+                .iter()
+                .map(SweepPoint::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl Sweep {
+    /// The stable JSON form of this session's *specification* — the grid
+    /// axes, scale, thread count and fast-forward flag — which is what a
+    /// `dva-serve` client sends to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the session contains a [`Machine::custom`] machine or a
+    /// custom [`Sweep::program`]: both are process-local (a function
+    /// pointer, an arbitrary trace) and cannot cross the wire. Sweeps
+    /// built from [`Benchmark`]s always serialize.
+    pub fn to_json(&self) -> Result<Json, JsonError> {
+        if !self.programs.is_empty() {
+            return Err(JsonError(
+                "custom programs cannot be serialized; build wire sweeps from benchmarks"
+                    .to_string(),
+            ));
+        }
+        let machines = self
+            .machines
+            .iter()
+            .map(machine_to_json)
+            .collect::<Result<_, _>>()?;
+        Ok(Json::obj([
+            ("machines", Json::Array(machines)),
+            (
+                "benchmarks",
+                Json::Array(
+                    self.benchmarks
+                        .iter()
+                        .map(|b| Json::from(b.name()))
+                        .collect(),
+                ),
+            ),
+            (
+                "latencies",
+                Json::Array(self.latencies.iter().map(|&l| Json::from(l)).collect()),
+            ),
+            (
+                "memory_models",
+                Json::Array(self.memory_models.iter().map(ToJson::to_json).collect()),
+            ),
+            ("scale", Json::from(scale_to_str(self.scale))),
+            ("threads", Json::from(self.threads)),
+            ("fast_forward", Json::from(self.fast_forward)),
+        ]))
+    }
+
+    /// Reconstructs a session from its [`Sweep::to_json`] form.
+    pub fn from_json(json: &Json) -> Result<Sweep, JsonError> {
+        let mut sweep = Sweep::new()
+            .scale(scale_from_str(json.field("scale")?.as_str()?)?)
+            .threads(json.field("threads")?.as_usize()?)
+            .fast_forward(json.field("fast_forward")?.as_bool()?);
+        for machine in json.field("machines")?.as_array()? {
+            sweep = sweep.machine(machine_from_json(machine)?);
+        }
+        for name in json.field("benchmarks")?.as_array()? {
+            let name = name.as_str()?;
+            sweep = sweep.benchmark(
+                Benchmark::from_name(name)
+                    .ok_or_else(|| JsonError(format!("unknown benchmark `{name}`")))?,
+            );
+        }
+        for latency in json.field("latencies")?.as_array()? {
+            sweep = sweep.latencies([latency.as_u64()?]);
+        }
+        for model in json.field("memory_models")?.as_array()? {
+            sweep = sweep.memory_model(MemoryModelKind::from_json(model)?);
+        }
+        Ok(sweep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CustomSim;
+
+    fn sample_sweep() -> Sweep {
+        Sweep::new()
+            .machines([
+                Machine::reference(1),
+                Machine::byp(1, 4, 8),
+                Machine::ideal(),
+            ])
+            .benchmarks([Benchmark::Trfd, Benchmark::Dyfesm])
+            .latencies([1, 30])
+            .memory_models([
+                MemoryModelKind::Flat,
+                MemoryModelKind::Banked {
+                    banks: 8,
+                    bank_busy: 8,
+                },
+            ])
+            .scale(Scale::Quick)
+            .threads(1)
+    }
+
+    #[test]
+    fn machines_round_trip_through_json() {
+        for machine in [
+            Machine::reference(30),
+            Machine::dva(100),
+            Machine::byp(1, 4, 8),
+            Machine::ideal(),
+            Machine::dva(30).with_memory_model(MemoryModelKind::MultiPort { ports: 2 }),
+        ] {
+            let json = machine_to_json(&machine).unwrap();
+            assert_eq!(machine_from_json(&json).unwrap(), machine);
+        }
+    }
+
+    #[test]
+    fn custom_machines_refuse_to_serialize() {
+        fn build(program: &dva_isa::Program) -> CustomSim<'_> {
+            let _ = program;
+            unreachable!("never simulated in this test")
+        }
+        let custom = Machine::custom("LOCAL", build);
+        let err = machine_to_json(&custom).unwrap_err();
+        assert!(err.to_string().contains("custom machine"));
+        let sweep = sample_sweep().machine(custom);
+        assert!(sweep.to_json().is_err());
+    }
+
+    #[test]
+    fn results_round_trip_for_every_machine_kind() {
+        let program = Benchmark::Trfd.program(Scale::Quick);
+        for machine in [
+            Machine::reference(30),
+            Machine::byp(30, 4, 8),
+            Machine::ideal(),
+        ] {
+            let result = machine.simulate(&program);
+            let back = SimResult::from_json(&result.to_json()).unwrap();
+            assert_eq!(back, result);
+            assert_eq!(back.to_json().render(), result.to_json().render());
+        }
+    }
+
+    #[test]
+    fn sweep_specs_and_results_round_trip() {
+        let sweep = sample_sweep();
+        let spec = sweep.to_json().unwrap();
+        let back = Sweep::from_json(&spec).unwrap();
+        assert_eq!(back.to_json().unwrap().render(), spec.render());
+        // The reconstructed session measures the same grid.
+        let ours = sweep.run();
+        let theirs = back.run();
+        assert_eq!(ours, theirs);
+
+        let json = ours.to_json().unwrap();
+        let restored = SweepResults::from_json(&json).unwrap();
+        assert_eq!(restored, ours);
+        assert_eq!(restored.to_json().unwrap().render(), json.render());
+    }
+
+    /// Pins the rendered wire format. If this test fails you changed the
+    /// serialization format: bump `dva_engine::ENGINE_VERSION` (stale
+    /// disk caches must be discarded) and update the expectation.
+    #[test]
+    fn golden_wire_format() {
+        let machine = Machine::dva(30);
+        let json = machine_to_json(&machine).unwrap();
+        assert_eq!(
+            json.render(),
+            "{\"kind\":\"dva\",\"config\":{\
+             \"uarch\":{\"fu_startup\":4,\"qmov_startup\":2,\"check_bank_ports\":true},\
+             \"memory\":{\"latency\":30,\"cache\":{\"lines\":512,\"line_bytes\":32},\
+             \"model\":{\"kind\":\"flat\"}},\
+             \"queues\":{\"instruction_queue\":16,\"avdq\":256,\"store_queue\":16,\
+             \"scalar_store_queue\":16,\"scalar_data_queue\":256},\
+             \"bypass\":false}}"
+        );
+
+        let ideal = Machine::ideal()
+            .simulate(&Benchmark::Trfd.program(Scale::Quick))
+            .to_json();
+        let text = ideal.render();
+        // The result schema: a core with the documented field order, and
+        // a tagged detail.
+        let prefix = "{\"core\":{\"cycles\":";
+        assert!(text.starts_with(prefix), "got {text}");
+        for field in [
+            "\"insts\":",
+            "\"states\":[",
+            "\"traffic\":{\"vector_load_elems\":",
+            "\"bus_utilization\":",
+            "\"port_utilization\":[",
+            "\"cache_hit_rate\":",
+            "\"cache\":{\"load_hits\":",
+            "\"stall_cycles\":",
+            "\"ticks_executed\":",
+            "\"detail\":{\"kind\":\"ideal\",\"bound\":{\"fu2_only\":",
+        ] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+    }
+
+    #[test]
+    fn custom_machine_results_still_serialize() {
+        // The *machine* is process-local but its measurements are plain
+        // data: SimResult::to_json works for custom runs, so a future
+        // cache layer could store them (keyed locally).
+        let result = SimResult {
+            core: ResultCore::untimed(10, 5),
+            detail: MachineDetail::Custom {
+                occupancy: Some(Histogram::new(2)),
+            },
+        };
+        assert_eq!(SimResult::from_json(&result.to_json()).unwrap(), result);
+    }
+}

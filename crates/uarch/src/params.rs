@@ -1,6 +1,7 @@
 //! Microarchitecture parameters shared by both simulators.
 
 use crate::regfile::Producer;
+use dva_json::{FromJson, Json, JsonError, ToJson};
 
 /// Timing and feature knobs of the vector engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,26 @@ impl Default for UarchParams {
             qmov_startup: 2,
             check_bank_ports: true,
         }
+    }
+}
+
+impl ToJson for UarchParams {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("fu_startup", Json::from(self.fu_startup)),
+            ("qmov_startup", Json::from(self.qmov_startup)),
+            ("check_bank_ports", Json::from(self.check_bank_ports)),
+        ])
+    }
+}
+
+impl FromJson for UarchParams {
+    fn from_json(json: &Json) -> Result<UarchParams, JsonError> {
+        Ok(UarchParams {
+            fu_startup: json.field("fu_startup")?.as_u64()?,
+            qmov_startup: json.field("qmov_startup")?.as_u64()?,
+            check_bank_ports: json.field("check_bank_ports")?.as_bool()?,
+        })
     }
 }
 
@@ -92,6 +113,16 @@ mod tests {
         assert!(p.allows(Producer::Qmov));
         assert!(p.allows(Producer::Idle));
         assert!(!p.allows(Producer::MemoryLoad));
+    }
+
+    #[test]
+    fn uarch_params_round_trip_through_json() {
+        let params = UarchParams {
+            fu_startup: 7,
+            qmov_startup: 1,
+            check_bank_ports: false,
+        };
+        assert_eq!(UarchParams::from_json(&params.to_json()).unwrap(), params);
     }
 
     #[test]
