@@ -1,0 +1,233 @@
+//! The one execution path for every experiment.
+//!
+//! A [`Runner`] takes an [`ExperimentSpec`] and run options, executes the
+//! spec's declared sweeps through a [`SweepService`] (so identical grid
+//! points across specs — the shared REF/DVA/IDEAL latency sweep behind
+//! Figures 3, 4 and 5, say — simulate **once** and hit the
+//! content-addressed cache thereafter), checks the declared invariants,
+//! and stamps the rendered sections into a versioned
+//! [`Artifact`].
+
+use crate::artifact::Artifact;
+use crate::cli::RunOpts;
+use crate::spec::ExperimentSpec;
+use dva_engine::ENGINE_VERSION;
+use dva_serve::{JobSummary, ResultCache, SweepService, DEFAULT_MEMORY_CAPACITY};
+use dva_sim_api::{Sweep, SweepResults};
+use std::fmt;
+
+/// Executes [`ExperimentSpec`]s: one cache-backed sweep path, one
+/// invariant checker, one artifact shape.
+///
+/// A `Runner` is cheap to create; share one across several specs (as the
+/// `all` binary does) to reuse simulated points between them.
+pub struct Runner {
+    service: SweepService,
+    /// Running totals across every sweep this runner executed.
+    hits: usize,
+    simulated: usize,
+}
+
+/// Why a run produced no artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// A declared invariant does not hold on the measured results.
+    InvariantViolated {
+        /// The experiment that declared the invariant.
+        experiment: String,
+        /// The violation, with the offending grid coordinate.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvariantViolated { experiment, detail } => {
+                write!(f, "experiment `{experiment}`: invariant violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// A runner over a fresh in-memory result cache.
+    pub fn new() -> Runner {
+        Runner {
+            service: SweepService::new(ResultCache::in_memory(DEFAULT_MEMORY_CAPACITY)),
+            hits: 0,
+            simulated: 0,
+        }
+    }
+
+    /// A runner over an existing service (e.g. one backed by the
+    /// `dva-serve` disk cache).
+    pub fn with_service(service: SweepService) -> Runner {
+        Runner {
+            service,
+            hits: 0,
+            simulated: 0,
+        }
+    }
+
+    /// Executes one sweep through the service's content-addressed cache;
+    /// sweeps the cache cannot address (custom machines) run directly.
+    /// Either way the results are byte-identical to `sweep.run()`.
+    fn run_sweep(&mut self, sweep: &Sweep) -> SweepResults {
+        match self.service.run(sweep) {
+            Ok((
+                results,
+                JobSummary {
+                    cache_hits,
+                    simulated,
+                    ..
+                },
+            )) => {
+                self.hits += cache_hits;
+                self.simulated += simulated;
+                results
+            }
+            Err(_) => {
+                let results = sweep.run();
+                self.simulated += results.points.len();
+                results
+            }
+        }
+    }
+
+    /// Runs a spec end to end: execute its sweeps (cache-backed), check
+    /// its invariants on every sweep, render its sections, stamp the
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvariantViolated`] — and no artifact — if any
+    /// declared invariant fails on any executed sweep.
+    pub fn run(&mut self, spec: &ExperimentSpec, opts: &RunOpts) -> Result<Artifact, RunError> {
+        let sweeps = (spec.sweeps)(opts);
+        let mut results = Vec::with_capacity(sweeps.len());
+        for sweep in &sweeps {
+            let measured = self.run_sweep(sweep);
+            for invariant in spec.invariants {
+                if let Some(detail) = invariant.check(&measured) {
+                    return Err(RunError::InvariantViolated {
+                        experiment: spec.name.to_string(),
+                        detail,
+                    });
+                }
+            }
+            results.push(measured);
+        }
+        Ok(Artifact {
+            experiment: spec.name.to_string(),
+            engine_version: ENGINE_VERSION,
+            scale: opts.scale,
+            full: opts.full,
+            sections: (spec.render)(opts, &results),
+        })
+    }
+
+    /// Grid points answered from the cache so far (across all sweeps this
+    /// runner executed).
+    pub fn cache_hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Grid points actually simulated so far.
+    pub fn simulated(&self) -> usize {
+        self.simulated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Section;
+    use crate::spec::Invariant;
+    use dva_metrics::Table;
+    use dva_sim_api::Machine;
+    use dva_workloads::Benchmark;
+
+    fn demo_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+        vec![Sweep::new()
+            .machines([Machine::reference(1), Machine::dva(1), Machine::ideal()])
+            .benchmark(Benchmark::Trfd)
+            .latencies([1, 30])
+            .scale(opts.scale)
+            .threads(opts.threads)]
+    }
+
+    fn demo_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+        let mut table = Table::new(["L", "REF", "DVA"]);
+        for latency in results[0].latencies() {
+            table.row([
+                latency.to_string(),
+                results[0]
+                    .cycles("REF", Benchmark::Trfd, latency)
+                    .unwrap()
+                    .to_string(),
+                results[0]
+                    .cycles("DVA", Benchmark::Trfd, latency)
+                    .unwrap()
+                    .to_string(),
+            ]);
+        }
+        vec![Section::new("demo", "Demo", &table)]
+    }
+
+    const DEMO: ExperimentSpec = ExperimentSpec {
+        name: "demo",
+        description: "runner test spec",
+        all_header: None,
+        sweeps: demo_sweeps,
+        render: demo_render,
+        invariants: &Invariant::ideal_dva_ref(0.10),
+    };
+
+    #[test]
+    fn runner_produces_a_stamped_artifact() {
+        let mut runner = Runner::new();
+        let artifact = runner.run(&DEMO, &RunOpts::quick()).unwrap();
+        assert_eq!(artifact.experiment, "demo");
+        assert_eq!(artifact.engine_version, ENGINE_VERSION);
+        assert_eq!(artifact.sections.len(), 1);
+        assert_eq!(artifact.sections[0].table.rows.len(), 2);
+        // First run simulated everything…
+        assert_eq!(runner.simulated(), 6);
+        assert_eq!(runner.cache_hits(), 0);
+        // …and a re-run of the same spec is answered from the cache,
+        // byte-identically.
+        let again = runner.run(&DEMO, &RunOpts::quick()).unwrap();
+        assert_eq!(again, artifact);
+        assert_eq!(runner.simulated(), 6);
+        assert_eq!(runner.cache_hits(), 6);
+    }
+
+    /// The satellite-task acceptance test: a spec whose declared
+    /// `IDEAL ≤ DVA ≤ REF` ordering is violated (here stated backwards)
+    /// fails the run instead of producing an artifact.
+    #[test]
+    fn violated_invariant_fails_the_run() {
+        const BROKEN: ExperimentSpec = ExperimentSpec {
+            invariants: &[Invariant::CyclesOrdered {
+                lower: "REF",
+                upper: "IDEAL",
+                tolerance: 0.0,
+            }],
+            ..DEMO
+        };
+        let err = Runner::new().run(&BROKEN, &RunOpts::quick()).unwrap_err();
+        let RunError::InvariantViolated { experiment, detail } = &err;
+        assert_eq!(experiment, "demo");
+        assert!(detail.contains("violated"), "{detail}");
+        assert!(err.to_string().contains("invariant violated"));
+    }
+}

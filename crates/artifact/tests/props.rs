@@ -1,0 +1,134 @@
+//! Property-based tests for the artifact wire forms: every generated
+//! `Artifact` / `SpecManifest` survives a JSON round trip intact, and the
+//! canonical rendering is a fixed point (render → parse → render is
+//! byte-identical — the property `artifacts/golden/` relies on).
+
+use dva_artifact::{Artifact, Invariant, Section, SpecManifest, TableData};
+use dva_json::{FromJson, Json, ToJson};
+use dva_workloads::Scale;
+use proptest::prelude::*;
+
+/// Characters worth stressing in string cells: ASCII, escapes, unicode.
+const PIECES: &[&str] = &["a", "Z9", " ", "\"", "\\", "\n", "µs", "≤", ",", "-1.5"];
+
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..PIECES.len(), 0..5)
+        .prop_map(|ix| ix.into_iter().map(|i| PIECES[i]).collect())
+}
+
+fn arb_table() -> impl Strategy<Value = TableData> {
+    (
+        proptest::collection::vec(arb_text(), 1..4),
+        proptest::collection::vec(proptest::collection::vec(arb_text(), 0..5), 0..4),
+    )
+        .prop_map(|(headers, rows)| {
+            // Rows must be exactly as wide as the header row; pad or
+            // truncate whatever the generator produced.
+            let width = headers.len();
+            let rows = rows
+                .into_iter()
+                .map(|mut row| {
+                    row.resize(width, "pad".to_string());
+                    row
+                })
+                .collect();
+            TableData { headers, rows }
+        })
+}
+
+fn arb_section() -> impl Strategy<Value = Section> {
+    (arb_text(), arb_text(), arb_table()).prop_map(|(key, heading, table)| Section {
+        key,
+        heading,
+        table,
+    })
+}
+
+fn arb_scale() -> impl Strategy<Value = Scale> {
+    prop_oneof![Just(Scale::Quick), Just(Scale::Default), Just(Scale::Full),]
+}
+
+fn arb_artifact() -> impl Strategy<Value = Artifact> {
+    (
+        arb_text(),
+        0u32..1000,
+        arb_scale(),
+        prop_oneof![Just(false), Just(true)],
+        proptest::collection::vec(arb_section(), 0..4),
+    )
+        .prop_map(
+            |(experiment, engine_version, scale, full, sections)| Artifact {
+                experiment,
+                engine_version,
+                scale,
+                full,
+                sections,
+            },
+        )
+}
+
+fn arb_invariant() -> impl Strategy<Value = Invariant> {
+    prop_oneof![
+        Just(Invariant::IdealLowerBound),
+        (0u32..3, 0u32..3, 0u32..20).prop_map(|(lo, hi, tol)| {
+            const LABELS: [&str; 3] = ["IDEAL", "DVA", "REF"];
+            Invariant::CyclesOrdered {
+                lower: LABELS[lo as usize],
+                upper: LABELS[hi as usize],
+                tolerance: f64::from(tol) / 10.0,
+            }
+        }),
+    ]
+}
+
+fn arb_manifest() -> impl Strategy<Value = SpecManifest> {
+    (
+        arb_text(),
+        arb_text(),
+        prop_oneof![Just(false), Just(true)],
+        proptest::collection::vec(arb_invariant(), 0..4),
+    )
+        .prop_map(|(name, description, in_all, invariants)| SpecManifest {
+            name,
+            description,
+            in_all,
+            invariants,
+        })
+}
+
+proptest! {
+    /// Decode(encode(artifact)) == artifact, through actual JSON text.
+    #[test]
+    fn artifact_round_trips_through_json_text(artifact in arb_artifact()) {
+        let text = artifact.to_json().render();
+        let parsed = Json::parse(&text).expect("canonical rendering parses");
+        let back = Artifact::from_json(&parsed).expect("decodes");
+        prop_assert_eq!(back, artifact);
+    }
+
+    /// The canonical rendering is a fixed point: render → parse → render
+    /// changes no bytes. Golden byte-diffs depend on this.
+    #[test]
+    fn artifact_rendering_is_a_fixed_point(artifact in arb_artifact()) {
+        let first = artifact.to_json().render();
+        let reparsed = Json::parse(&first).expect("parses");
+        let second = Artifact::from_json(&reparsed).expect("decodes").to_json().render();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Spec manifests (name, description, `all` membership, invariants)
+    /// also round trip exactly.
+    #[test]
+    fn manifest_round_trips_through_json_text(manifest in arb_manifest()) {
+        let text = manifest.to_json().render();
+        let parsed = Json::parse(&text).expect("parses");
+        prop_assert_eq!(SpecManifest::from_json(&parsed).expect("decodes"), manifest);
+    }
+
+    /// TableData → Table → TableData loses nothing (the artifact's text
+    /// rendering path).
+    #[test]
+    fn table_survives_the_render_type(table in arb_table()) {
+        prop_assert_eq!(TableData::from_table(&table.to_table()), table);
+    }
+}

@@ -11,10 +11,13 @@
 //! history.
 //!
 //! Under `BENCH_SMOKE` (CI) a single sample runs and is compared against
-//! the checked-in baseline: a large shortfall prints a `PERF-WARN:` line
-//! (warn-only — CI turns it into an annotation, never a failure). With
-//! `BENCH_UPDATE` set the baseline is rewritten; otherwise the tree is
-//! left untouched.
+//! the checked-in baseline. Inside the noise band a shortfall prints a
+//! `PERF-WARN:` line; below [`GATE_FRACTION`] of the baseline **and**
+//! with `PERF_GATE` set in the environment, the bench prints `PERF-FAIL`
+//! and exits nonzero — the CI regression gate. Without `PERF_GATE` every
+//! check stays warn-only (developer machines vary too widely to gate).
+//! With `BENCH_UPDATE` set the baseline is rewritten; otherwise the tree
+//! is left untouched.
 
 use dva_serve::{ResultCache, SweepService, DEFAULT_MEMORY_CAPACITY};
 use dva_sim_api::{Machine, MemoryModelKind, Sweep};
@@ -26,6 +29,9 @@ const LATENCIES: [u64; 3] = [1, 30, 100];
 /// Throughput below this fraction of the checked-in baseline prints a
 /// PERF-WARN in smoke mode (generous: CI machines vary widely).
 const WARN_FRACTION: f64 = 0.5;
+/// With `PERF_GATE` set, throughput below this fraction of the baseline
+/// fails the bench (>25% regression — beyond same-class-machine noise).
+const GATE_FRACTION: f64 = 0.75;
 
 /// Measured pre-PR (translate-per-point, allocate-per-tick engines) with
 /// the same grid, machine and method; kept for the history books.
@@ -125,7 +131,9 @@ fn main() {
         return;
     }
 
-    // Warn-only regression check against the checked-in baseline.
+    // Regression check against the checked-in baseline: warn inside the
+    // noise band, fail (under PERF_GATE) beyond it.
+    let gated = std::env::var_os("PERF_GATE").is_some();
     match std::fs::read_to_string(path)
         .ok()
         .and_then(|s| json_f64(&s, "points_per_sec"))
@@ -136,6 +144,14 @@ fn main() {
                 "sweep_throughput: {:.2}x the checked-in baseline ({baseline:.1} points/sec)",
                 ratio
             );
+            if gated && ratio < GATE_FRACTION {
+                println!(
+                    "PERF-FAIL: sweep throughput {points_per_sec:.1} points/sec is below \
+                     {GATE_FRACTION}x the checked-in baseline {baseline:.1} — a >25% \
+                     regression (rebaseline deliberately with BENCH_UPDATE=1 if intended)"
+                );
+                std::process::exit(1);
+            }
             if ratio < WARN_FRACTION {
                 println!(
                     "PERF-WARN: sweep throughput {points_per_sec:.1} points/sec is below \
@@ -143,6 +159,10 @@ fn main() {
                      (machines differ; investigate only if this regressed on the same hardware)"
                 );
             }
+        }
+        None if gated => {
+            println!("PERF-FAIL: no readable baseline at {path} (required under PERF_GATE)");
+            std::process::exit(1);
         }
         None => println!("sweep_throughput: no readable baseline at {path}"),
     }

@@ -2,16 +2,48 @@
 //! of chaining on the reference machine and of the second QMOV unit on
 //! the decoupled machine.
 
-use crate::common::RunOpts;
+use crate::common::{RunOpts, SweepOpts};
+use dva_artifact::{ExperimentSpec, Section};
 use dva_core::DvaConfig;
 use dva_metrics::Table;
 use dva_ref::{RefParams, RefSim};
-use dva_sim_api::Machine;
+use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_uarch::{ChainPolicy, UarchParams};
 use dva_workloads::Benchmark;
 
 /// Latency the ablations run at.
 pub const LATENCY: u64 = 30;
+
+/// The two section headings the standalone binary prints.
+pub const HEADINGS: [&str; 2] = [
+    "Chaining ablation on the reference machine (Section 2.1)",
+    "Register-bank port ablation on the decoupled machine",
+];
+
+/// The ablation studies as a declarative spec. The chaining study drives
+/// [`RefSim`] directly (the chain policy is an engine internal, not a
+/// [`Machine`] knob), so only the bank-port comparison is a declared
+/// sweep; `all_header` is `None` because `all` reproduces the paper's
+/// evaluation, not the ablations.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "ablation",
+    description: "ablations: chaining and register-bank ports",
+    all_header: None,
+    sweeps: spec_sweeps,
+    render: spec_render,
+    invariants: &[],
+};
+
+fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+    vec![bank_ports_sweep(opts)]
+}
+
+fn spec_render(opts: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+    vec![
+        Section::new("chaining", HEADINGS[0], &chaining(*opts)),
+        Section::new("bank_ports", HEADINGS[1], &render_bank_ports(&results[0])),
+    ]
+}
 
 /// Chaining ablation: the reference machine with its flexible FU→FU /
 /// FU→store chaining versus no chaining at all (Section 2.1 motivates the
@@ -42,10 +74,10 @@ pub fn chaining(opts: RunOpts) -> Table {
     table
 }
 
-/// Bank-port ablation: the 2-read/1-write ports per two-register bank
-/// versus a full crossbar (Section 2.1's "restricted crossbar").
-pub fn bank_ports(opts: RunOpts) -> Table {
-    let mut table = Table::new(["Program", "banked ports", "full crossbar", "port cost %"]);
+/// The bank-port comparison sweep: restricted ports versus a full
+/// crossbar (Section 2.1's "restricted crossbar"), configured but not
+/// run.
+pub fn bank_ports_sweep(opts: &RunOpts) -> Sweep {
     let crossbar_uarch = UarchParams {
         check_bank_ports: false,
         ..UarchParams::default()
@@ -59,12 +91,21 @@ pub fn bank_ports(opts: RunOpts) -> Table {
                 .build(),
         ),
     ];
-    let sweep = opts
-        .sweep()
+    opts.sweep()
         .machines(machines)
         .benchmarks(Benchmark::ALL)
         .latencies([LATENCY])
-        .run();
+}
+
+/// Bank-port ablation: the 2-read/1-write ports per two-register bank
+/// versus a full crossbar.
+pub fn bank_ports(opts: RunOpts) -> Table {
+    render_bank_ports(&bank_ports_sweep(&opts).run())
+}
+
+/// Renders a precomputed bank-port sweep.
+pub fn render_bank_ports(sweep: &SweepResults) -> Table {
+    let mut table = Table::new(["Program", "banked ports", "full crossbar", "port cost %"]);
     for benchmark in Benchmark::ALL {
         // Both machines label as "DVA", so the lookup is positional: the
         // sweep returns points in machine-declaration order.

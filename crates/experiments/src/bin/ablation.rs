@@ -1,9 +1,5 @@
 //! Ablation studies: chaining and register bank ports.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!("Chaining ablation on the reference machine (Section 2.1)\n");
-    println!("{}", dva_experiments::ablation::chaining(opts));
-    println!("\nRegister-bank port ablation on the decoupled machine\n");
-    println!("{}", dva_experiments::ablation::bank_ports(opts));
+    dva_experiments::cli::run_spec("ablation")
 }

@@ -1,43 +1,9 @@
 //! Runs every experiment in sequence — the full evaluation of the paper.
 //!
-//! A shared REF/DVA/IDEAL latency sweep feeds Figures 3, 4 and 5 so the
-//! heavy simulations run once (and in parallel across the grid).
-
-use dva_experiments::{common, fig1, fig3, fig4, fig5, fig6, fig7, fig8, membanks, queues, table1};
+//! One shared runner executes the whole spec registry: the REF/DVA/IDEAL
+//! latency sweep behind Figures 3, 4 and 5 simulates once and the other
+//! two figures render from the content-addressed cache.
 
 fn main() {
-    let opts = common::parse_args();
-
-    println!("== Table 1: basic operation counts ==\n");
-    println!("{}", table1::run(opts.scale));
-
-    println!("== Figure 1: REF state breakdown (% of cycles) ==\n");
-    println!("{}", fig1::run(opts));
-
-    let sweep = common::latency_sweep(opts, &common::latencies(opts.full));
-    println!("== Figure 3: execution time vs latency (kcycles) ==\n");
-    println!("{}", fig3::render(&sweep));
-    println!("== Figure 4: ( , , ) cycle ratio REF/DVA ==\n");
-    println!("{}", fig4::render(&sweep));
-    println!("== Figure 5: DVA speedup over REF ==\n");
-    println!("{}", fig5::render(&sweep));
-
-    println!("== Figure 6: AVDQ busy-slot distribution (kcycles) ==\n");
-    println!("{}", fig6::run(opts));
-
-    println!("== Figure 7: bypassing performance (kcycles) ==\n");
-    println!("{}", fig7::run(opts));
-
-    println!("== Figure 8: memory traffic ratio ==\n");
-    println!("{}", fig8::run(opts));
-
-    println!("== Queue sizing (Sections 5-7) ==\n");
-    println!("{}", queues::instruction_queues(opts));
-    println!();
-    println!("{}", queues::store_queue(opts));
-    println!();
-    println!("{}", queues::load_queue(opts));
-
-    println!("\n== Bank conflicts: cycles vs stride (beyond the paper) ==\n");
-    println!("{}", membanks::run(opts));
+    dva_experiments::cli::run_all()
 }

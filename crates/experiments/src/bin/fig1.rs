@@ -1,7 +1,5 @@
 //! Regenerates Figure 1: reference-architecture state breakdown.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!("Figure 1: REF execution breakdown into (FU2, FU1, LD) states (% of cycles)\n");
-    println!("{}", dva_experiments::fig1::run(opts));
+    dva_experiments::cli::run_spec("fig1")
 }

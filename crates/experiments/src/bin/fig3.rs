@@ -1,7 +1,5 @@
 //! Regenerates Figure 3: IDEAL / REF / DVA execution time vs latency.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!("Figure 3: execution time vs memory latency (kcycles)\n");
-    println!("{}", dva_experiments::fig3::run(opts));
+    dva_experiments::cli::run_spec("fig3")
 }

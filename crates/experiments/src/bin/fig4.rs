@@ -1,7 +1,5 @@
 //! Regenerates Figure 4: REF/DVA ratio of all-idle cycles.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!("Figure 4: ratio of cycles in state ( , , ), REF over DVA\n");
-    println!("{}", dva_experiments::fig4::run(opts));
+    dva_experiments::cli::run_spec("fig4")
 }

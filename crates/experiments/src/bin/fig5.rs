@@ -1,8 +1,5 @@
 //! Regenerates Figure 5: DVA speedup over REF.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!("Figure 5: speedup of the DVA over the reference architecture");
-    println!("(paper at L=100: 1.35 ARC2D .. 2.05 SPEC77, DYFESM ~1.0)\n");
-    println!("{}", dva_experiments::fig5::run(opts));
+    dva_experiments::cli::run_spec("fig5")
 }

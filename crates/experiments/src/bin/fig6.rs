@@ -1,7 +1,5 @@
 //! Regenerates Figure 6: AVDQ busy-slot distributions.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!("Figure 6: AVDQ busy slots (kcycles at each occupancy)\n");
-    println!("{}", dva_experiments::fig6::run(opts));
+    dva_experiments::cli::run_spec("fig6")
 }

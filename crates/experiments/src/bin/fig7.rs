@@ -1,7 +1,5 @@
 //! Regenerates Figure 7: bypass configurations vs DVA and IDEAL.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!("Figure 7: performance of the bypassing scheme (kcycles)\n");
-    println!("{}", dva_experiments::fig7::run(opts));
+    dva_experiments::cli::run_spec("fig7")
 }

@@ -1,8 +1,5 @@
 //! Regenerates Figure 8: memory traffic ratio DVA vs BYP.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!("Figure 8: total memory traffic, DVA 256/16 vs BYP 256/16");
-    println!("(paper: >30% reduction for DYFESM/TRFD, ~10% for BDNA/FLO52)\n");
-    println!("{}", dva_experiments::fig8::run(opts));
+    dva_experiments::cli::run_spec("fig8")
 }

@@ -1,13 +1,5 @@
 //! Bank-conflict stride sweep: REF vs DVA under flat vs banked memory.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!(
-        "Bank conflicts: cycles vs stride at L={} ({} banks, {}-cycle bank busy time)",
-        dva_experiments::membanks::LATENCY,
-        dva_experiments::membanks::BANKS,
-        dva_experiments::membanks::BANK_BUSY,
-    );
-    println!("(decoupling hides latency, not bandwidth: the DVA pays bank conflicts in full)\n");
-    println!("{}", dva_experiments::membanks::run(opts));
+    dva_experiments::cli::run_spec("membanks")
 }

@@ -1,11 +1,5 @@
 //! Regenerates the queue-sizing studies of Sections 5–7.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!("Instruction-queue sizing (Section 5: 16 within 2% of 512)\n");
-    println!("{}", dva_experiments::queues::instruction_queues(opts));
-    println!("\nStore-queue sizing, base DVA (Section 5: flat from 16 up)\n");
-    println!("{}", dva_experiments::queues::store_queue(opts));
-    println!("\nLoad-queue sizing with bypass (Section 7: 4 slots suffice)\n");
-    println!("{}", dva_experiments::queues::load_queue(opts));
+    dva_experiments::cli::run_spec("queue_sizing")
 }

@@ -1,7 +1,5 @@
 //! Regenerates Table 1 of the paper.
 
 fn main() {
-    let opts = dva_experiments::parse_args();
-    println!("Table 1: basic operation counts (measured vs paper ratios)\n");
-    println!("{}", dva_experiments::table1::run(opts.scale));
+    dva_experiments::cli::run_spec("table1")
 }

@@ -1,0 +1,120 @@
+//! The shared `main` of every experiment binary.
+//!
+//! Each binary is a two-line wrapper over [`run_spec`] (or [`run_all`]);
+//! parsing, execution, printing, artifact emission and the golden check
+//! all live here, against the [`registry`](crate::registry).
+//!
+//! Exit codes: `0` success (and golden match), `1` invariant violation,
+//! I/O failure or golden mismatch, `2` bad command line.
+
+use crate::registry::{find, REGISTRY};
+use dva_artifact::{
+    golden_check, golden_dir, parse_cli, write_outputs, Artifact, GoldenStatus, OutputOpts,
+    RunOpts, Runner,
+};
+use std::path::Path;
+
+/// Runs one registered spec end to end: parse the command line, execute,
+/// print the tables, write artifacts, check the golden. Never returns.
+pub fn run_spec(name: &str) -> ! {
+    let args = parse_cli();
+    let spec = find(name).unwrap_or_else(|| panic!("spec `{name}` not registered"));
+    let mut runner = Runner::new();
+    let artifact = run_or_die(&mut runner, spec, &args.run);
+    print!("{}", artifact.to_text());
+    finish(&[artifact], &args.out);
+}
+
+/// Runs every spec the `all` binary prints (registry order, skipping
+/// `all_header: None`) under one shared runner, so the REF/DVA/IDEAL
+/// sweep behind Figures 3–5 simulates once. Never returns.
+///
+/// With `--json`/`--csv` the given path is a *directory*; one
+/// `<name>.json`/`<name>.csv` is written per spec. `--golden-check`
+/// checks every produced artifact and fails if any mismatches.
+pub fn run_all() -> ! {
+    let args = parse_cli();
+    let mut runner = Runner::new();
+    let mut artifacts = Vec::new();
+    for spec in REGISTRY.iter().filter(|s| s.all_header.is_some()) {
+        let artifact = run_or_die(&mut runner, spec, &args.run);
+        print!(
+            "{}\n\n{}\n",
+            spec.all_header.expect("filtered above"),
+            artifact.tables_text()
+        );
+        artifacts.push(artifact);
+    }
+    finish(&artifacts, &args.out);
+}
+
+fn run_or_die(
+    runner: &mut Runner,
+    spec: &dva_artifact::ExperimentSpec,
+    opts: &RunOpts,
+) -> Artifact {
+    runner.run(spec, opts).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    })
+}
+
+/// Writes the requested outputs and runs the golden check, then exits
+/// with the appropriate status. For several artifacts the output paths
+/// are directories (one file per artifact); for one they are files.
+fn finish(artifacts: &[Artifact], out: &OutputOpts) -> ! {
+    for artifact in artifacts {
+        let per_artifact = if artifacts.len() == 1 {
+            out.clone()
+        } else {
+            OutputOpts {
+                json: out
+                    .json
+                    .as_ref()
+                    .map(|dir| dir.join(format!("{}.json", artifact.experiment))),
+                csv: out
+                    .csv
+                    .as_ref()
+                    .map(|dir| dir.join(format!("{}.csv", artifact.experiment))),
+                golden_check: out.golden_check,
+            }
+        };
+        ensure_parents(&per_artifact);
+        if let Err(message) = write_outputs(artifact, &per_artifact) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+    if !out.golden_check {
+        std::process::exit(0);
+    }
+    let dir = golden_dir();
+    let mut failed = false;
+    for artifact in artifacts {
+        match golden_check(artifact, &dir) {
+            GoldenStatus::Match => {
+                eprintln!("golden-check: {} matches", artifact.experiment);
+            }
+            GoldenStatus::Updated => {
+                eprintln!("golden-check: {} golden updated", artifact.experiment);
+            }
+            GoldenStatus::Mismatch { detail } => {
+                eprintln!("golden-check: {} FAILED: {detail}", artifact.experiment);
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}
+
+/// Creates the parent directories of the requested output files (the
+/// `all` binary's directory mode points into possibly-fresh trees).
+fn ensure_parents(out: &OutputOpts) {
+    for path in [&out.json, &out.csv].into_iter().flatten() {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() && !Path::new(parent).exists() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+    }
+}

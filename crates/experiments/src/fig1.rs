@@ -2,25 +2,52 @@
 //! the eight (FU2, FU1, LD) machine states, per program and memory
 //! latency.
 
-use crate::common::{RunOpts, FIG1_LATENCIES};
+use crate::common::{RunOpts, SweepOpts, FIG1_LATENCIES};
+use dva_artifact::{ExperimentSpec, Section};
 use dva_metrics::{Table, UnitState};
-use dva_sim_api::Machine;
+use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_workloads::Benchmark;
+
+/// The heading the standalone binary prints.
+pub const HEADING: &str =
+    "Figure 1: REF execution breakdown into (FU2, FU1, LD) states (% of cycles)";
+
+/// Figure 1 as a declarative spec: one REF sweep over the per-bar
+/// latencies.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig1",
+    description: "Figure 1: REF functional-unit state breakdown",
+    all_header: Some("== Figure 1: REF state breakdown (% of cycles) =="),
+    sweeps: spec_sweeps,
+    render: spec_render,
+    invariants: &[],
+};
+
+fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+    vec![opts
+        .sweep()
+        .machine(Machine::reference(1))
+        .benchmarks(Benchmark::ALL)
+        .latencies(FIG1_LATENCIES)]
+}
+
+fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+    vec![Section::new("fig1", HEADING, &render(&results[0]))]
+}
 
 /// Builds the Figure 1 data: one row per (program, latency) with the total
 /// cycles, the share of each of the eight states, and the paper's headline
 /// quantity — the fraction of cycles in which the memory port sits idle.
 pub fn run(opts: RunOpts) -> Table {
+    render(&spec_sweeps(&opts).remove(0).run())
+}
+
+/// Renders a precomputed REF sweep into the Figure 1 table.
+pub fn render(sweep: &SweepResults) -> Table {
     let mut headers = vec!["Program".to_string(), "L".to_string(), "cycles".to_string()];
     headers.extend(UnitState::all().iter().map(|s| s.to_string()));
     headers.push("LD idle %".to_string());
     let mut table = Table::new(headers);
-    let sweep = opts
-        .sweep()
-        .machine(Machine::reference(1))
-        .benchmarks(Benchmark::ALL)
-        .latencies(FIG1_LATENCIES)
-        .run();
     for point in &sweep.points {
         let result = &point.result;
         let mut row = vec![

@@ -1,10 +1,33 @@
 //! Figure 3: execution time versus memory latency for the IDEAL bound,
 //! the reference architecture and the decoupled architecture.
 
-use crate::common::{ideal_of, kcycles, latencies, latency_sweep, RunOpts};
+use crate::common::{ideal_of, kcycles, latencies, latency_sweep, latency_sweep_cfg, RunOpts};
+use dva_artifact::{ExperimentSpec, Invariant, Section};
 use dva_metrics::Table;
-use dva_sim_api::SweepResults;
+use dva_sim_api::{Sweep, SweepResults};
 use dva_workloads::Benchmark;
+
+/// The heading the standalone binary prints.
+pub const HEADING: &str = "Figure 3: execution time vs memory latency (kcycles)";
+
+/// Figure 3 as a declarative spec. Figures 3, 4 and 5 declare the same
+/// REF/DVA/IDEAL sweep, so under one runner the grid simulates once.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig3",
+    description: "Figure 3: IDEAL/REF/DVA execution time vs latency",
+    all_header: Some("== Figure 3: execution time vs latency (kcycles) =="),
+    sweeps: spec_sweeps,
+    render: spec_render,
+    invariants: &Invariant::ideal_dva_ref(0.10),
+};
+
+pub(crate) fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+    vec![latency_sweep_cfg(*opts, &latencies(opts.full))]
+}
+
+fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+    vec![Section::new("fig3", HEADING, &render(&results[0]))]
+}
 
 /// Builds the Figure 3 series: per program, one row per latency with
 /// IDEAL/REF/DVA cycle counts (in thousands).

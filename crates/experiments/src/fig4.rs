@@ -2,9 +2,27 @@
 //! the reference and the decoupled architecture.
 
 use crate::common::{latencies, latency_sweep, RunOpts};
+use dva_artifact::{ExperimentSpec, Invariant, Section};
 use dva_metrics::Table;
 use dva_sim_api::SweepResults;
 use dva_workloads::Benchmark;
+
+/// The heading the standalone binary prints.
+pub const HEADING: &str = "Figure 4: ratio of cycles in state ( , , ), REF over DVA";
+
+/// Figure 4 as a declarative spec (same sweep as Figures 3 and 5).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig4",
+    description: "Figure 4: ratio of ( , , ) cycles REF/DVA",
+    all_header: Some("== Figure 4: ( , , ) cycle ratio REF/DVA =="),
+    sweeps: crate::fig3::spec_sweeps,
+    render: spec_render,
+    invariants: &Invariant::ideal_dva_ref(0.10),
+};
+
+fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+    vec![Section::new("fig4", HEADING, &render(&results[0]))]
+}
 
 /// Builds the Figure 4 series: per program and latency, the REF/DVA ratio
 /// of all-idle cycles (the paper observes up to 5:1 for ARC2D).

@@ -2,9 +2,28 @@
 //! architecture, per memory latency.
 
 use crate::common::{latencies, latency_sweep, RunOpts};
+use dva_artifact::{ExperimentSpec, Invariant, Section};
 use dva_metrics::Table;
 use dva_sim_api::SweepResults;
 use dva_workloads::Benchmark;
+
+/// The heading the standalone binary prints (two lines).
+pub const HEADING: &str = "Figure 5: speedup of the DVA over the reference architecture\n\
+                           (paper at L=100: 1.35 ARC2D .. 2.05 SPEC77, DYFESM ~1.0)";
+
+/// Figure 5 as a declarative spec (same sweep as Figures 3 and 4).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig5",
+    description: "Figure 5: DVA speedup over REF",
+    all_header: Some("== Figure 5: DVA speedup over REF =="),
+    sweeps: crate::fig3::spec_sweeps,
+    render: spec_render,
+    invariants: &Invariant::ideal_dva_ref(0.10),
+};
+
+fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+    vec![Section::new("fig5", HEADING, &render(&results[0]))]
+}
 
 /// Builds the Figure 5 series (paper: speedups at latency 100 range from
 /// 1.35 for ARC2D to 2.05 for SPEC77; DYFESM stays at ~1.0).

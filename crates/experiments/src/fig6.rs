@@ -1,9 +1,10 @@
 //! Figure 6: busy-slot distribution of the vector load data queue (AVDQ)
 //! at three memory latencies.
 
-use crate::common::{RunOpts, FIG6_LATENCIES};
+use crate::common::{RunOpts, SweepOpts, FIG6_LATENCIES};
+use dva_artifact::{ExperimentSpec, Section};
 use dva_metrics::Table;
-use dva_sim_api::Machine;
+use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_workloads::Benchmark;
 
 /// How many occupancy buckets the table reports (the paper plots 0..=9;
@@ -11,20 +12,45 @@ use dva_workloads::Benchmark;
 /// fetch processor — Section 6).
 pub const BUCKETS: usize = 10;
 
+/// The heading the standalone binary prints.
+pub const HEADING: &str = "Figure 6: AVDQ busy slots (kcycles at each occupancy)";
+
+/// Figure 6 as a declarative spec: one DVA sweep over the histogram
+/// latencies.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig6",
+    description: "Figure 6: AVDQ busy-slot distributions",
+    all_header: Some("== Figure 6: AVDQ busy-slot distribution (kcycles) =="),
+    sweeps: spec_sweeps,
+    render: spec_render,
+    invariants: &[],
+};
+
+fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+    vec![opts
+        .sweep()
+        .machine(Machine::dva(1))
+        .benchmarks(Benchmark::ALL)
+        .latencies(FIG6_LATENCIES)]
+}
+
+fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+    vec![Section::new("fig6", HEADING, &render(&results[0]))]
+}
+
 /// Builds the Figure 6 histograms: cycles (in thousands) spent at each
 /// AVDQ occupancy, per program and latency, plus the maximum occupancy
 /// ever observed.
 pub fn run(opts: RunOpts) -> Table {
+    render(&spec_sweeps(&opts).remove(0).run())
+}
+
+/// Renders a precomputed DVA sweep into the Figure 6 table.
+pub fn render(sweep: &SweepResults) -> Table {
     let mut headers = vec!["Program".to_string(), "L".to_string()];
     headers.extend((0..BUCKETS).map(|v| format!("{v}")));
     headers.push("max".to_string());
     let mut table = Table::new(headers);
-    let sweep = opts
-        .sweep()
-        .machine(Machine::dva(1))
-        .benchmarks(Benchmark::ALL)
-        .latencies(FIG6_LATENCIES)
-        .run();
     for point in &sweep.points {
         let mut row = vec![point.program.clone(), point.latency.to_string()];
         let occupancy = point.result.avdq_occupancy().expect("DVA measures AVDQ");

@@ -1,13 +1,54 @@
 //! Figure 7: performance of the bypassing scheme — `BYP load/store`
 //! configurations against the base DVA and the IDEAL bound.
 
-use crate::common::{kcycles, latencies, RunOpts};
+use crate::common::{kcycles, latencies, RunOpts, SweepOpts};
+use dva_artifact::{ExperimentSpec, Invariant, Section};
 use dva_metrics::Table;
-use dva_sim_api::Machine;
+use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_workloads::Benchmark;
 
 /// The `(load queue, store queue)` configurations of the paper's Figure 7.
 pub const BYP_CONFIGS: [(usize, usize); 4] = [(4, 4), (4, 8), (4, 16), (256, 16)];
+
+/// The heading the standalone binary prints.
+pub const HEADING: &str = "Figure 7: performance of the bypassing scheme (kcycles)";
+
+/// Figure 7 as a declarative spec. The full-queue bypass configuration
+/// has the DVA's queues plus the bypass unit, so it may never lose to
+/// the DVA. IDEAL bounds the DVA but *not* the bypass machines: IDEAL
+/// idealizes latency, while bypassing removes memory traffic outright
+/// and can dip below that bound (FLO52 does, at latency 1).
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig7",
+    description: "Figure 7: bypass configurations vs DVA and IDEAL",
+    all_header: Some("== Figure 7: bypassing performance (kcycles) =="),
+    sweeps: spec_sweeps,
+    render: spec_render,
+    invariants: &[
+        Invariant::CyclesOrdered {
+            lower: "IDEAL",
+            upper: "DVA",
+            tolerance: 0.0,
+        },
+        Invariant::CyclesOrdered {
+            lower: "BYP 256/16",
+            upper: "DVA",
+            tolerance: 0.0,
+        },
+    ],
+};
+
+fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+    vec![opts
+        .sweep()
+        .machines(machines())
+        .benchmarks(Benchmark::ALL)
+        .latencies(latencies(opts.full))]
+}
+
+fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+    vec![Section::new("fig7", HEADING, &render(&results[0]))]
+}
 
 /// The machine line-up of Figure 7: DVA, the bypass configurations, and
 /// the IDEAL bound.
@@ -25,16 +66,15 @@ pub fn machines() -> Vec<Machine> {
 /// Builds the Figure 7 series: per program and latency, cycles (in
 /// thousands) for DVA, each bypass configuration, and the IDEAL bound.
 pub fn run(opts: RunOpts) -> Table {
+    render(&spec_sweeps(&opts).remove(0).run())
+}
+
+/// Renders a precomputed bypass sweep into the Figure 7 table.
+pub fn render(sweep: &SweepResults) -> Table {
     let machine_list = machines();
     let mut headers = vec!["Program".to_string(), "L".to_string()];
     headers.extend(machine_list.iter().map(|m| m.label()));
     let mut table = Table::new(headers);
-    let sweep = opts
-        .sweep()
-        .machines(machine_list.iter().copied())
-        .benchmarks(Benchmark::ALL)
-        .latencies(latencies(opts.full))
-        .run();
     for benchmark in Benchmark::ALL {
         for latency in sweep.latencies() {
             let mut row = vec![benchmark.name().to_string(), latency.to_string()];

@@ -1,19 +1,51 @@
 //! Figure 8: ratio of total memory traffic between the DVA 256/16 and the
 //! BYP 256/16 configurations.
 
-use crate::common::RunOpts;
+use crate::common::{RunOpts, SweepOpts};
+use dva_artifact::{ExperimentSpec, Section};
 use dva_metrics::Table;
-use dva_sim_api::Machine;
+use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_workloads::Benchmark;
 
 /// The latency Figure 8 is evaluated at (traffic is nearly latency
 /// independent; the paper plots a single bar per program).
 pub const LATENCY: u64 = 1;
 
+/// The heading the standalone binary prints (two lines).
+pub const HEADING: &str = "Figure 8: total memory traffic, DVA 256/16 vs BYP 256/16\n\
+                           (paper: >30% reduction for DYFESM/TRFD, ~10% for BDNA/FLO52)";
+
+/// Figure 8 as a declarative spec: one DVA-vs-BYP traffic sweep.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "fig8",
+    description: "Figure 8: memory-traffic ratio BYP/DVA",
+    all_header: Some("== Figure 8: memory traffic ratio =="),
+    sweeps: spec_sweeps,
+    render: spec_render,
+    invariants: &[],
+};
+
+fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+    vec![opts
+        .sweep()
+        .machines([Machine::dva(1), Machine::byp(1, 256, 16)])
+        .benchmarks(Benchmark::ALL)
+        .latencies([LATENCY])]
+}
+
+fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+    vec![Section::new("fig8", HEADING, &render(&results[0]))]
+}
+
 /// Builds the Figure 8 bars: memory words moved with and without bypass
 /// and their ratio (the paper reports >30% reduction for DYFESM and TRFD,
 /// ~10% for BDNA and FLO52).
 pub fn run(opts: RunOpts) -> Table {
+    render(&spec_sweeps(&opts).remove(0).run())
+}
+
+/// Renders a precomputed traffic sweep into the Figure 8 table.
+pub fn render(sweep: &SweepResults) -> Table {
     let mut table = Table::new([
         "Program",
         "DVA words",
@@ -22,12 +54,6 @@ pub fn run(opts: RunOpts) -> Table {
         "ratio",
         "reduction %",
     ]);
-    let sweep = opts
-        .sweep()
-        .machines([Machine::dva(1), Machine::byp(1, 256, 16)])
-        .benchmarks(Benchmark::ALL)
-        .latencies([LATENCY])
-        .run();
     for benchmark in Benchmark::ALL {
         let traffic = |label: &str| {
             sweep

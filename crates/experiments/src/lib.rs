@@ -25,11 +25,20 @@
 //! | [`fig8`] | Figure 8: memory-traffic ratio BYP/DVA |
 //! | [`queues`] | Section 5/6: queue-sizing sensitivity |
 //! | [`membanks`] | Beyond the paper: bank-conflict stride sweep over the memory backends |
+//!
+//! Every module also exposes its experiment as a declarative
+//! [`dva_artifact::ExperimentSpec`] (`SPEC`), collected in
+//! [`registry::REGISTRY`]. The binaries are thin wrappers over
+//! [`cli::run_spec`] / [`cli::run_all`], which execute specs through one
+//! cache-backed [`dva_artifact::Runner`], emit versioned artifacts
+//! (`--json` / `--csv`) and byte-check them against `artifacts/golden/`
+//! (`--golden-check`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cli;
 pub mod common;
 pub mod fig1;
 pub mod fig3;
@@ -40,8 +49,11 @@ pub mod fig7;
 pub mod fig8;
 pub mod membanks;
 pub mod queues;
+pub mod registry;
 pub mod table1;
 
-pub use common::{latencies, latency_sweep, parse_args, scale_from_args, RunOpts};
+pub use common::{latencies, latency_sweep, parse_args, scale_from_args, RunOpts, SweepOpts};
+pub use dva_artifact::{Artifact, ExperimentSpec, Invariant, RunError, Runner};
 pub use dva_sim_api::{Machine, SimResult, Sweep, SweepPoint, SweepResults};
 pub use dva_workloads::{Benchmark, Scale};
+pub use registry::{find, REGISTRY};

@@ -10,11 +10,37 @@
 //! manufacture bandwidth, so the DVA's banked/flat slowdown grows with
 //! stride at least as fast as the reference machine's.
 
-use crate::common::RunOpts;
+use crate::common::{RunOpts, SweepOpts};
+use dva_artifact::{ExperimentSpec, Section};
 use dva_isa::Program;
 use dva_metrics::Table;
-use dva_sim_api::{Machine, MemoryModelKind, SweepResults};
+use dva_sim_api::{Machine, MemoryModelKind, Sweep, SweepResults};
 use dva_workloads::{Kernel, LoopSpec, Phase, ProgramSpec, Scale, StripOverhead};
+
+/// The bank-conflict study as a declarative spec. Its strided programs
+/// are custom-compiled, but their instruction streams content-address
+/// like any benchmark, so the sweep still flows through the cache.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "membanks",
+    description: "bank-conflict stride sweep over the memory backends",
+    all_header: Some("\n== Bank conflicts: cycles vs stride (beyond the paper) =="),
+    sweeps: spec_sweeps,
+    render: spec_render,
+    invariants: &[],
+};
+
+fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+    vec![sweep_cfg(*opts)]
+}
+
+fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+    let heading = format!(
+        "Bank conflicts: cycles vs stride at L={LATENCY} \
+         ({BANKS} banks, {BANK_BUSY}-cycle bank busy time)\n\
+         (decoupling hides latency, not bandwidth: the DVA pays bank conflicts in full)"
+    );
+    vec![Section::new("membanks", heading, &render(&results[0]))]
+}
 
 /// The fixed memory latency of the study (the middle of the paper's
 /// sweep; the effect under study is bandwidth, not latency).
@@ -65,9 +91,8 @@ pub fn strided_program(stride: i64, scale: Scale) -> Program {
     spec.compile(0xBA2C5)
 }
 
-/// Runs the machines × strides × {flat, banked} grid in one parallel
-/// sweep session.
-pub fn sweep(opts: RunOpts) -> SweepResults {
+/// The machines × strides × {flat, banked} grid, configured but not run.
+pub fn sweep_cfg(opts: RunOpts) -> Sweep {
     let mut sweep = opts
         .sweep()
         .machines([Machine::reference(1), Machine::dva(1)])
@@ -76,13 +101,23 @@ pub fn sweep(opts: RunOpts) -> SweepResults {
     for stride in STRIDES {
         sweep = sweep.program(strided_program(stride, opts.scale));
     }
-    sweep.run()
+    sweep
+}
+
+/// Runs the machines × strides × {flat, banked} grid in one parallel
+/// sweep session.
+pub fn sweep(opts: RunOpts) -> SweepResults {
+    sweep_cfg(opts).run()
 }
 
 /// Builds the stride-sweep table: cycles under flat and banked memory
 /// and the banked/flat slowdown, for REF and DVA.
 pub fn run(opts: RunOpts) -> Table {
-    let results = sweep(opts);
+    render(&sweep(opts))
+}
+
+/// Renders a precomputed stride sweep into the bank-conflict table.
+pub fn render(results: &SweepResults) -> Table {
     let mut table = Table::new([
         "stride",
         "REF flat",

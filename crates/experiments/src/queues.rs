@@ -6,26 +6,108 @@
 //! machine-declaration order, so the cycles of one benchmark line up with
 //! the size grid positionally.
 
-use crate::common::RunOpts;
+use crate::common::{RunOpts, SweepOpts};
+use dva_artifact::{ExperimentSpec, Section};
 use dva_core::DvaConfig;
 use dva_metrics::Table;
-use dva_sim_api::Machine;
+use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_workloads::Benchmark;
 
 /// The latency at which the sizing study is run (the paper uses its full
 /// sweep; sensitivity is widest at high latency).
 pub const LATENCY: u64 = 50;
 
-/// Runs `machines` over every benchmark at [`LATENCY`] and returns the
-/// per-benchmark cycle counts in machine order.
-fn cycles_by_machine(opts: RunOpts, machines: Vec<Machine>) -> Vec<(Benchmark, Vec<u64>)> {
-    let count = machines.len();
-    let sweep = opts
-        .sweep()
+/// The three section headings the standalone binary prints.
+pub const HEADINGS: [&str; 3] = [
+    "Instruction-queue sizing (Section 5: 16 within 2% of 512)",
+    "Store-queue sizing, base DVA (Section 5: flat from 16 up)",
+    "Load-queue sizing with bypass (Section 7: 4 slots suffice)",
+];
+
+/// The queue-sizing studies as one declarative spec: three sweeps (one
+/// per queue under test), three sections.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "queue_sizing",
+    description: "Sections 5-7: queue-sizing sensitivity",
+    all_header: Some("== Queue sizing (Sections 5-7) =="),
+    sweeps: spec_sweeps,
+    render: spec_render,
+    invariants: &[],
+};
+
+fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+    vec![
+        sized_sweep(opts, iq_machines()),
+        sized_sweep(opts, sq_machines()),
+        sized_sweep(opts, lq_machines()),
+    ]
+}
+
+fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+    vec![
+        Section::new(
+            "instruction_queues",
+            HEADINGS[0],
+            &render_instruction_queues(&results[0]),
+        ),
+        Section::new("store_queue", HEADINGS[1], &render_store_queue(&results[1])),
+        Section::new("load_queue", HEADINGS[2], &render_load_queue(&results[2])),
+    ]
+}
+
+/// The instruction-queue sizes under test.
+const IQ_SIZES: [usize; 5] = [4, 8, 16, 64, 512];
+/// The store-queue sizes under test.
+const SQ_SIZES: [usize; 5] = [4, 8, 16, 32, 256];
+/// The load-queue (AVDQ) sizes under test.
+const LQ_SIZES: [usize; 5] = [2, 4, 8, 16, 256];
+
+fn iq_machines() -> Vec<Machine> {
+    IQ_SIZES
+        .iter()
+        .map(|&size| {
+            Machine::Dva(
+                DvaConfig::builder()
+                    .latency(LATENCY)
+                    .instruction_queue(size)
+                    .build(),
+            )
+        })
+        .collect()
+}
+
+fn sq_machines() -> Vec<Machine> {
+    SQ_SIZES
+        .iter()
+        .map(|&size| {
+            Machine::Dva(
+                DvaConfig::builder()
+                    .latency(LATENCY)
+                    .store_queue(size)
+                    .build(),
+            )
+        })
+        .collect()
+}
+
+fn lq_machines() -> Vec<Machine> {
+    LQ_SIZES
+        .iter()
+        .map(|&size| Machine::byp(LATENCY, size, 16))
+        .collect()
+}
+
+/// One sizing sweep: `machines` over every benchmark at [`LATENCY`].
+fn sized_sweep(opts: &RunOpts, machines: Vec<Machine>) -> Sweep {
+    opts.sweep()
         .machines(machines)
         .benchmarks(Benchmark::ALL)
         .latencies([LATENCY])
-        .run();
+}
+
+/// Extracts per-benchmark cycle counts in machine-declaration order (the
+/// sized machines share one label, so the lookup is positional).
+fn cycles_by_machine(sweep: &SweepResults, count: usize) -> Vec<(Benchmark, Vec<u64>)> {
     Benchmark::ALL
         .into_iter()
         .map(|benchmark| {
@@ -38,23 +120,16 @@ fn cycles_by_machine(opts: RunOpts, machines: Vec<Machine>) -> Vec<(Benchmark, V
 
 /// Instruction-queue sizing: the paper found 16 entries within 2% of 512.
 pub fn instruction_queues(opts: RunOpts) -> Table {
-    let sizes = [4usize, 8, 16, 64, 512];
+    render_instruction_queues(&sized_sweep(&opts, iq_machines()).run())
+}
+
+/// Renders a precomputed instruction-queue sweep.
+pub fn render_instruction_queues(sweep: &SweepResults) -> Table {
     let mut headers = vec!["Program".to_string()];
-    headers.extend(sizes.iter().map(|s| format!("IQ={s}")));
+    headers.extend(IQ_SIZES.iter().map(|s| format!("IQ={s}")));
     headers.push("16 vs 512 (%)".to_string());
     let mut table = Table::new(headers);
-    let machines = sizes
-        .iter()
-        .map(|&size| {
-            Machine::Dva(
-                DvaConfig::builder()
-                    .latency(LATENCY)
-                    .instruction_queue(size)
-                    .build(),
-            )
-        })
-        .collect();
-    for (benchmark, cycles) in cycles_by_machine(opts, machines) {
+    for (benchmark, cycles) in cycles_by_machine(sweep, IQ_SIZES.len()) {
         let c16 = cycles[2] as f64;
         let c512 = cycles[4] as f64;
         let mut row = vec![benchmark.name().to_string()];
@@ -68,22 +143,15 @@ pub fn instruction_queues(opts: RunOpts) -> Table {
 /// Store-queue sizing: the paper found almost no difference between 16,
 /// 32 and 256 slots for the base DVA.
 pub fn store_queue(opts: RunOpts) -> Table {
-    let sizes = [4usize, 8, 16, 32, 256];
+    render_store_queue(&sized_sweep(&opts, sq_machines()).run())
+}
+
+/// Renders a precomputed store-queue sweep.
+pub fn render_store_queue(sweep: &SweepResults) -> Table {
     let mut headers = vec!["Program".to_string()];
-    headers.extend(sizes.iter().map(|s| format!("SQ={s}")));
+    headers.extend(SQ_SIZES.iter().map(|s| format!("SQ={s}")));
     let mut table = Table::new(headers);
-    let machines = sizes
-        .iter()
-        .map(|&size| {
-            Machine::Dva(
-                DvaConfig::builder()
-                    .latency(LATENCY)
-                    .store_queue(size)
-                    .build(),
-            )
-        })
-        .collect();
-    for (benchmark, cycles) in cycles_by_machine(opts, machines) {
+    for (benchmark, cycles) in cycles_by_machine(sweep, SQ_SIZES.len()) {
         let mut row = vec![benchmark.name().to_string()];
         row.extend(cycles.iter().map(|c| c.to_string()));
         table.row(row);
@@ -94,16 +162,16 @@ pub fn store_queue(opts: RunOpts) -> Table {
 /// Load-queue sizing with bypass enabled (Section 7's conclusion: four
 /// slots capture most of an infinite queue).
 pub fn load_queue(opts: RunOpts) -> Table {
-    let sizes = [2usize, 4, 8, 16, 256];
+    render_load_queue(&sized_sweep(&opts, lq_machines()).run())
+}
+
+/// Renders a precomputed load-queue sweep.
+pub fn render_load_queue(sweep: &SweepResults) -> Table {
     let mut headers = vec!["Program".to_string()];
-    headers.extend(sizes.iter().map(|s| format!("AVDQ={s}")));
+    headers.extend(LQ_SIZES.iter().map(|s| format!("AVDQ={s}")));
     headers.push("4 vs 256 (%)".to_string());
     let mut table = Table::new(headers);
-    let machines = sizes
-        .iter()
-        .map(|&size| Machine::byp(LATENCY, size, 16))
-        .collect();
-    for (benchmark, cycles) in cycles_by_machine(opts, machines) {
+    for (benchmark, cycles) in cycles_by_machine(sweep, LQ_SIZES.len()) {
         let c4 = cycles[1] as f64;
         let c256 = cycles[4] as f64;
         let mut row = vec![benchmark.name().to_string()];

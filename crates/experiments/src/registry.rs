@@ -1,0 +1,67 @@
+//! The spec registry: every experiment of the evaluation, as data.
+//!
+//! The order is the `all` binary's print order (ablation comes last and
+//! is excluded from `all` via `all_header: None`). Each entry is also a
+//! standalone binary of the same name.
+
+use crate::{ablation, fig1, fig3, fig4, fig5, fig6, fig7, fig8, membanks, queues, table1};
+use dva_artifact::{ExperimentSpec, SpecManifest};
+
+/// Every experiment spec, in `all`-binary order.
+pub static REGISTRY: [ExperimentSpec; 11] = [
+    table1::SPEC,
+    fig1::SPEC,
+    fig3::SPEC,
+    fig4::SPEC,
+    fig5::SPEC,
+    fig6::SPEC,
+    fig7::SPEC,
+    fig8::SPEC,
+    queues::SPEC,
+    membanks::SPEC,
+    ablation::SPEC,
+];
+
+/// Looks a spec up by its registry name.
+pub fn find(name: &str) -> Option<&'static ExperimentSpec> {
+    REGISTRY.iter().find(|spec| spec.name == name)
+}
+
+/// The serializable manifests of every registered spec.
+pub fn manifests() -> Vec<SpecManifest> {
+    REGISTRY.iter().map(ExperimentSpec::manifest).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for spec in &REGISTRY {
+            assert!(std::ptr::eq(find(spec.name).unwrap(), spec));
+        }
+        let mut names: Vec<&str> = REGISTRY.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn only_the_ablation_is_outside_all() {
+        let outside: Vec<&str> = REGISTRY
+            .iter()
+            .filter(|s| s.all_header.is_none())
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(outside, ["ablation"]);
+    }
+
+    #[test]
+    fn manifests_cover_the_registry() {
+        let manifests = manifests();
+        assert_eq!(manifests.len(), REGISTRY.len());
+        assert_eq!(manifests[0].name, "table1");
+        assert!(!manifests.last().unwrap().in_all);
+    }
+}

@@ -1,7 +1,30 @@
 //! Table 1: basic operation counts for the benchmark programs.
 
+use dva_artifact::{ExperimentSpec, RunOpts, Section};
 use dva_metrics::Table;
+use dva_sim_api::{Sweep, SweepResults};
 use dva_workloads::{stats, Benchmark, Scale};
+
+/// The heading the standalone binary prints.
+pub const HEADING: &str = "Table 1: basic operation counts (measured vs paper ratios)";
+
+/// Table 1 as a declarative spec: trace statistics only, no sweeps.
+pub const SPEC: ExperimentSpec = ExperimentSpec {
+    name: "table1",
+    description: "Table 1: basic operation counts",
+    all_header: Some("== Table 1: basic operation counts =="),
+    sweeps: spec_sweeps,
+    render: spec_render,
+    invariants: &[],
+};
+
+fn spec_sweeps(_: &RunOpts) -> Vec<Sweep> {
+    Vec::new()
+}
+
+fn spec_render(opts: &RunOpts, _: &[SweepResults]) -> Vec<Section> {
+    vec![Section::new("table1", HEADING, &run(opts.scale))]
+}
 
 /// Builds Table 1 for our synthetic traces side by side with the paper's
 /// reported ratios. Counts are absolute for our traces; the calibrated

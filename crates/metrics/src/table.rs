@@ -48,6 +48,35 @@ impl Table {
         }
     }
 
+    /// Rebuilds a table from a header row and data rows — the inverse of
+    /// [`headers`](Table::headers)/[`rows`](Table::rows), used by the
+    /// artifact layer to re-render tables that round-tripped through a
+    /// serialized form. Alignment is the [`Table::new`] default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width differs from the header's.
+    pub fn from_parts(
+        headers: impl IntoIterator<Item = String>,
+        rows: impl IntoIterator<Item = Vec<String>>,
+    ) -> Table {
+        let mut table = Table::new(headers);
+        for row in rows {
+            table.row(row);
+        }
+        table
+    }
+
+    /// The header row.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Overrides the alignment of one column.
     ///
     /// # Panics

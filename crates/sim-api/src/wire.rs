@@ -150,22 +150,14 @@ impl SimResult {
     }
 }
 
-/// The spelling of a [`Scale`] on the wire.
+/// The spelling of a [`Scale`] on the wire (the canonical
+/// [`Scale::name`] form).
 pub(crate) fn scale_to_str(scale: Scale) -> &'static str {
-    match scale {
-        Scale::Quick => "quick",
-        Scale::Default => "default",
-        Scale::Full => "full",
-    }
+    scale.name()
 }
 
 pub(crate) fn scale_from_str(text: &str) -> Result<Scale, JsonError> {
-    match text {
-        "quick" => Ok(Scale::Quick),
-        "default" => Ok(Scale::Default),
-        "full" => Ok(Scale::Full),
-        other => Err(JsonError(format!("unknown scale `{other}`"))),
-    }
+    Scale::from_name(text).ok_or_else(|| JsonError(format!("unknown scale `{text}`")))
 }
 
 impl SweepPoint {

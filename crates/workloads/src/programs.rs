@@ -40,6 +40,26 @@ impl Scale {
             Scale::Full => base * 4,
         }
     }
+
+    /// The stable lowercase spelling of this scale, used on the wire and
+    /// in result artifacts (`quick` / `default` / `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses a [`Scale::name`] spelling.
+    pub fn from_name(name: &str) -> Option<Scale> {
+        match name {
+            "quick" => Some(Scale::Quick),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
 }
 
 /// The Table 1 row the paper reports for a program (dynamic counts in
