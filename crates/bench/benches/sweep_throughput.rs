@@ -10,6 +10,12 @@
 //! baseline also records the pre-compiled-programs throughput for
 //! history.
 //!
+//! Besides the sequential headline row, the baseline records a
+//! batched-lanes row (the same grid through the lane-batched driver at
+//! the sweep's default lane width) and a multi-threaded row (as many
+//! workers as the machine offers). The sequential and batched figures
+//! each gate independently under `PERF_GATE`.
+//!
 //! Under `BENCH_SMOKE` (CI) a single sample runs and is compared against
 //! the checked-in baseline. Inside the noise band a shortfall prints a
 //! `PERF-WARN:` line; below [`GATE_FRACTION`] of the baseline **and**
@@ -20,7 +26,7 @@
 //! is left untouched.
 
 use dva_serve::{ResultCache, SweepService, DEFAULT_MEMORY_CAPACITY};
-use dva_sim_api::{Machine, MemoryModelKind, Sweep};
+use dva_sim_api::{Machine, MemoryModelKind, Sweep, SweepResults};
 use dva_workloads::{Benchmark, Scale};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -58,17 +64,9 @@ fn grid() -> Sweep {
         .threads(1)
 }
 
-fn main() {
-    let smoke = criterion::smoke_mode();
-    let sweep = grid();
-    let points = sweep.len();
-
-    // Warmup: populate the program and compiled-program caches and touch
-    // every code path once, so the samples measure steady-state sweeps.
-    let warm = sweep.run();
-    assert_eq!(warm.points.len(), points, "grid must measure every point");
-
-    let samples = if smoke { 3 } else { 9 };
+/// Median wall-clock seconds for one full run of `sweep`, checking every
+/// sample against the warmup results for reproducibility.
+fn median_run_secs(sweep: &Sweep, samples: usize, warm: &SweepResults) -> f64 {
     let mut times: Vec<f64> = (0..samples)
         .map(|_| {
             let start = Instant::now();
@@ -79,12 +77,55 @@ fn main() {
         })
         .collect();
     times.sort_by(f64::total_cmp);
-    let median = times[times.len() / 2];
+    times[times.len() / 2]
+}
+
+fn main() {
+    let smoke = criterion::smoke_mode();
+    // The headline row stays sequential (one lane) so the figure remains
+    // comparable with baselines that predate lane batching.
+    let sweep = grid().lanes(1);
+    let points = sweep.len();
+
+    // Warmup: populate the program and compiled-program caches and touch
+    // every code path once, so the samples measure steady-state sweeps.
+    let warm = sweep.run();
+    assert_eq!(warm.points.len(), points, "grid must measure every point");
+
+    let samples = if smoke { 3 } else { 9 };
+    let median = median_run_secs(&sweep, samples, &warm);
     let points_per_sec = points as f64 / median;
     println!(
         "sweep_throughput: {points} points in {:.1}ms -> {points_per_sec:.1} points/sec \
          (1 thread, median of {samples}; pre-compiled-programs baseline {PRE_COMPILED_POINTS_PER_SEC:.1})",
         1e3 * median,
+    );
+
+    // Batched-lanes row: the same grid through the lane-batched driver at
+    // the sweep's default lane width. Results are asserted identical to
+    // the sequential warmup inside `median_run_secs`.
+    let batched = grid();
+    let lanes = batched.effective_lanes();
+    let batched_median = median_run_secs(&batched, samples, &warm);
+    let batched_points_per_sec = points as f64 / batched_median;
+    println!(
+        "sweep_throughput: batched x{lanes} {points} points in {:.1}ms -> \
+         {batched_points_per_sec:.1} points/sec ({:.2}x sequential)",
+        1e3 * batched_median,
+        batched_points_per_sec / points_per_sec,
+    );
+
+    // Multi-threaded row: every core the machine offers (at least two
+    // workers, so the work-stealing path is exercised even on one core).
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+    let threaded = grid().threads(workers);
+    let threaded_median = median_run_secs(&threaded, samples, &warm);
+    let threaded_points_per_sec = points as f64 / threaded_median;
+    println!(
+        "sweep_throughput: {workers} threads {points} points in {:.1}ms -> \
+         {threaded_points_per_sec:.1} points/sec ({:.2}x one thread)",
+        1e3 * threaded_median,
+        threaded_points_per_sec / points_per_sec,
     );
 
     // Warm-cache throughput through the sweep service: the first job pays
@@ -124,7 +165,16 @@ fn main() {
     if std::env::var_os("BENCH_UPDATE").is_some() && !smoke {
         std::fs::write(
             path,
-            render_json(points, median, points_per_sec, warm_points_per_sec),
+            render_json(
+                points,
+                median,
+                points_per_sec,
+                warm_points_per_sec,
+                lanes,
+                batched_points_per_sec,
+                workers,
+                threaded_points_per_sec,
+            ),
         )
         .expect("write baseline");
         println!("sweep_throughput: wrote {path}");
@@ -132,39 +182,53 @@ fn main() {
     }
 
     // Regression check against the checked-in baseline: warn inside the
-    // noise band, fail (under PERF_GATE) beyond it.
+    // noise band, fail (under PERF_GATE) beyond it. The sequential and
+    // the batched figures gate independently — a scheduler regression in
+    // the lane-batched driver must not hide behind a healthy sequential
+    // number, or vice versa.
     let gated = std::env::var_os("PERF_GATE").is_some();
-    match std::fs::read_to_string(path)
-        .ok()
-        .and_then(|s| json_f64(&s, "points_per_sec"))
-    {
-        Some(baseline) => {
-            let ratio = points_per_sec / baseline;
-            println!(
-                "sweep_throughput: {:.2}x the checked-in baseline ({baseline:.1} points/sec)",
-                ratio
-            );
-            if gated && ratio < GATE_FRACTION {
+    let doc = std::fs::read_to_string(path).ok();
+    let mut failed = false;
+    let rows = [
+        ("points_per_sec", points_per_sec),
+        ("batched_lanes_points_per_sec", batched_points_per_sec),
+    ];
+    for (key, measured) in rows {
+        match doc.as_deref().and_then(|s| json_f64(s, key)) {
+            Some(baseline) => {
+                let ratio = measured / baseline;
                 println!(
-                    "PERF-FAIL: sweep throughput {points_per_sec:.1} points/sec is below \
-                     {GATE_FRACTION}x the checked-in baseline {baseline:.1} — a >25% \
-                     regression (rebaseline deliberately with BENCH_UPDATE=1 if intended)"
+                    "sweep_throughput: {key} {:.2}x the checked-in baseline \
+                     ({baseline:.1} points/sec)",
+                    ratio
                 );
-                std::process::exit(1);
+                if gated && ratio < GATE_FRACTION {
+                    println!(
+                        "PERF-FAIL: {key} {measured:.1} points/sec is below \
+                         {GATE_FRACTION}x the checked-in baseline {baseline:.1} — a >25% \
+                         regression (rebaseline deliberately with BENCH_UPDATE=1 if intended)"
+                    );
+                    failed = true;
+                }
+                if ratio < WARN_FRACTION {
+                    println!(
+                        "PERF-WARN: {key} {measured:.1} points/sec is below \
+                         {WARN_FRACTION}x the checked-in baseline {baseline:.1} \
+                         (machines differ; investigate only if this regressed on the same hardware)"
+                    );
+                }
             }
-            if ratio < WARN_FRACTION {
+            None if gated => {
                 println!(
-                    "PERF-WARN: sweep throughput {points_per_sec:.1} points/sec is below \
-                     {WARN_FRACTION}x the checked-in baseline {baseline:.1} \
-                     (machines differ; investigate only if this regressed on the same hardware)"
+                    "PERF-FAIL: no readable {key} baseline at {path} (required under PERF_GATE)"
                 );
+                failed = true;
             }
+            None => println!("sweep_throughput: no readable {key} baseline at {path}"),
         }
-        None if gated => {
-            println!("PERF-FAIL: no readable baseline at {path} (required under PERF_GATE)");
-            std::process::exit(1);
-        }
-        None => println!("sweep_throughput: no readable baseline at {path}"),
+    }
+    if failed {
+        std::process::exit(1);
     }
     println!("sweep_throughput: set BENCH_UPDATE=1 to rewrite BENCH_sweep.json");
 }
@@ -178,11 +242,16 @@ fn json_f64(doc: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     points: usize,
     median_secs: f64,
     points_per_sec: f64,
     warm_cache_points_per_sec: f64,
+    batched_lanes: usize,
+    batched_lanes_points_per_sec: f64,
+    multi_thread_workers: usize,
+    multi_thread_points_per_sec: f64,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -201,6 +270,16 @@ fn render_json(
     let _ = writeln!(
         out,
         "  \"warm_cache_points_per_sec\": {warm_cache_points_per_sec:.1},"
+    );
+    let _ = writeln!(out, "  \"batched_lanes\": {batched_lanes},");
+    let _ = writeln!(
+        out,
+        "  \"batched_lanes_points_per_sec\": {batched_lanes_points_per_sec:.1},"
+    );
+    let _ = writeln!(out, "  \"multi_thread_workers\": {multi_thread_workers},");
+    let _ = writeln!(
+        out,
+        "  \"multi_thread_points_per_sec\": {multi_thread_points_per_sec:.1},"
     );
     let _ = writeln!(
         out,

@@ -16,7 +16,7 @@ use crate::config::DvaConfig;
 use crate::queues::{Fifo, Timed};
 use crate::result::DvaResult;
 use crate::uops::{ApOp, DataSlot, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
-use dva_engine::{Driver, Observers, Processor, Progress, Report};
+use dva_engine::{Completion, Driver, Lane, Observers, Processor, Progress, Report};
 use dva_isa::{Cycle, MemRange, ScalarReg, VectorLength};
 use dva_memory::{CacheAccess, Memory, MemoryModel};
 use dva_metrics::{Histogram, UnitState};
@@ -603,6 +603,10 @@ impl Engine {
                 return false;
             }
             self.ap_drain_until = None;
+            // Leaving drain mode changes the store engine's `draining`
+            // gate even when the attempt below fails, so the cached
+            // wakes must be re-derived.
+            self.progress_version += 1;
         }
         let Some(op) = self.apiq.front().copied() else {
             return false;
@@ -684,11 +688,21 @@ impl Engine {
         done
     }
 
+    /// Puts the AP in drain mode until `seq` commits. Drain entry flips
+    /// the store engine's `draining` gate even though the load attempt
+    /// itself fails, so it counts as a cache-invalidating event: without
+    /// the version bump a store engine skipping on a stamped wake would
+    /// never notice the drain and the machine would deadlock.
+    fn enter_drain(&mut self, seq: StoreSeq) {
+        self.ap_drain_until = Some(seq);
+        self.progress_version += 1;
+    }
+
     fn ap_scalar_load(&mut self, dst: Option<ScalarReg>, to_sp: bool, addr: u64) -> bool {
         let now = self.now;
         let range = MemRange::new(addr, addr + 8);
         if let Some(conflict) = self.disambiguate_cached(range, None) {
-            self.ap_drain_until = Some(conflict.seq);
+            self.enter_drain(conflict.seq);
             return false;
         }
         if to_sp && self.asdq.is_full() {
@@ -737,7 +751,7 @@ impl Engine {
             Some(conflict) => {
                 // Memory hazard: write back everything up to the youngest
                 // offending store, then retry.
-                self.ap_drain_until = Some(conflict.seq);
+                self.enter_drain(conflict.seq);
                 false
             }
             None => {
@@ -1283,23 +1297,40 @@ impl Processor for Engine {
         // attempts that follow it, including within this same tick. The
         // AP attempt always runs in drain mode, which counts its stall
         // cycles inside the attempt.
+        // A failed attempt immediately re-stamps its unit's wake cache
+        // (the attempt just evaluated every gate, so the wake derivation
+        // is exact *now*): until the version moves or the clock reaches
+        // the wake, the unit skips its attempts — including across
+        // dispatch-only ticks, which leave the version alone.
         let (ver, wake) = self.wake_ap_cache.get();
         if self.ap_drain_until.is_some() || ver != self.progress_version || now >= wake {
             let advanced = self.step_ap();
             self.progress_version += u64::from(advanced);
             progress |= advanced;
+            if !advanced {
+                let wake = self.wake_ap(now).unwrap_or(Cycle::MAX);
+                self.wake_ap_cache.set((self.progress_version, wake));
+            }
         }
         let (ver, wake) = self.wake_sp_cache.get();
         if ver != self.progress_version || now >= wake {
             let advanced = self.step_sp();
             self.progress_version += u64::from(advanced);
             progress |= advanced;
+            if !advanced {
+                let wake = self.wake_sp().unwrap_or(Cycle::MAX);
+                self.wake_sp_cache.set((self.progress_version, wake));
+            }
         }
         let (ver, wake) = self.wake_vp_cache.get();
         if ver != self.progress_version || now >= wake {
             let advanced = self.step_vp();
             self.progress_version += u64::from(advanced);
             progress |= advanced;
+            if !advanced {
+                let wake = self.wake_vp().unwrap_or(Cycle::MAX);
+                self.wake_vp_cache.set((self.progress_version, wake));
+            }
         }
         let flush = self.pc >= self.compiled.len() && self.pending.is_none();
         let (ver, wake) = self.wake_store_cache.get();
@@ -1307,6 +1338,10 @@ impl Processor for Engine {
             let advanced = self.step_store_engine(flush);
             self.progress_version += u64::from(advanced);
             progress |= advanced;
+            if !advanced {
+                let wake = self.wake_store(now).unwrap_or(Cycle::MAX);
+                self.wake_store_cache.set((self.progress_version, wake));
+            }
         }
         if self.cfg.bypass {
             let (ver, wake) = self.wake_bypass_cache.get();
@@ -1314,6 +1349,10 @@ impl Processor for Engine {
                 let advanced = self.step_bypass_engine();
                 self.progress_version += u64::from(advanced);
                 progress |= advanced;
+                if !advanced {
+                    let wake = self.wake_bypass().unwrap_or(Cycle::MAX);
+                    self.wake_bypass_cache.set((self.progress_version, wake));
+                }
             }
         }
 
@@ -1324,17 +1363,21 @@ impl Processor for Engine {
             self.pending = Some(self.pc);
             self.pc += 1;
         }
+        let mut fronts_changed = false;
         let dispatched = match self.pending {
             Some(index) => {
                 let bundle = &self.compiled.bundles()[index];
                 if self.fp_can_dispatch(bundle.slots()) {
                     if let Some(ap) = bundle.ap {
+                        fronts_changed |= self.apiq.is_empty();
                         self.apiq.push(ap);
                     }
                     for sp in bundle.sp.iter() {
+                        fronts_changed |= self.spiq.is_empty();
                         self.spiq.push(*sp);
                     }
                     if let Some(vp) = bundle.vp {
+                        fronts_changed |= self.vpiq.is_empty();
                         self.vpiq.push(vp);
                     }
                     true
@@ -1347,7 +1390,16 @@ impl Processor for Engine {
         };
         if dispatched {
             self.pending = None;
-            self.progress_version += 1;
+            // A push into a non-empty instruction queue changes no unit's
+            // front µop, and the wake times read nothing else the
+            // dispatch touches — the cached wakes stay exact, so the
+            // version is left alone and the units keep skipping their
+            // attempts. A push that installs a new front µop re-enables
+            // that unit; the final dispatch flips the store engine's
+            // flush gate, so it bumps too.
+            if fronts_changed || self.pc >= self.compiled.len() {
+                self.progress_version += 1;
+            }
             progress = true;
         }
         Progress::from(progress)
@@ -1477,6 +1529,54 @@ pub(crate) fn drive(engine: &mut Engine, fast_forward: bool) -> DvaResult {
     let completion = Driver::new()
         .fast_forward(fast_forward)
         .run(engine, &mut observers);
+    assemble(completion, engine, observers)
+}
+
+/// Drives a batch of engines — the per-lane timing states of one
+/// lockstep pass — to completion through
+/// [`Driver::run_batch`](dva_engine::Driver::run_batch) and assembles
+/// each lane's result, in lane order.
+///
+/// Every engine must have been [`reset`](Engine::reset) (or freshly
+/// constructed) against the *same* compiled program: the bundle stream,
+/// issue order, hazard ranges and store sequence are the shared
+/// read-only structure of the batch, while each engine carries its own
+/// configuration, queues, unit busy-times and memory model.
+pub(crate) fn drive_batch(engines: &mut [Engine], fast_forward: bool) -> Vec<DvaResult> {
+    debug_assert!(
+        engines
+            .windows(2)
+            .all(|pair| Arc::ptr_eq(&pair[0].compiled, &pair[1].compiled)),
+        "batched lanes must share one compiled program"
+    );
+    let mut observers: Vec<Observers> = engines
+        .iter()
+        .map(|engine| Observers::with_occupancy(Histogram::new(engine.cfg.queues.avdq)))
+        .collect();
+    let mut lanes: Vec<Lane<'_, Engine>> = engines
+        .iter_mut()
+        .zip(observers.iter_mut())
+        .map(|(processor, observers)| Lane {
+            processor,
+            observers,
+        })
+        .collect();
+    let completions = Driver::new()
+        .fast_forward(fast_forward)
+        .run_batch(&mut lanes);
+    drop(lanes);
+    completions
+        .into_iter()
+        .zip(engines.iter())
+        .zip(observers)
+        .map(|((completion, engine), observers)| assemble(completion, engine, observers))
+        .collect()
+}
+
+/// Builds the decoupled machine's result from a finished run's clock,
+/// observers and engine — the one place a [`DvaResult`] is put together,
+/// shared by the sequential and batched paths.
+fn assemble(completion: Completion, engine: &Engine, observers: Observers) -> DvaResult {
     let (core, occupancy) = completion.into_core(engine, observers);
     let avdq_occupancy = occupancy.expect("the DVA observers carry the AVDQ histogram");
     let max_avdq = avdq_occupancy.max_observed().unwrap_or(0);
@@ -1595,6 +1695,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A lockstep batch over mixed configurations — different latencies,
+    /// queue sizes, bypass and memory models in one pass — must produce,
+    /// lane for lane, the bytes of sequential runs.
+    #[test]
+    fn batched_lanes_are_byte_identical_to_sequential_runs() {
+        use crate::{DvaRunner, DvaSim};
+        let program = load_storm(12, 32);
+        let compiled = Arc::new(CompiledProgram::compile(&program));
+        let mut banked = DvaConfig::dva(30);
+        banked.memory.model = dva_memory::MemoryModelKind::Banked {
+            banks: 8,
+            bank_busy: 8,
+        };
+        let configs = [
+            DvaConfig::dva(1),
+            DvaConfig::dva(100),
+            DvaConfig::byp(30, 4, 8),
+            banked,
+        ];
+        let sims: Vec<DvaSim> = configs.iter().map(|&cfg| DvaSim::new(cfg)).collect();
+        let expected: Vec<DvaResult> = sims.iter().map(|sim| sim.run_compiled(&compiled)).collect();
+        for lanes in 1..=sims.len() {
+            let mut runner = DvaRunner::new();
+            let batch = runner.run_batch(&sims[..lanes], &compiled);
+            assert_eq!(batch, expected[..lanes], "lane count {lanes}");
+            // And the pool resets cleanly for the next batch.
+            assert_eq!(runner.run_batch(&sims[..lanes], &compiled), batch);
+        }
+        assert!(DvaRunner::new().run_batch(&[], &compiled).is_empty());
     }
 
     /// A reset engine must behave exactly like a fresh one, across

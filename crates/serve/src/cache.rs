@@ -8,6 +8,15 @@
 //! [`ENGINE_VERSION`] discards it wholesale,
 //! so stale results can never be served after the simulators change
 //! observable behaviour.
+//!
+//! Append-only files accumulate dead lines: a key appended twice (say by
+//! a writer that crashed before it could index its own append, or by two
+//! processes sharing the directory) leaves its older line superseded, and
+//! a torn trailing write leaves an unparsable row. Later appearances of a
+//! key win at load, matching append order. When the dead lines loaded
+//! past exceed a quarter of the live entries, opening the cache compacts:
+//! the file is rewritten — header plus one line per live key — through an
+//! atomic rename, so a crash mid-compaction leaves the old file intact.
 
 use crate::key::PointKey;
 use dva_engine::ENGINE_VERSION;
@@ -58,9 +67,14 @@ impl ResultCache {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("results.jsonl");
         // An unreadable file counts as stale.
-        let entries = load_entries(&path).unwrap_or_default();
-        let (entries, fresh) = match entries {
-            Some(entries) => (entries, false),
+        let loaded = load_entries(&path).unwrap_or_default();
+        let (entries, fresh) = match loaded {
+            Some((entries, dead)) => {
+                if needs_compaction(entries.len(), dead) {
+                    compact(&path, &entries)?;
+                }
+                (entries, false)
+            }
             None => (HashMap::new(), true),
         };
         let mut options = OpenOptions::new();
@@ -152,9 +166,41 @@ impl ResultCache {
     }
 }
 
+/// Whether `dead` superseded-or-unparsable lines justify rewriting a file
+/// holding `live` usable entries. A quarter of the live count keeps the
+/// rewrite cost proportional to the useful content it preserves.
+fn needs_compaction(live: usize, dead: usize) -> bool {
+    dead * 4 > live.max(1)
+}
+
+/// Rewrites the disk tier as header + one line per live entry, in key
+/// order, swapped into place with an atomic rename.
+fn compact(path: &Path, entries: &HashMap<PointKey, SimResult>) -> io::Result<()> {
+    let tmp = path.with_extension("jsonl.tmp");
+    {
+        let mut writer = BufWriter::new(File::create(&tmp)?);
+        let header = Json::obj([("engine_version", Json::from(ENGINE_VERSION))]);
+        writeln!(writer, "{}", header.render())?;
+        let mut keys: Vec<&PointKey> = entries.keys().collect();
+        keys.sort_by_key(|key| key.as_str());
+        for key in keys {
+            let line = Json::obj([
+                ("key", Json::from(key.as_str())),
+                ("result", entries[key].to_json()),
+            ]);
+            writeln!(writer, "{}", line.render())?;
+        }
+        writer.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 /// Reads the disk tier. `Ok(None)` means "stale or absent — start over";
-/// `Err` is a real I/O failure on an existing file.
-fn load_entries(path: &Path) -> io::Result<Option<HashMap<PointKey, SimResult>>> {
+/// `Err` is a real I/O failure on an existing file. The second element of
+/// a loaded pair counts the dead lines skipped over: rows a later append
+/// superseded, plus rows that failed to parse.
+#[allow(clippy::type_complexity)]
+fn load_entries(path: &Path) -> io::Result<Option<(HashMap<PointKey, SimResult>, usize)>> {
     let file = match File::open(path) {
         Ok(file) => file,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
@@ -176,24 +222,27 @@ fn load_entries(path: &Path) -> io::Result<Option<HashMap<PointKey, SimResult>>>
         return stale();
     }
     let mut entries = HashMap::new();
+    let mut dead = 0usize;
     for line in lines {
         let line = line?;
         if line.trim().is_empty() {
             continue; // tolerate a torn trailing write
         }
-        let Ok(parsed) = Json::parse(&line) else {
-            continue;
-        };
-        let entry = (|| {
-            let key = parsed.field("key")?.as_str()?.to_string();
-            let result = SimResult::from_json(parsed.field("result")?)?;
-            Ok::<_, dva_json::JsonError>((PointKey::from_string(key), result))
-        })();
-        if let Ok((key, result)) = entry {
-            entries.insert(key, result);
+        let entry = Json::parse(&line).ok().and_then(|parsed| {
+            let key = parsed.field("key").ok()?.as_str().ok()?.to_string();
+            let result = SimResult::from_json(parsed.field("result").ok()?).ok()?;
+            Some((PointKey::from_string(key), result))
+        });
+        match entry {
+            Some((key, result)) => {
+                if entries.insert(key, result).is_some() {
+                    dead += 1; // superseded an earlier append of this key
+                }
+            }
+            None => dead += 1,
         }
     }
-    Ok(Some(entries))
+    Ok(Some((entries, dead)))
 }
 
 #[cfg(test)]
@@ -269,6 +318,56 @@ mod tests {
                 "restart must preserve results byte for byte"
             );
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_rewrites_duplicate_keys_then_survives_restart() {
+        let dir = std::env::temp_dir().join(format!("dva-serve-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let points = keyed_points(4);
+        {
+            let mut cache = ResultCache::persistent(&dir, 64).unwrap();
+            for (key, result) in &points {
+                cache.store(key.clone(), result.clone()).unwrap();
+            }
+        }
+        // Simulate a writer that lost its in-memory index (a crash, or a
+        // second process sharing the directory): re-append the first key
+        // twice, the last time under a different result.
+        let path = dir.join("results.jsonl");
+        {
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            for result in [&points[0].1, &points[1].1] {
+                let line = Json::obj([
+                    ("key", Json::from(points[0].0.as_str())),
+                    ("result", result.to_json()),
+                ]);
+                writeln!(file, "{}", line.render()).unwrap();
+            }
+        }
+        let lines = |p: &Path| std::fs::read_to_string(p).unwrap().lines().count();
+        assert_eq!(lines(&path), 1 + points.len() + 2, "bloated before reopen");
+
+        // Reopening sees two dead lines against four live entries — past
+        // the quarter threshold — and rewrites the file.
+        {
+            let mut cache = ResultCache::persistent(&dir, 64).unwrap();
+            assert_eq!(cache.disk_len(), points.len());
+            assert_eq!(lines(&path), 1 + points.len(), "rewritten on load");
+            let served = cache.get(&points[0].0).expect("still present");
+            assert_eq!(served, points[1].1, "the latest append of a key wins");
+        }
+        // A second restart serves the compacted file byte-identically and
+        // leaves it alone: no dead lines remain to reclaim.
+        let mut cache = ResultCache::persistent(&dir, 64).unwrap();
+        assert_eq!(lines(&path), 1 + points.len(), "already compact: untouched");
+        let reread = std::fs::read_to_string(&path).unwrap();
+        assert!(reread.starts_with(&format!("{{\"engine_version\":{ENGINE_VERSION}}}")));
+        for (key, result) in points.iter().skip(1) {
+            assert_eq!(&cache.get(key).expect("persisted"), result);
+        }
+        assert_eq!(cache.get(&points[0].0).unwrap(), points[1].1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

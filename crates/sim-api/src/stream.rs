@@ -13,9 +13,11 @@
 
 use crate::prepare::{PreparedProgram, Runners};
 use crate::sweep::SweepPoint;
-use crate::Machine;
+use crate::{Machine, SimResult};
+use dva_core::DvaSim;
 use dva_isa::Program;
 use dva_memory::MemoryModelKind;
+use dva_ref::RefSim;
 use dva_workloads::Benchmark;
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
@@ -50,10 +52,21 @@ pub(crate) struct Entry {
 }
 
 impl Entry {
-    /// Measures the point. This is the one place a [`SweepPoint`] is
-    /// built, so every execution path (sequential, streamed, stolen)
+    /// Measures the point on its own. Batched execution goes through
+    /// [`execute_job`] instead; both funnel into [`Entry::point_from`],
+    /// so every execution path (sequential, streamed, stolen, batched)
     /// produces identical bytes.
     pub(crate) fn measure(&self, fast_forward: bool, runners: &mut Runners) -> SweepPoint {
+        self.point_from(
+            self.spec
+                .machine
+                .simulate_prepared(&self.prepared, fast_forward, runners),
+        )
+    }
+
+    /// Wraps a measured [`SimResult`] in this point's grid coordinates —
+    /// the one place a [`SweepPoint`] is built.
+    pub(crate) fn point_from(&self, result: SimResult) -> SweepPoint {
         SweepPoint {
             machine: self.spec.machine,
             label: self.spec.machine.label(),
@@ -61,10 +74,122 @@ impl Entry {
             program: self.prepared.program().name().to_string(),
             latency: self.spec.latency,
             memory: self.spec.memory,
-            result: self
-                .spec
-                .machine
-                .simulate_prepared(&self.prepared, fast_forward, runners),
+            result,
+        }
+    }
+}
+
+/// One schedulable unit of sweep work: the entry positions it measures.
+/// A multi-position job is a lane batch — entries of one program and one
+/// machine family that a single lockstep engine pass measures together.
+pub(crate) struct Job {
+    pub(crate) positions: Vec<usize>,
+}
+
+/// The machine families whose engines support lane batching. IDEAL is a
+/// closed-form bound (nothing to batch) and custom machines own their
+/// processors, so both stay singleton jobs.
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+enum Family {
+    Dva,
+    Ref,
+}
+
+fn family(machine: &Machine) -> Option<Family> {
+    match machine {
+        Machine::Dva(_) => Some(Family::Dva),
+        Machine::Ref(_) => Some(Family::Ref),
+        Machine::Ideal | Machine::Custom(_) => None,
+    }
+}
+
+/// Groups entries into [`Job`]s: points that share a prepared program
+/// and a machine family — across the latency, memory-model and
+/// machine-configuration axes — batch into lockstep lanes, capped at
+/// `lanes` per job; everything else stays a singleton. Jobs are ordered
+/// by their first grid position, and positions within a job keep grid
+/// order, so execution remains deterministic.
+pub(crate) fn plan_jobs(entries: &[Entry], lanes: usize) -> Vec<Job> {
+    let lanes = lanes.max(1);
+    let mut jobs: Vec<Job> = Vec::new();
+    // The open (not yet full) job per batchable group, keyed by the
+    // prepared program's identity and the machine family.
+    let mut open: Vec<((usize, Family), usize)> = Vec::new();
+    for (pos, entry) in entries.iter().enumerate() {
+        let Some(family) = family(&entry.spec.machine).filter(|_| lanes > 1) else {
+            jobs.push(Job {
+                positions: vec![pos],
+            });
+            continue;
+        };
+        let key = (Arc::as_ptr(&entry.prepared) as usize, family);
+        match open.iter().position(|(k, _)| *k == key) {
+            Some(slot) if jobs[open[slot].1].positions.len() < lanes => {
+                let job = open[slot].1;
+                jobs[job].positions.push(pos);
+            }
+            found => {
+                let job = jobs.len();
+                jobs.push(Job {
+                    positions: vec![pos],
+                });
+                match found {
+                    // The previous chunk filled up: start the next one.
+                    Some(slot) => open[slot].1 = job,
+                    None => open.push((key, job)),
+                }
+            }
+        }
+    }
+    jobs
+}
+
+/// Measures every position of one job, reporting each completed point
+/// through `emit`. Singleton jobs go through [`Entry::measure`];
+/// multi-position jobs run as one lockstep lane batch on the family's
+/// engine pool — byte-identical either way (the batched driver executes
+/// each lane's exact sequential schedule).
+pub(crate) fn execute_job(
+    entries: &[Entry],
+    positions: &[usize],
+    fast_forward: bool,
+    runners: &mut Runners,
+    mut emit: impl FnMut(usize, SweepPoint),
+) {
+    if positions.len() == 1 {
+        let pos = positions[0];
+        emit(pos, entries[pos].measure(fast_forward, runners));
+        return;
+    }
+    let first = &entries[positions[0]];
+    match family(&first.spec.machine).expect("multi-position jobs are batchable") {
+        Family::Dva => {
+            let sims: Vec<DvaSim> = positions
+                .iter()
+                .map(|&pos| match entries[pos].spec.machine {
+                    Machine::Dva(config) => DvaSim::new(config).with_fast_forward(fast_forward),
+                    _ => unreachable!("a job never mixes machine families"),
+                })
+                .collect();
+            let results = runners.dva.run_batch(&sims, first.prepared.dva());
+            for (&pos, result) in positions.iter().zip(results) {
+                emit(pos, entries[pos].point_from(result.into()));
+            }
+        }
+        Family::Ref => {
+            let sims: Vec<RefSim> = positions
+                .iter()
+                .map(|&pos| match entries[pos].spec.machine {
+                    Machine::Ref(params) => RefSim::new(params).with_fast_forward(fast_forward),
+                    _ => unreachable!("a job never mixes machine families"),
+                })
+                .collect();
+            let results = runners
+                .reference
+                .run_batch(&sims, first.prepared.reference());
+            for (&pos, result) in positions.iter().zip(results) {
+                emit(pos, entries[pos].point_from(result.into()));
+            }
         }
     }
 }
@@ -94,7 +219,11 @@ pub(crate) fn prepare(specs: Vec<PointSpec>) -> Vec<Entry> {
 /// The scheduler state the workers share.
 struct Shared {
     entries: Vec<Entry>,
-    /// One deque per worker, holding positions into `entries`.
+    /// The planned jobs — singletons and lane batches. Workers claim and
+    /// execute whole jobs, so a lane batch is never split across
+    /// workers.
+    jobs: Vec<Job>,
+    /// One deque per worker, holding indices into `jobs`.
     queues: Vec<Mutex<VecDeque<usize>>>,
     fast_forward: bool,
 }
@@ -166,23 +295,25 @@ struct RawStream {
     workers: Vec<JoinHandle<()>>,
 }
 
-fn spawn(entries: Vec<Entry>, workers: usize, fast_forward: bool) -> RawStream {
+fn spawn(entries: Vec<Entry>, workers: usize, fast_forward: bool, lanes: usize) -> RawStream {
     let total = entries.len();
-    let workers = workers.clamp(1, total.max(1));
+    let jobs = plan_jobs(&entries, lanes);
+    let workers = workers.clamp(1, jobs.len().max(1));
 
-    // Seed each deque with a contiguous chunk of the sequence: points of
-    // one program are adjacent, so each worker starts on as few distinct
-    // programs as possible.
+    // Seed each deque with a contiguous chunk of the job sequence: jobs
+    // of one program are adjacent, so each worker starts on as few
+    // distinct programs as possible.
     let mut queues: Vec<Mutex<VecDeque<usize>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    let chunk = total.div_ceil(workers).max(1);
-    for pos in 0..total {
-        let owner = (pos / chunk).min(workers - 1);
-        queues[owner].get_mut().unwrap().push_back(pos);
+    let chunk = jobs.len().div_ceil(workers).max(1);
+    for job in 0..jobs.len() {
+        let owner = (job / chunk).min(workers - 1);
+        queues[owner].get_mut().unwrap().push_back(job);
     }
 
     let shared = Arc::new(Shared {
         entries,
+        jobs,
         queues,
         fast_forward,
     });
@@ -193,18 +324,26 @@ fn spawn(entries: Vec<Entry>, workers: usize, fast_forward: bool) -> RawStream {
             let tx = tx.clone();
             std::thread::spawn(move || {
                 let mut runners = Runners::new();
-                while let Some(pos) = next_job(&shared, w) {
-                    let entry = &shared.entries[pos];
-                    let point = entry.measure(shared.fast_forward, &mut runners);
-                    let sequenced = Sequenced {
-                        pos,
-                        index: entry.spec.index,
-                        point,
-                    };
-                    // A send fails only when the consumer dropped the
-                    // stream: stop claiming work and exit.
-                    if tx.send(sequenced).is_err() {
-                        break;
+                'claim: while let Some(job) = next_job(&shared, w) {
+                    let mut dropped = false;
+                    execute_job(
+                        &shared.entries,
+                        &shared.jobs[job].positions,
+                        shared.fast_forward,
+                        &mut runners,
+                        |pos, point| {
+                            let sequenced = Sequenced {
+                                pos,
+                                index: shared.entries[pos].spec.index,
+                                point,
+                            };
+                            // A send fails only when the consumer dropped
+                            // the stream: stop claiming work and exit.
+                            dropped |= tx.send(sequenced).is_err();
+                        },
+                    );
+                    if dropped {
+                        break 'claim;
                     }
                 }
             })
@@ -320,9 +459,14 @@ impl Iterator for IndexedSweepStream {
 
 impl ExactSizeIterator for IndexedSweepStream {}
 
-pub(crate) fn stream_all(entries: Vec<Entry>, workers: usize, fast_forward: bool) -> SweepStream {
+pub(crate) fn stream_all(
+    entries: Vec<Entry>,
+    workers: usize,
+    fast_forward: bool,
+    lanes: usize,
+) -> SweepStream {
     SweepStream {
-        inner: spawn(entries, workers, fast_forward),
+        inner: spawn(entries, workers, fast_forward, lanes),
     }
 }
 
@@ -330,12 +474,13 @@ pub(crate) fn stream_indexed(
     entries: Vec<Entry>,
     workers: usize,
     fast_forward: bool,
+    lanes: usize,
 ) -> IndexedSweepStream {
     // Reindex to submission order: the reorder buffer sequences by
     // position in `entries`, while each yielded pair keeps the spec's own
     // grid index for the caller's bookkeeping.
     IndexedSweepStream {
-        inner: spawn(entries, workers, fast_forward),
+        inner: spawn(entries, workers, fast_forward, lanes),
     }
 }
 

@@ -42,7 +42,11 @@ pub struct Sweep {
     pub(crate) scale: Scale,
     pub(crate) threads: usize,
     pub(crate) fast_forward: bool,
+    pub(crate) lanes: usize,
 }
+
+/// The lane count [`Sweep::effective_lanes`] resolves `0` (auto) to.
+pub(crate) const DEFAULT_LANES: usize = 16;
 
 impl Default for Sweep {
     /// An empty session with fast-forward enabled.
@@ -56,6 +60,7 @@ impl Default for Sweep {
             scale: Scale::default(),
             threads: 0,
             fast_forward: true,
+            lanes: 0,
         }
     }
 }
@@ -235,6 +240,30 @@ impl Sweep {
         self
     }
 
+    /// Sets the lane-batch width: how many grid points sharing a program
+    /// and machine family one engine pass simulates in lockstep (points
+    /// differing only along the latency and memory axes). `0` (the
+    /// default) resolves to a built-in width when the sweep runs; `1`
+    /// disables batching and runs every point on its own. Results are
+    /// **independent of the lane count** — a batched sweep is
+    /// byte-identical to a per-point one; lanes only trade memory for
+    /// throughput.
+    #[must_use]
+    pub fn lanes(mut self, lanes: usize) -> Sweep {
+        self.lanes = lanes;
+        self
+    }
+
+    /// The lane-batch width [`run`](Sweep::run) will actually use: the
+    /// configured [`lanes`](Sweep::lanes), with `0` resolved to the
+    /// built-in default (currently 16).
+    pub fn effective_lanes(&self) -> usize {
+        match self.lanes {
+            0 => DEFAULT_LANES,
+            n => n,
+        }
+    }
+
     /// Number of points the session will measure.
     pub fn len(&self) -> usize {
         let programs = self.benchmarks.len() + self.programs.len();
@@ -325,13 +354,25 @@ impl Sweep {
         if workers <= 1 {
             // Inline sequential path: no threads, no channel — the
             // reference implementation the parallel paths are tested
-            // against.
+            // against. It runs the same job plan as the workers, so the
+            // lane batching is exercised (and verified) here too.
             let entries = stream::prepare(specs);
+            let jobs = stream::plan_jobs(&entries, self.effective_lanes());
             let mut runners = Runners::new();
+            let mut points: Vec<Option<SweepPoint>> = vec![None; entries.len()];
+            for job in &jobs {
+                stream::execute_job(
+                    &entries,
+                    &job.positions,
+                    self.fast_forward,
+                    &mut runners,
+                    |pos, point| points[pos] = Some(point),
+                );
+            }
             return SweepResults {
-                points: entries
-                    .iter()
-                    .map(|entry| entry.measure(self.fast_forward, &mut runners))
+                points: points
+                    .into_iter()
+                    .map(|point| point.expect("every grid position belongs to exactly one job"))
                     .collect(),
             };
         }
@@ -355,7 +396,12 @@ impl Sweep {
     pub fn run_streaming(&self) -> SweepStream {
         let specs = self.grid();
         let workers = self.effective_threads().clamp(1, specs.len().max(1));
-        stream::stream_all(stream::prepare(specs), workers, self.fast_forward)
+        stream::stream_all(
+            stream::prepare(specs),
+            workers,
+            self.fast_forward,
+            self.effective_lanes(),
+        )
     }
 
     /// Runs an arbitrary subset of this session's [`grid`](Sweep::grid),
@@ -369,7 +415,12 @@ impl Sweep {
     /// fast-forward come from `self`, everything else from each spec.
     pub fn run_subset_streaming(&self, specs: Vec<PointSpec>) -> IndexedSweepStream {
         let workers = self.effective_threads().clamp(1, specs.len().max(1));
-        stream::stream_indexed(stream::prepare(specs), workers, self.fast_forward)
+        stream::stream_indexed(
+            stream::prepare(specs),
+            workers,
+            self.fast_forward,
+            self.effective_lanes(),
+        )
     }
 }
 

@@ -1,0 +1,110 @@
+//! Lane-count independence: batched lockstep runs must be byte-identical
+//! to fresh per-point runs — for every lane count, across mixed
+//! latencies × memory models in one batch, and over the full sweep grid.
+
+use dva_core::{DvaConfig, DvaRunner, DvaSim};
+use dva_ref::{RefParams, RefRunner, RefSim};
+use dva_sim_api::{Machine, MemoryModelKind, Sweep};
+use dva_tests::arb_program;
+use dva_workloads::{Benchmark, Scale};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const MODELS: [MemoryModelKind; 3] = [
+    MemoryModelKind::Flat,
+    MemoryModelKind::Banked {
+        banks: 8,
+        bank_busy: 8,
+    },
+    MemoryModelKind::MultiPort { ports: 2 },
+];
+
+/// Lane counts that exercise a lone lane, even/odd splits of the pool,
+/// and a batch wider than the pool's remainder.
+const LANE_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batches mixing DVA and BYP configurations across latencies and
+    /// memory models, carved into chunks of every lane count, equal the
+    /// fresh one-shot run of each member. The chunking also covers
+    /// ragged final batches (the pool size is not a multiple of 8).
+    #[test]
+    fn dva_batches_equal_fresh_runs_at_every_lane_count(
+        program in arb_program(),
+        latency in 1u64..=100,
+    ) {
+        let compiled = Arc::new(dva_core::CompiledProgram::compile(&program));
+        let mut sims = Vec::new();
+        for (i, model) in MODELS.iter().enumerate() {
+            for mut config in [
+                DvaConfig::dva(latency + i as u64),
+                DvaConfig::byp(latency, 4, 8),
+            ] {
+                config.memory.model = *model;
+                sims.push(DvaSim::new(config));
+            }
+        }
+        let expected: Vec<_> = sims.iter().map(|sim| sim.run(&program)).collect();
+        let mut runner = DvaRunner::new();
+        for lanes in LANE_COUNTS {
+            for (chunk, want) in sims.chunks(lanes).zip(expected.chunks(lanes)) {
+                prop_assert_eq!(runner.run_batch(chunk, &compiled), want.to_vec());
+            }
+        }
+    }
+
+    /// The same contract for the reference (in-order vector) machine.
+    #[test]
+    fn ref_batches_equal_fresh_runs_at_every_lane_count(
+        program in arb_program(),
+        latency in 1u64..=100,
+    ) {
+        let compiled = Arc::new(dva_ref::CompiledProgram::compile(&program));
+        let mut sims = Vec::new();
+        for (i, model) in MODELS.iter().enumerate() {
+            let mut params = RefParams::with_latency(latency + i as u64);
+            params.memory.model = *model;
+            sims.push(RefSim::new(params));
+        }
+        let expected: Vec<_> = sims.iter().map(|sim| sim.run(&program)).collect();
+        let mut runner = RefRunner::new();
+        for lanes in LANE_COUNTS {
+            for (chunk, want) in sims.chunks(lanes).zip(expected.chunks(lanes)) {
+                prop_assert_eq!(runner.run_batch(chunk, &compiled), want.to_vec());
+            }
+        }
+    }
+}
+
+/// The full 216-point grid — 4 machines × 6 benchmarks × 3 latencies ×
+/// 3 memory models — run batched at every lane count equals the
+/// one-lane sweep (which `compiled.rs` in turn pins to one-shot runs).
+#[test]
+fn full_grid_batched_equals_sequential_at_every_lane_count() {
+    let grid = |lanes: usize| {
+        Sweep::new()
+            .machines([
+                Machine::reference(1),
+                Machine::dva(1),
+                Machine::byp(1, 4, 8),
+                Machine::ideal(),
+            ])
+            .benchmarks(Benchmark::ALL)
+            .latencies([1u64, 30, 100])
+            .memory_models(MODELS)
+            .scale(Scale::Quick)
+            .threads(1)
+            .lanes(lanes)
+    };
+    let sequential = grid(1).run();
+    assert_eq!(sequential.points.len(), 216, "full grid");
+    for lanes in [2, 3, 8, 16] {
+        let batched = grid(lanes).run();
+        assert_eq!(
+            batched.points, sequential.points,
+            "lane count {lanes} diverged from the sequential sweep"
+        );
+    }
+}
