@@ -5,9 +5,11 @@
 //! parsing. This crate collapses them onto three pieces:
 //!
 //! * [`ExperimentSpec`] — a declarative description of one experiment:
-//!   its name, the sweeps it needs (as a function of the grid options),
-//!   how its sections render from the measured results, and the
-//!   invariants (e.g. `IDEAL ≤ DVA ≤ REF`) the results must satisfy.
+//!   its name, the sweep plans it needs (as a function of the grid
+//!   options — each plan a dense sweep or an adaptive latency-refinement
+//!   session, see [`SweepPlan`]), how its sections render from the
+//!   measured results, and the invariants (e.g. `IDEAL ≤ DVA ≤ REF`)
+//!   the results must satisfy.
 //! * [`Runner`] — the one execution path: sweeps flow through the
 //!   `dva-serve` content-addressed cache (so identical grid points across
 //!   specs simulate once), invariants are checked, and the rendered
@@ -34,4 +36,4 @@ pub use cli::{
     write_outputs, CliArgs, GoldenStatus, OutputOpts, Parsed, RunOpts,
 };
 pub use runner::{RunError, Runner};
-pub use spec::{ExperimentSpec, Invariant, SpecManifest};
+pub use spec::{ExperimentSpec, Invariant, SpecManifest, SweepPlan};

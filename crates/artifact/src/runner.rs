@@ -8,12 +8,13 @@
 //! and stamps the rendered sections into a versioned
 //! [`Artifact`].
 
-use crate::artifact::Artifact;
+use crate::artifact::{Artifact, Section};
 use crate::cli::RunOpts;
-use crate::spec::ExperimentSpec;
+use crate::spec::{ExperimentSpec, SweepPlan};
 use dva_engine::ENGINE_VERSION;
+use dva_metrics::Table;
 use dva_serve::{JobSummary, ResultCache, SweepService, DEFAULT_MEMORY_CAPACITY};
-use dva_sim_api::{Sweep, SweepResults};
+use dva_sim_api::{AdaptiveReport, AdaptiveSweep, Sweep, SweepResults};
 use std::fmt;
 
 /// Executes [`ExperimentSpec`]s: one cache-backed sweep path, one
@@ -103,19 +104,49 @@ impl Runner {
         }
     }
 
-    /// Runs a spec end to end: execute its sweeps (cache-backed), check
-    /// its invariants on every sweep, render its sections, stamp the
-    /// artifact.
+    /// Executes one adaptive session, preferring the cache-backed path
+    /// (cache keys are shared with dense jobs); sessions the cache cannot
+    /// address run directly. Either way every sampled point is
+    /// byte-identical to the dense run's.
+    fn run_adaptive(&mut self, adaptive: &AdaptiveSweep) -> (SweepResults, AdaptiveReport) {
+        match self.service.run_adaptive(adaptive) {
+            Ok((outcome, job)) => {
+                self.hits += job.cache_hits;
+                self.simulated += job.simulated;
+                (outcome.results, outcome.report)
+            }
+            Err(_) => {
+                let outcome = adaptive.run();
+                self.simulated += outcome.report.sampled_points;
+                (outcome.results, outcome.report)
+            }
+        }
+    }
+
+    /// Runs a spec end to end: execute its sweep plans (cache-backed),
+    /// check its invariants on every measured result set, render its
+    /// sections, stamp the artifact. Each adaptive plan additionally
+    /// appends an auto-generated "Adaptive sampling" section — the
+    /// sampled / skipped / pruned accounting of the session — after the
+    /// spec's own sections.
     ///
     /// # Errors
     ///
     /// Returns [`RunError::InvariantViolated`] — and no artifact — if any
     /// declared invariant fails on any executed sweep.
     pub fn run(&mut self, spec: &ExperimentSpec, opts: &RunOpts) -> Result<Artifact, RunError> {
-        let sweeps = (spec.sweeps)(opts);
-        let mut results = Vec::with_capacity(sweeps.len());
-        for sweep in &sweeps {
-            let measured = self.run_sweep(sweep);
+        let plans = (spec.sweeps)(opts);
+        let mut results = Vec::with_capacity(plans.len());
+        let mut reports: Vec<AdaptiveReport> = Vec::new();
+        for plan in &plans {
+            let measured = match plan {
+                SweepPlan::Dense(sweep) => self.run_sweep(sweep),
+                SweepPlan::Adaptive(adaptive) => {
+                    let (measured, report) = self.run_adaptive(adaptive);
+                    reports.push(report);
+                    measured
+                }
+            };
             for invariant in spec.invariants {
                 if let Some(detail) = invariant.check(&measured) {
                     return Err(RunError::InvariantViolated {
@@ -126,12 +157,16 @@ impl Runner {
             }
             results.push(measured);
         }
+        let mut sections = (spec.render)(opts, &results);
+        for (i, report) in reports.iter().enumerate() {
+            sections.push(adaptive_section(i, reports.len(), report));
+        }
         Ok(Artifact {
             experiment: spec.name.to_string(),
             engine_version: ENGINE_VERSION,
             scale: opts.scale,
             full: opts.full,
-            sections: (spec.render)(opts, &results),
+            sections,
         })
     }
 
@@ -147,6 +182,65 @@ impl Runner {
     }
 }
 
+/// The auto-generated accounting section of one adaptive plan: per
+/// machine label, how many curve points were sampled out of the dense
+/// grid, and which curves were dominance-pruned (as `PROGRAM@rN`, the
+/// round after which refinement stopped).
+fn adaptive_section(index: usize, plans: usize, report: &AdaptiveReport) -> Section {
+    let mut table = Table::new(["Machine", "Curves", "Sampled", "Dense", "Pruned"]);
+    let mut labels: Vec<&str> = Vec::new();
+    for curve in &report.curves {
+        if !labels.contains(&curve.label.as_str()) {
+            labels.push(&curve.label);
+        }
+    }
+    for label in labels {
+        let curves: Vec<_> = report.curves.iter().filter(|c| c.label == label).collect();
+        let sampled: usize = curves.iter().map(|c| c.sampled).sum();
+        let pruned: Vec<String> = curves
+            .iter()
+            .filter_map(|c| {
+                c.pruned_round
+                    .map(|round| format!("{}@r{round}", c.program))
+            })
+            .collect();
+        table.row([
+            label.to_string(),
+            curves.len().to_string(),
+            sampled.to_string(),
+            (curves.len() * report.axis_len).to_string(),
+            if pruned.is_empty() {
+                "-".to_string()
+            } else {
+                pruned.join(", ")
+            },
+        ]);
+    }
+    table.row([
+        "total".to_string(),
+        report.curves.len().to_string(),
+        report.sampled_points.to_string(),
+        report.dense_points.to_string(),
+        report.skipped_dominated.to_string(),
+    ]);
+    let key = if plans == 1 {
+        "adaptive_sampling".to_string()
+    } else {
+        format!("adaptive_sampling_{index}")
+    };
+    let heading = format!(
+        "Adaptive sampling: {} of {} dense points ({:.0}%), {} rounds, \
+         {} interpolated + {} dominated skips",
+        report.sampled_points,
+        report.dense_points,
+        100.0 * report.sampled_points as f64 / report.dense_points.max(1) as f64,
+        report.rounds,
+        report.skipped_interpolated,
+        report.skipped_dominated,
+    );
+    Section::new(key, heading, &table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,13 +250,14 @@ mod tests {
     use dva_sim_api::Machine;
     use dva_workloads::Benchmark;
 
-    fn demo_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+    fn demo_sweeps(opts: &RunOpts) -> Vec<SweepPlan> {
         vec![Sweep::new()
             .machines([Machine::reference(1), Machine::dva(1), Machine::ideal()])
             .benchmark(Benchmark::Trfd)
             .latencies([1, 30])
             .scale(opts.scale)
-            .threads(opts.threads)]
+            .threads(opts.threads)
+            .into()]
     }
 
     fn demo_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
@@ -209,6 +304,75 @@ mod tests {
         assert_eq!(again, artifact);
         assert_eq!(runner.simulated(), 6);
         assert_eq!(runner.cache_hits(), 6);
+    }
+
+    fn adaptive_sweeps(opts: &RunOpts) -> Vec<SweepPlan> {
+        vec![AdaptiveSweep::over(
+            Sweep::new()
+                .machines([Machine::reference(1), Machine::dva(1), Machine::ideal()])
+                .benchmark(Benchmark::Trfd)
+                .scale(opts.scale)
+                .threads(opts.threads),
+            1..=40,
+        )
+        .seeds(5)
+        .prune_against("DVA", ["REF"])
+        .into()]
+    }
+
+    fn adaptive_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
+        let mut table = Table::new(["L", "DVA"]);
+        for (latency, point) in
+            results[0].curve("DVA", Benchmark::Trfd, dva_sim_api::MemoryModelKind::Flat)
+        {
+            table.row([latency.to_string(), point.result.cycles.to_string()]);
+        }
+        vec![Section::new("demo", "Demo", &table)]
+    }
+
+    const ADAPTIVE_DEMO: ExperimentSpec = ExperimentSpec {
+        name: "adaptive_demo",
+        description: "runner adaptive test spec",
+        all_header: None,
+        sweeps: adaptive_sweeps,
+        render: adaptive_render,
+        invariants: &Invariant::ideal_dva_ref(0.10),
+    };
+
+    #[test]
+    fn adaptive_plans_append_a_sampling_section() {
+        let mut runner = Runner::new();
+        let artifact = runner.run(&ADAPTIVE_DEMO, &RunOpts::quick()).unwrap();
+        assert_eq!(
+            artifact.sections.len(),
+            2,
+            "render section + sampling section"
+        );
+        let sampling = &artifact.sections[1];
+        assert_eq!(sampling.key, "adaptive_sampling");
+        assert!(
+            sampling.heading.starts_with("Adaptive sampling:"),
+            "{}",
+            sampling.heading
+        );
+        assert_eq!(
+            sampling.table.headers,
+            ["Machine", "Curves", "Sampled", "Dense", "Pruned"]
+        );
+        // One row per label (REF, DVA, IDEAL) plus the total row.
+        assert_eq!(sampling.table.rows.len(), 4);
+        let ref_row = &sampling.table.rows[0];
+        assert_eq!(ref_row[0], "REF");
+        assert!(ref_row[4].contains("TRFD@r0"), "REF is pruned: {ref_row:?}");
+        // Fewer points than dense, reported consistently with the runner.
+        let total = &sampling.table.rows[3];
+        assert_eq!(total[3], (3 * 40).to_string());
+        assert_eq!(total[2], runner.simulated().to_string());
+        assert!(runner.simulated() < 3 * 40);
+        // Invariants were checked on the sparse results and passed; a
+        // cache-warm re-run is byte-identical.
+        let again = runner.run(&ADAPTIVE_DEMO, &RunOpts::quick()).unwrap();
+        assert_eq!(again, artifact);
     }
 
     /// The satellite-task acceptance test: a spec whose declared

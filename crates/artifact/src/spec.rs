@@ -11,7 +11,7 @@
 use crate::artifact::Section;
 use crate::cli::RunOpts;
 use dva_json::{FromJson, Json, JsonError, ToJson};
-use dva_sim_api::{Sweep, SweepResults};
+use dva_sim_api::{AdaptiveSweep, Sweep, SweepResults};
 
 /// One experiment, declaratively: its identity, grid, derived tables and
 /// invariants.
@@ -27,11 +27,15 @@ pub struct ExperimentSpec {
     /// The `== … ==` header the `all` binary prints for this experiment,
     /// or `None` to exclude it from `all` (the ablation studies).
     pub all_header: Option<&'static str>,
-    /// Declares the sweep grid: every simulation the experiment needs.
-    /// Specs without a sweep (static trace statistics) return none.
-    pub sweeps: fn(&RunOpts) -> Vec<Sweep>,
+    /// Declares the sweep grids: every simulation the experiment needs,
+    /// each either a dense [`Sweep`] or an adaptive session. Specs
+    /// without a sweep (static trace statistics) return none.
+    pub sweeps: fn(&RunOpts) -> Vec<SweepPlan>,
     /// Derives the reported sections from the executed sweeps. Receives
-    /// one [`SweepResults`] per declared sweep, in declaration order.
+    /// one [`SweepResults`] per declared plan, in declaration order —
+    /// sparse (adaptively sampled) for adaptive plans, so renderers use
+    /// [`SweepResults::curve`] / [`SweepResults::interpolated_cycles`]
+    /// rather than assuming a dense axis.
     pub render: fn(&RunOpts, &[SweepResults]) -> Vec<Section>,
     /// Invariants checked on every executed sweep; a violation fails the
     /// run before any artifact is produced.
@@ -59,6 +63,35 @@ impl ExperimentSpec {
             in_all: self.all_header.is_some(),
             invariants: self.invariants.to_vec(),
         }
+    }
+}
+
+/// One grid of an experiment: measure every point, or sample the
+/// latency axis adaptively.
+///
+/// Dense plans are what every figure used before adaptive sampling
+/// existed (and `From<Sweep>` keeps their declarations unchanged);
+/// adaptive plans trade unmeasured flat-region points for interpolation
+/// within the session's tolerance, and report what they skipped in an
+/// extra artifact section.
+#[derive(Debug, Clone)]
+pub enum SweepPlan {
+    /// Measure every grid point of the sweep.
+    Dense(Sweep),
+    /// Sample the session's latency axis adaptively (seed + refine +
+    /// dominance-prune).
+    Adaptive(AdaptiveSweep),
+}
+
+impl From<Sweep> for SweepPlan {
+    fn from(sweep: Sweep) -> SweepPlan {
+        SweepPlan::Dense(sweep)
+    }
+}
+
+impl From<AdaptiveSweep> for SweepPlan {
+    fn from(adaptive: AdaptiveSweep) -> SweepPlan {
+        SweepPlan::Adaptive(adaptive)
     }
 }
 

@@ -12,9 +12,13 @@
 //!
 //! Besides the sequential headline row, the baseline records a
 //! batched-lanes row (the same grid through the lane-batched driver at
-//! the sweep's default lane width) and a multi-threaded row (as many
-//! workers as the machine offers). The sequential and batched figures
-//! each gate independently under `PERF_GATE`.
+//! the sweep's default lane width), a multi-threaded row (as many
+//! workers as the machine offers), and an adaptive row: the
+//! high-resolution latency figure measured through knee-finding
+//! refinement + dominance pruning against its own dense grid. The
+//! sequential, batched and adaptive throughputs each gate independently
+//! under `PERF_GATE`, and the adaptive sampling fraction — which is
+//! deterministic — gates exactly against its ≤40% budget.
 //!
 //! Under `BENCH_SMOKE` (CI) a single sample runs and is compared against
 //! the checked-in baseline. Inside the noise band a shortfall prints a
@@ -26,7 +30,7 @@
 //! is left untouched.
 
 use dva_serve::{ResultCache, SweepService, DEFAULT_MEMORY_CAPACITY};
-use dva_sim_api::{Machine, MemoryModelKind, Sweep, SweepResults};
+use dva_sim_api::{AdaptiveOutcome, AdaptiveSweep, Machine, MemoryModelKind, Sweep, SweepResults};
 use dva_workloads::{Benchmark, Scale};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -42,6 +46,10 @@ const GATE_FRACTION: f64 = 0.75;
 /// Measured pre-PR (translate-per-point, allocate-per-tick engines) with
 /// the same grid, machine and method; kept for the history books.
 const PRE_COMPILED_POINTS_PER_SEC: f64 = 1965.3;
+
+/// The adaptive run may sample at most this fraction of its dense grid —
+/// the PR's acceptance bar, checked deterministically under `PERF_GATE`.
+const ADAPTIVE_MAX_FRACTION: f64 = 0.40;
 
 fn grid() -> Sweep {
     Sweep::new()
@@ -62,6 +70,57 @@ fn grid() -> Sweep {
         ])
         .scale(Scale::Quick)
         .threads(1)
+}
+
+/// The adaptive session of the high-resolution latency figure
+/// (`fig5_adaptive`): five machines × six benchmarks × a 100-point
+/// latency axis, seeded at seven latencies per curve with the bypass
+/// machines dominance-pruned against the base DVA.
+fn adaptive_session() -> AdaptiveSweep {
+    AdaptiveSweep::over(
+        Sweep::new()
+            .machines([
+                Machine::reference(1),
+                Machine::dva(1),
+                Machine::byp(1, 4, 4),
+                Machine::byp(1, 256, 16),
+                Machine::ideal(),
+            ])
+            .benchmarks(Benchmark::ALL)
+            .scale(Scale::Quick)
+            .threads(1)
+            .lanes(1),
+        1..=100,
+    )
+    .seeds(7)
+    .tolerance(0.02)
+    .prune_against("DVA", ["BYP 4/4", "BYP 256/16"])
+}
+
+/// What the checked-in baseline records about the adaptive session.
+struct AdaptiveRow {
+    dense_points: usize,
+    sampled_points: usize,
+    fraction: f64,
+    median_secs: f64,
+    points_per_sec: f64,
+    speedup_vs_dense: f64,
+}
+
+/// Median wall-clock seconds for one full adaptive session, checking
+/// every sample against the warmup outcome for reproducibility.
+fn median_adaptive_secs(adaptive: &AdaptiveSweep, samples: usize, warm: &AdaptiveOutcome) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let outcome = criterion::black_box(adaptive.run());
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(&outcome, warm, "adaptive sessions must be reproducible");
+            secs
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
 }
 
 /// Median wall-clock seconds for one full run of `sweep`, checking every
@@ -161,6 +220,37 @@ fn main() {
         );
     }
 
+    // Adaptive row: the high-resolution latency figure measured through
+    // knee-finding refinement + dominance pruning, against its own dense
+    // grid. Both run sequentially on the same engines, so the speedup is
+    // the sampling plan's doing alone.
+    let adaptive = adaptive_session();
+    let warm_adaptive = adaptive.run();
+    let report = warm_adaptive.report.clone();
+    let adaptive_median = median_adaptive_secs(&adaptive, samples, &warm_adaptive);
+    let dense_sweep = adaptive.dense();
+    let warm_dense = dense_sweep.run();
+    let dense_median = median_run_secs(&dense_sweep, samples, &warm_dense);
+    let adaptive_row = AdaptiveRow {
+        dense_points: report.dense_points,
+        sampled_points: report.sampled_points,
+        fraction: report.sampled_fraction(),
+        median_secs: adaptive_median,
+        points_per_sec: report.sampled_points as f64 / adaptive_median,
+        speedup_vs_dense: dense_median / adaptive_median,
+    };
+    println!(
+        "sweep_throughput: adaptive {} of {} dense points ({:.1}%) in {:.1}ms -> \
+         {:.1} points/sec, {:.2}x the dense sweep ({:.1}ms)",
+        adaptive_row.sampled_points,
+        adaptive_row.dense_points,
+        100.0 * adaptive_row.fraction,
+        1e3 * adaptive_row.median_secs,
+        adaptive_row.points_per_sec,
+        adaptive_row.speedup_vs_dense,
+        1e3 * dense_median,
+    );
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     if std::env::var_os("BENCH_UPDATE").is_some() && !smoke {
         std::fs::write(
@@ -174,6 +264,7 @@ fn main() {
                 batched_points_per_sec,
                 workers,
                 threaded_points_per_sec,
+                &adaptive_row,
             ),
         )
         .expect("write baseline");
@@ -192,6 +283,7 @@ fn main() {
     let rows = [
         ("points_per_sec", points_per_sec),
         ("batched_lanes_points_per_sec", batched_points_per_sec),
+        ("adaptive_points_per_sec", adaptive_row.points_per_sec),
     ];
     for (key, measured) in rows {
         match doc.as_deref().and_then(|s| json_f64(s, key)) {
@@ -227,6 +319,22 @@ fn main() {
             None => println!("sweep_throughput: no readable {key} baseline at {path}"),
         }
     }
+    // The sampling fraction is deterministic — the same curves produce
+    // the same plan on every machine — so it gates exactly, with no
+    // noise band: the adaptive figure must stay within the PR's ≤40%
+    // budget of its dense grid.
+    if adaptive_row.fraction > ADAPTIVE_MAX_FRACTION {
+        println!(
+            "PERF-{}: adaptive session sampled {:.1}% of its dense grid, above the \
+             {:.0}% budget ({} of {} points)",
+            if gated { "FAIL" } else { "WARN" },
+            100.0 * adaptive_row.fraction,
+            100.0 * ADAPTIVE_MAX_FRACTION,
+            adaptive_row.sampled_points,
+            adaptive_row.dense_points,
+        );
+        failed |= gated;
+    }
     if failed {
         std::process::exit(1);
     }
@@ -252,6 +360,7 @@ fn render_json(
     batched_lanes_points_per_sec: f64,
     multi_thread_workers: usize,
     multi_thread_points_per_sec: f64,
+    adaptive: &AdaptiveRow,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -280,6 +389,36 @@ fn render_json(
     let _ = writeln!(
         out,
         "  \"multi_thread_points_per_sec\": {multi_thread_points_per_sec:.1},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"adaptive_dense_points\": {},",
+        adaptive.dense_points
+    );
+    let _ = writeln!(
+        out,
+        "  \"adaptive_sampled_points\": {},",
+        adaptive.sampled_points
+    );
+    let _ = writeln!(
+        out,
+        "  \"adaptive_points_fraction\": {:.4},",
+        adaptive.fraction
+    );
+    let _ = writeln!(
+        out,
+        "  \"adaptive_median_seconds\": {:.6},",
+        adaptive.median_secs
+    );
+    let _ = writeln!(
+        out,
+        "  \"adaptive_points_per_sec\": {:.1},",
+        adaptive.points_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "  \"adaptive_speedup_vs_dense\": {:.2},",
+        adaptive.speedup_vs_dense
     );
     let _ = writeln!(
         out,

@@ -3,7 +3,7 @@
 //! the decoupled machine.
 
 use crate::common::{RunOpts, SweepOpts};
-use dva_artifact::{ExperimentSpec, Section};
+use dva_artifact::{ExperimentSpec, Section, SweepPlan};
 use dva_core::DvaConfig;
 use dva_metrics::Table;
 use dva_ref::{RefParams, RefSim};
@@ -34,8 +34,8 @@ pub const SPEC: ExperimentSpec = ExperimentSpec {
     invariants: &[],
 };
 
-fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
-    vec![bank_ports_sweep(opts)]
+fn spec_sweeps(opts: &RunOpts) -> Vec<SweepPlan> {
+    vec![bank_ports_sweep(opts).into()]
 }
 
 fn spec_render(opts: &RunOpts, results: &[SweepResults]) -> Vec<Section> {

@@ -1,0 +1,5 @@
+//! Regenerates the adaptively sampled high-resolution Figure 5.
+
+fn main() {
+    dva_experiments::cli::run_spec("fig5_adaptive")
+}

@@ -3,7 +3,7 @@
 //! latency.
 
 use crate::common::{RunOpts, SweepOpts, FIG1_LATENCIES};
-use dva_artifact::{ExperimentSpec, Section};
+use dva_artifact::{ExperimentSpec, Section, SweepPlan};
 use dva_metrics::{Table, UnitState};
 use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_workloads::Benchmark;
@@ -23,12 +23,15 @@ pub const SPEC: ExperimentSpec = ExperimentSpec {
     invariants: &[],
 };
 
-fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
-    vec![opts
-        .sweep()
+fn spec_sweeps(opts: &RunOpts) -> Vec<SweepPlan> {
+    vec![sweep_cfg(opts).into()]
+}
+
+fn sweep_cfg(opts: &RunOpts) -> Sweep {
+    opts.sweep()
         .machine(Machine::reference(1))
         .benchmarks(Benchmark::ALL)
-        .latencies(FIG1_LATENCIES)]
+        .latencies(FIG1_LATENCIES)
 }
 
 fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
@@ -39,7 +42,7 @@ fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
 /// cycles, the share of each of the eight states, and the paper's headline
 /// quantity — the fraction of cycles in which the memory port sits idle.
 pub fn run(opts: RunOpts) -> Table {
-    render(&spec_sweeps(&opts).remove(0).run())
+    render(&sweep_cfg(&opts).run())
 }
 
 /// Renders a precomputed REF sweep into the Figure 1 table.

@@ -2,9 +2,9 @@
 //! the reference architecture and the decoupled architecture.
 
 use crate::common::{ideal_of, kcycles, latencies, latency_sweep, latency_sweep_cfg, RunOpts};
-use dva_artifact::{ExperimentSpec, Invariant, Section};
+use dva_artifact::{ExperimentSpec, Invariant, Section, SweepPlan};
 use dva_metrics::Table;
-use dva_sim_api::{Sweep, SweepResults};
+use dva_sim_api::SweepResults;
 use dva_workloads::Benchmark;
 
 /// The heading the standalone binary prints.
@@ -21,8 +21,8 @@ pub const SPEC: ExperimentSpec = ExperimentSpec {
     invariants: &Invariant::ideal_dva_ref(0.10),
 };
 
-pub(crate) fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
-    vec![latency_sweep_cfg(*opts, &latencies(opts.full))]
+pub(crate) fn spec_sweeps(opts: &RunOpts) -> Vec<SweepPlan> {
+    vec![latency_sweep_cfg(*opts, &latencies(opts.full)).into()]
 }
 
 fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {

@@ -2,7 +2,7 @@
 //! at three memory latencies.
 
 use crate::common::{RunOpts, SweepOpts, FIG6_LATENCIES};
-use dva_artifact::{ExperimentSpec, Section};
+use dva_artifact::{ExperimentSpec, Section, SweepPlan};
 use dva_metrics::Table;
 use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_workloads::Benchmark;
@@ -26,12 +26,15 @@ pub const SPEC: ExperimentSpec = ExperimentSpec {
     invariants: &[],
 };
 
-fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
-    vec![opts
-        .sweep()
+fn spec_sweeps(opts: &RunOpts) -> Vec<SweepPlan> {
+    vec![sweep_cfg(opts).into()]
+}
+
+fn sweep_cfg(opts: &RunOpts) -> Sweep {
+    opts.sweep()
         .machine(Machine::dva(1))
         .benchmarks(Benchmark::ALL)
-        .latencies(FIG6_LATENCIES)]
+        .latencies(FIG6_LATENCIES)
 }
 
 fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
@@ -42,7 +45,7 @@ fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
 /// AVDQ occupancy, per program and latency, plus the maximum occupancy
 /// ever observed.
 pub fn run(opts: RunOpts) -> Table {
-    render(&spec_sweeps(&opts).remove(0).run())
+    render(&sweep_cfg(&opts).run())
 }
 
 /// Renders a precomputed DVA sweep into the Figure 6 table.

@@ -2,7 +2,7 @@
 //! configurations against the base DVA and the IDEAL bound.
 
 use crate::common::{kcycles, latencies, RunOpts, SweepOpts};
-use dva_artifact::{ExperimentSpec, Invariant, Section};
+use dva_artifact::{ExperimentSpec, Invariant, Section, SweepPlan};
 use dva_metrics::Table;
 use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_workloads::Benchmark;
@@ -38,12 +38,15 @@ pub const SPEC: ExperimentSpec = ExperimentSpec {
     ],
 };
 
-fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
-    vec![opts
-        .sweep()
+fn spec_sweeps(opts: &RunOpts) -> Vec<SweepPlan> {
+    vec![sweep_cfg(opts).into()]
+}
+
+fn sweep_cfg(opts: &RunOpts) -> Sweep {
+    opts.sweep()
         .machines(machines())
         .benchmarks(Benchmark::ALL)
-        .latencies(latencies(opts.full))]
+        .latencies(latencies(opts.full))
 }
 
 fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
@@ -66,7 +69,7 @@ pub fn machines() -> Vec<Machine> {
 /// Builds the Figure 7 series: per program and latency, cycles (in
 /// thousands) for DVA, each bypass configuration, and the IDEAL bound.
 pub fn run(opts: RunOpts) -> Table {
-    render(&spec_sweeps(&opts).remove(0).run())
+    render(&sweep_cfg(&opts).run())
 }
 
 /// Renders a precomputed bypass sweep into the Figure 7 table.

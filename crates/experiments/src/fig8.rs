@@ -2,7 +2,7 @@
 //! BYP 256/16 configurations.
 
 use crate::common::{RunOpts, SweepOpts};
-use dva_artifact::{ExperimentSpec, Section};
+use dva_artifact::{ExperimentSpec, Section, SweepPlan};
 use dva_metrics::Table;
 use dva_sim_api::{Machine, Sweep, SweepResults};
 use dva_workloads::Benchmark;
@@ -25,12 +25,15 @@ pub const SPEC: ExperimentSpec = ExperimentSpec {
     invariants: &[],
 };
 
-fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
-    vec![opts
-        .sweep()
+fn spec_sweeps(opts: &RunOpts) -> Vec<SweepPlan> {
+    vec![sweep_cfg(opts).into()]
+}
+
+fn sweep_cfg(opts: &RunOpts) -> Sweep {
+    opts.sweep()
         .machines([Machine::dva(1), Machine::byp(1, 256, 16)])
         .benchmarks(Benchmark::ALL)
-        .latencies([LATENCY])]
+        .latencies([LATENCY])
 }
 
 fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
@@ -41,7 +44,7 @@ fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {
 /// and their ratio (the paper reports >30% reduction for DYFESM and TRFD,
 /// ~10% for BDNA and FLO52).
 pub fn run(opts: RunOpts) -> Table {
-    render(&spec_sweeps(&opts).remove(0).run())
+    render(&sweep_cfg(&opts).run())
 }
 
 /// Renders a precomputed traffic sweep into the Figure 8 table.

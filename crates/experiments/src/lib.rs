@@ -20,6 +20,7 @@
 //! | [`fig3`] | Figure 3: IDEAL/REF/DVA execution time vs latency |
 //! | [`fig4`] | Figure 4: ratio of `( , , )` cycles REF/DVA |
 //! | [`fig5`] | Figure 5: DVA speedup over REF |
+//! | [`fig5_adaptive`] | Figure 5 at one-cycle latency resolution, adaptively sampled |
 //! | [`fig6`] | Figure 6: AVDQ busy-slot distributions |
 //! | [`fig7`] | Figure 7: bypass configurations vs DVA and IDEAL |
 //! | [`fig8`] | Figure 8: memory-traffic ratio BYP/DVA |
@@ -44,6 +45,7 @@ pub mod fig1;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod fig5_adaptive;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

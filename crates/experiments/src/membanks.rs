@@ -11,7 +11,7 @@
 //! stride at least as fast as the reference machine's.
 
 use crate::common::{RunOpts, SweepOpts};
-use dva_artifact::{ExperimentSpec, Section};
+use dva_artifact::{ExperimentSpec, Section, SweepPlan};
 use dva_isa::Program;
 use dva_metrics::Table;
 use dva_sim_api::{Machine, MemoryModelKind, Sweep, SweepResults};
@@ -29,8 +29,8 @@ pub const SPEC: ExperimentSpec = ExperimentSpec {
     invariants: &[],
 };
 
-fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
-    vec![sweep_cfg(*opts)]
+fn spec_sweeps(opts: &RunOpts) -> Vec<SweepPlan> {
+    vec![sweep_cfg(*opts).into()]
 }
 
 fn spec_render(_: &RunOpts, results: &[SweepResults]) -> Vec<Section> {

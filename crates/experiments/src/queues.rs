@@ -7,7 +7,7 @@
 //! the size grid positionally.
 
 use crate::common::{RunOpts, SweepOpts};
-use dva_artifact::{ExperimentSpec, Section};
+use dva_artifact::{ExperimentSpec, Section, SweepPlan};
 use dva_core::DvaConfig;
 use dva_metrics::Table;
 use dva_sim_api::{Machine, Sweep, SweepResults};
@@ -35,11 +35,11 @@ pub const SPEC: ExperimentSpec = ExperimentSpec {
     invariants: &[],
 };
 
-fn spec_sweeps(opts: &RunOpts) -> Vec<Sweep> {
+fn spec_sweeps(opts: &RunOpts) -> Vec<SweepPlan> {
     vec![
-        sized_sweep(opts, iq_machines()),
-        sized_sweep(opts, sq_machines()),
-        sized_sweep(opts, lq_machines()),
+        sized_sweep(opts, iq_machines()).into(),
+        sized_sweep(opts, sq_machines()).into(),
+        sized_sweep(opts, lq_machines()).into(),
     ]
 }
 

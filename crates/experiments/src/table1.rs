@@ -1,8 +1,8 @@
 //! Table 1: basic operation counts for the benchmark programs.
 
-use dva_artifact::{ExperimentSpec, RunOpts, Section};
+use dva_artifact::{ExperimentSpec, RunOpts, Section, SweepPlan};
 use dva_metrics::Table;
-use dva_sim_api::{Sweep, SweepResults};
+use dva_sim_api::SweepResults;
 use dva_workloads::{stats, Benchmark, Scale};
 
 /// The heading the standalone binary prints.
@@ -18,7 +18,7 @@ pub const SPEC: ExperimentSpec = ExperimentSpec {
     invariants: &[],
 };
 
-fn spec_sweeps(_: &RunOpts) -> Vec<Sweep> {
+fn spec_sweeps(_: &RunOpts) -> Vec<SweepPlan> {
     Vec::new()
 }
 

@@ -1,8 +1,8 @@
 //! A typed client for the `dva-serve` protocol.
 
-use crate::exec::JobSummary;
+use crate::exec::{AdaptiveSummary, JobSummary};
 use crate::proto::{Request, Response};
-use dva_sim_api::{Sweep, SweepPoint, SweepResults};
+use dva_sim_api::{AdaptiveSweep, Sweep, SweepPoint, SweepResults};
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
@@ -97,6 +97,42 @@ impl<R: io::Read, W: Write> Client<R, W> {
     pub fn submit(&mut self, sweep: &Sweep) -> io::Result<(SweepResults, JobSummary)> {
         let mut points = Vec::new();
         let summary = self.submit_streaming(sweep, |_, point| points.push(point))?;
+        Ok((SweepResults { points }, summary))
+    }
+
+    /// Submits an adaptive sweep and calls `on_point` for every
+    /// **sampled** point as it streams in (keyed by its dense grid
+    /// index, in refinement-round order), returning the adaptive summary
+    /// once the server reports completion.
+    pub fn submit_adaptive_streaming(
+        &mut self,
+        adaptive: &AdaptiveSweep,
+        mut on_point: impl FnMut(usize, SweepPoint),
+    ) -> io::Result<AdaptiveSummary> {
+        self.send(&Request::Adaptive(Box::new(adaptive.clone())))?;
+        loop {
+            match self.receive()? {
+                Response::Point { index, point } => on_point(index, *point),
+                Response::AdaptiveSummary(summary) => return Ok(summary),
+                Response::Error { message } => return Err(bad_data(message)),
+                other => return Err(bad_data(format!("unexpected response {other:?}"))),
+            }
+        }
+    }
+
+    /// Submits an adaptive sweep and collects the sampled points into a
+    /// (sparse) result set in dense grid order — every point
+    /// byte-identical to the same point of a dense run — plus the
+    /// adaptive summary.
+    pub fn submit_adaptive(
+        &mut self,
+        adaptive: &AdaptiveSweep,
+    ) -> io::Result<(SweepResults, AdaptiveSummary)> {
+        let mut indexed: Vec<(usize, SweepPoint)> = Vec::new();
+        let summary =
+            self.submit_adaptive_streaming(adaptive, |index, point| indexed.push((index, point)))?;
+        indexed.sort_by_key(|&(index, _)| index);
+        let points = indexed.into_iter().map(|(_, point)| point).collect();
         Ok((SweepResults { points }, summary))
     }
 

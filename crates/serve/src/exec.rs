@@ -4,7 +4,10 @@
 use crate::cache::ResultCache;
 use crate::key::PointKey;
 use dva_json::JsonError;
-use dva_sim_api::{IndexedSweepStream, PointSpec, Sweep, SweepPoint, SweepResults};
+use dva_sim_api::{
+    AdaptiveOutcome, AdaptiveReport, AdaptiveSweep, IndexedSweepStream, PointSpec, Sweep,
+    SweepPoint, SweepResults,
+};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
@@ -49,18 +52,40 @@ impl SweepService {
     /// content-addressed (a [`Machine::custom`](dva_sim_api::Machine::custom)
     /// machine).
     pub fn submit(&self, sweep: &Sweep) -> Result<ServeRun, JsonError> {
-        let specs = sweep.grid();
+        self.submit_specs(sweep, sweep.grid())
+    }
+
+    /// [`submit`](SweepService::submit) for a subset of a sweep's grid:
+    /// resolves exactly the given specs against the cache and streams
+    /// the rest, yielding points in **submission order** (an adaptive
+    /// refinement round, say, rather than a full grid). The specs'
+    /// cache keys are the same as in a full-grid job — subset and dense
+    /// runs share cache entries in both directions.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`submit`](SweepService::submit).
+    pub fn submit_specs(
+        &self,
+        sweep: &Sweep,
+        specs: Vec<PointSpec>,
+    ) -> Result<ServeRun, JsonError> {
         let total = specs.len();
         let mut hits: VecDeque<(usize, SweepPoint)> = VecDeque::new();
         let mut misses: Vec<PointSpec> = Vec::new();
         let mut miss_keys: VecDeque<PointKey> = VecDeque::new();
         {
             let mut cache = self.cache.lock().unwrap();
-            for spec in specs {
+            // Hit/miss merge runs on submission position, not grid index
+            // — a subset's grid indices are sparse, but its positions are
+            // dense, which is what the in-order merge below needs. (For a
+            // full grid the two coincide.)
+            for (position, mut spec) in specs.into_iter().enumerate() {
                 let key = PointKey::of(&spec, sweep.fast_forward_enabled())?;
                 match cache.get(&key) {
-                    Some(result) => hits.push_back((spec.index, point_from(&spec, result))),
+                    Some(result) => hits.push_back((position, point_from(&spec, result))),
                     None => {
+                        spec.index = position;
                         misses.push(spec);
                         miss_keys.push_back(key);
                     }
@@ -72,8 +97,9 @@ impl SweepService {
             cache_hits: hits.len(),
             simulated: misses.len(),
         };
-        // Misses are submitted in grid order, so the stream yields them
-        // by ascending grid index — mergeable against the hit queue.
+        // Misses are submitted in ascending position order, so the
+        // stream yields them that way too — mergeable against the hit
+        // queue.
         let stream = sweep.run_subset_streaming(misses);
         Ok(ServeRun {
             cache: Arc::clone(&self.cache),
@@ -93,9 +119,106 @@ impl SweepService {
         Ok((SweepResults { points }, run.summary()))
     }
 
+    /// Runs an [`AdaptiveSweep`] session through the cache: every
+    /// refinement round the planner requests goes through
+    /// [`submit_specs`](SweepService::submit_specs), so previously
+    /// measured points — from earlier rounds, earlier adaptive jobs, or
+    /// **dense** jobs over the same axis — are cache hits, and every
+    /// point this job simulates warm-starts later dense jobs in turn.
+    ///
+    /// `on_point` sees each measured point with its **dense grid index**
+    /// (the index a full-axis [`Sweep::grid`] assigns it), as the rounds
+    /// complete. The returned [`JobSummary`] is the accumulated cost
+    /// across rounds; its `total` equals the outcome's sampled points.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`submit`](SweepService::submit).
+    pub fn run_adaptive_with(
+        &self,
+        adaptive: &AdaptiveSweep,
+        mut on_point: impl FnMut(usize, &SweepPoint),
+    ) -> Result<(AdaptiveOutcome, JobSummary), JsonError> {
+        let sweep = adaptive.dense();
+        let mut planner = adaptive.planner();
+        let mut summary = JobSummary {
+            total: 0,
+            cache_hits: 0,
+            simulated: 0,
+        };
+        loop {
+            let specs = planner.next_round();
+            if specs.is_empty() {
+                break;
+            }
+            // The round's dense indices, in submission order — the run
+            // below yields points in exactly this order.
+            let indices: Vec<usize> = specs.iter().map(|spec| spec.index).collect();
+            let mut run = self.submit_specs(&sweep, specs)?;
+            let round = run.summary();
+            summary.total += round.total;
+            summary.cache_hits += round.cache_hits;
+            summary.simulated += round.simulated;
+            for (index, point) in indices.into_iter().zip(run.by_ref()) {
+                on_point(index, &point);
+                planner.record(index, point);
+            }
+        }
+        Ok((planner.finish(), summary))
+    }
+
+    /// [`run_adaptive_with`](SweepService::run_adaptive_with) without a
+    /// per-point callback.
+    pub fn run_adaptive(
+        &self,
+        adaptive: &AdaptiveSweep,
+    ) -> Result<(AdaptiveOutcome, JobSummary), JsonError> {
+        self.run_adaptive_with(adaptive, |_, _| {})
+    }
+
     /// Results resident in the cache's memory tier.
     pub fn cached_results(&self) -> usize {
         self.cache.lock().unwrap().memory_len()
+    }
+}
+
+/// The wire summary of an adaptive job: the sampling accounting of the
+/// [`AdaptiveReport`] plus what the sampled points cost through the
+/// cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveSummary {
+    /// Points the equivalent dense job would have covered.
+    pub dense: usize,
+    /// Points actually sampled (= `cache_hits + simulated`).
+    pub sampled: usize,
+    /// Sampled points answered from the result cache.
+    pub cache_hits: usize,
+    /// Sampled points simulated (and then cached) by this job.
+    pub simulated: usize,
+    /// Dense points skipped as recoverable by interpolation.
+    pub interpolated: usize,
+    /// Dense points skipped because their curve was dominance-pruned.
+    pub dominated: usize,
+    /// Curves that were dominance-pruned.
+    pub pruned_curves: usize,
+    /// Refinement rounds executed.
+    pub rounds: usize,
+}
+
+impl AdaptiveSummary {
+    /// Folds a finished adaptive run's report and accumulated job cost
+    /// into the wire summary.
+    pub fn of(report: &AdaptiveReport, job: JobSummary) -> AdaptiveSummary {
+        AdaptiveSummary {
+            dense: report.dense_points,
+            sampled: report.sampled_points,
+            cache_hits: job.cache_hits,
+            simulated: job.simulated,
+            interpolated: report.skipped_interpolated,
+            dominated: report.skipped_dominated,
+            pruned_curves: report.pruned().count(),
+            rounds: report.rounds,
+        }
     }
 }
 
@@ -234,6 +357,100 @@ mod tests {
         // IDEAL at 70 hits the latency-free cached bound.
         assert_eq!(cost.simulated, 4);
         assert_eq!(cost.cache_hits, 14);
+    }
+
+    #[test]
+    fn subset_jobs_rebase_hits_onto_submission_positions() {
+        let service = SweepService::new(ResultCache::in_memory(1024));
+        let job = sweep();
+        // Preload the latency-1 half, then submit a subset interleaving
+        // cached and uncached points: the merge must still yield them in
+        // submission order.
+        service.run(&sweep_at(vec![1])).unwrap();
+        let grid = job.grid();
+        let subset: Vec<PointSpec> = grid.iter().filter(|s| s.index % 3 != 1).cloned().collect();
+        let expected: Vec<SweepPoint> = {
+            let dense = job.clone().threads(1).run();
+            subset
+                .iter()
+                .map(|s| dense.points[s.index].clone())
+                .collect()
+        };
+        let run = service.submit_specs(&job, subset).unwrap();
+        assert!(run.summary().cache_hits > 0 && run.summary().simulated > 0);
+        let streamed: Vec<SweepPoint> = run.collect();
+        assert_eq!(
+            streamed, expected,
+            "subset points stream in submission order"
+        );
+    }
+
+    fn adaptive() -> AdaptiveSweep {
+        AdaptiveSweep::over(
+            Sweep::new()
+                .machines([Machine::reference(1), Machine::dva(1), Machine::ideal()])
+                .benchmarks([Benchmark::Trfd, Benchmark::Dyfesm])
+                .scale(Scale::Quick)
+                .threads(2),
+            1..=40,
+        )
+        .seeds(5)
+    }
+
+    #[test]
+    fn adaptive_jobs_share_the_cache_with_dense_jobs_both_ways() {
+        let adaptive = adaptive();
+        let dense = adaptive.dense();
+
+        // Adaptive first: a later dense job hits on every sampled point.
+        let service = SweepService::new(ResultCache::in_memory(4096));
+        let (outcome, job) = service.run_adaptive(&adaptive).unwrap();
+        assert_eq!(job.total, outcome.report.sampled_points);
+        assert_eq!(job.cache_hits, 0, "cold adaptive run hits nothing");
+        let (results, cost) = service.run(&dense).unwrap();
+        assert_eq!(results, dense.clone().threads(1).run());
+        assert!(
+            cost.cache_hits >= outcome.report.sampled_points,
+            "every adaptive sample warm-starts the dense run"
+        );
+
+        // Dense first: the adaptive job simulates nothing at all.
+        let service = SweepService::new(ResultCache::in_memory(4096));
+        service.run(&dense).unwrap();
+        let mut streamed = Vec::new();
+        let (warm, job) = service
+            .run_adaptive_with(&adaptive, |index, point| {
+                streamed.push((index, point.clone()));
+            })
+            .unwrap();
+        assert_eq!(job.simulated, 0, "dense run pre-paid every point");
+        assert_eq!(job.cache_hits, warm.report.sampled_points);
+        assert_eq!(warm.results, outcome.results, "cache round-trip is exact");
+        // The callback saw every sampled point, keyed by dense index.
+        assert_eq!(streamed.len(), warm.report.sampled_points);
+        let reference = dense.clone().threads(1).run();
+        for (index, point) in &streamed {
+            assert_eq!(*point, reference.points[*index]);
+        }
+    }
+
+    #[test]
+    fn adaptive_summary_folds_report_and_cost() {
+        let service = SweepService::new(ResultCache::in_memory(4096));
+        let adaptive = adaptive();
+        let (outcome, job) = service.run_adaptive(&adaptive).unwrap();
+        let summary = AdaptiveSummary::of(&outcome.report, job);
+        assert_eq!(summary.dense, adaptive.dense_len());
+        assert_eq!(summary.sampled, summary.cache_hits + summary.simulated);
+        assert_eq!(
+            summary.dense,
+            summary.sampled + summary.interpolated + summary.dominated
+        );
+        assert!(
+            summary.sampled < summary.dense,
+            "refinement must skip points"
+        );
+        assert!(summary.rounds >= 1);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!    grid against the cache and simulates only the misses, streaming
 //!    merged results back in deterministic grid order — byte-identical
 //!    to `Sweep::run`, with a [`JobSummary`] of hits vs simulations.
+//!    [`SweepService::run_adaptive`] drives an
+//!    [`AdaptiveSweep`](dva_sim_api::AdaptiveSweep) session the same
+//!    way, round by round — and because adaptive samples are ordinary
+//!    grid points with ordinary keys, dense and adaptive jobs share
+//!    cache entries in both directions.
 //! 4. **Transport** ([`proto`], [`server`], [`client`]): newline-delimited
 //!    JSON over stdin/stdout or a Unix socket (`dva-serve` binary), with
 //!    a typed [`Client`].
@@ -57,6 +62,6 @@ pub mod server;
 pub use cache::{ResultCache, DEFAULT_MEMORY_CAPACITY};
 pub use client::Client;
 pub use dva_engine::ENGINE_VERSION;
-pub use exec::{JobSummary, ServeRun, SweepService};
+pub use exec::{AdaptiveSummary, JobSummary, ServeRun, SweepService};
 pub use key::{program_hash, PointKey};
 pub use server::{serve_connection, serve_stdio, serve_unix};

@@ -7,20 +7,27 @@
 //! |---|---|
 //! | `{"type":"ping"}` | `{"type":"pong","engine_version":N}` |
 //! | `{"type":"sweep","spec":…}` | a `point` line per grid point, then one `summary` |
+//! | `{"type":"adaptive","spec":…}` | a `point` line per **sampled** point, then one `adaptive_summary` |
 //! | `{"type":"shutdown"}` | `{"type":"bye"}`, then the server exits |
 //!
 //! Responses:
 //!
 //! - `{"type":"point","index":N,"point":…}` — one completed grid point,
-//!   streamed in deterministic grid order as it becomes available.
+//!   streamed in deterministic grid order as it becomes available. For
+//!   an adaptive job, `index` is the point's **dense grid index** (the
+//!   index the full-axis sweep assigns it), and points stream in
+//!   refinement-round order.
 //! - `{"type":"summary","total":T,"cache_hits":H,"simulated":S}` — job
 //!   complete.
+//! - `{"type":"adaptive_summary","dense":D,"sampled":N,…}` — adaptive
+//!   job complete: the sampled / skipped-as-interpolated /
+//!   skipped-as-dominated split plus the cache accounting.
 //! - `{"type":"error","message":"…"}` — the request failed; the
 //!   connection stays usable.
 
-use crate::exec::JobSummary;
+use crate::exec::{AdaptiveSummary, JobSummary};
 use dva_json::{Json, JsonError};
-use dva_sim_api::{Sweep, SweepPoint};
+use dva_sim_api::{AdaptiveSweep, Sweep, SweepPoint};
 
 /// A parsed client request.
 #[derive(Debug)]
@@ -29,6 +36,8 @@ pub enum Request {
     Ping,
     /// Run a sweep job.
     Sweep(Box<Sweep>),
+    /// Run an adaptive sweep job.
+    Adaptive(Box<AdaptiveSweep>),
     /// Stop the server after answering.
     Shutdown,
 }
@@ -40,6 +49,9 @@ impl Request {
         match json.field("type")?.as_str()? {
             "ping" => Ok(Request::Ping),
             "sweep" => Ok(Request::Sweep(Box::new(Sweep::from_json(
+                json.field("spec")?,
+            )?))),
+            "adaptive" => Ok(Request::Adaptive(Box::new(AdaptiveSweep::from_json(
                 json.field("spec")?,
             )?))),
             "shutdown" => Ok(Request::Shutdown),
@@ -59,6 +71,11 @@ impl Request {
             Request::Sweep(sweep) => {
                 Json::obj([("type", Json::from("sweep")), ("spec", sweep.to_json()?)]).render()
             }
+            Request::Adaptive(adaptive) => Json::obj([
+                ("type", Json::from("adaptive")),
+                ("spec", adaptive.to_json()?),
+            ])
+            .render(),
             Request::Shutdown => Json::obj([("type", Json::from("shutdown"))]).render(),
         })
     }
@@ -81,6 +98,8 @@ pub enum Response {
     },
     /// A job finished.
     Summary(JobSummary),
+    /// An adaptive job finished.
+    AdaptiveSummary(AdaptiveSummary),
     /// A request failed.
     Error {
         /// Human-readable cause.
@@ -107,6 +126,16 @@ impl Response {
                 total: json.field("total")?.as_usize()?,
                 cache_hits: json.field("cache_hits")?.as_usize()?,
                 simulated: json.field("simulated")?.as_usize()?,
+            }),
+            "adaptive_summary" => Response::AdaptiveSummary(AdaptiveSummary {
+                dense: json.field("dense")?.as_usize()?,
+                sampled: json.field("sampled")?.as_usize()?,
+                cache_hits: json.field("cache_hits")?.as_usize()?,
+                simulated: json.field("simulated")?.as_usize()?,
+                interpolated: json.field("interpolated")?.as_usize()?,
+                dominated: json.field("dominated")?.as_usize()?,
+                pruned_curves: json.field("pruned_curves")?.as_usize()?,
+                rounds: json.field("rounds")?.as_usize()?,
             }),
             "error" => Response::Error {
                 message: json.field("message")?.as_str()?.to_string(),
@@ -142,6 +171,18 @@ impl Response {
                 ("simulated", Json::from(summary.simulated)),
             ])
             .render(),
+            Response::AdaptiveSummary(summary) => Json::obj([
+                ("type", Json::from("adaptive_summary")),
+                ("dense", Json::from(summary.dense)),
+                ("sampled", Json::from(summary.sampled)),
+                ("cache_hits", Json::from(summary.cache_hits)),
+                ("simulated", Json::from(summary.simulated)),
+                ("interpolated", Json::from(summary.interpolated)),
+                ("dominated", Json::from(summary.dominated)),
+                ("pruned_curves", Json::from(summary.pruned_curves)),
+                ("rounds", Json::from(summary.rounds)),
+            ])
+            .render(),
             Response::Error { message } => Json::obj([
                 ("type", Json::from("error")),
                 ("message", Json::from(message.as_str())),
@@ -170,6 +211,17 @@ mod tests {
                     .benchmark(Benchmark::Trfd)
                     .latencies([1, 30])
                     .scale(Scale::Quick),
+            )),
+            Request::Adaptive(Box::new(
+                AdaptiveSweep::over(
+                    Sweep::new()
+                        .machines([Machine::reference(1), Machine::dva(1)])
+                        .benchmark(Benchmark::Trfd)
+                        .scale(Scale::Quick),
+                    1..=64,
+                )
+                .seeds(5)
+                .prune_against("DVA", ["REF"]),
             )),
         ] {
             let line = request.render().unwrap();
@@ -202,6 +254,16 @@ mod tests {
                 total: 12,
                 cache_hits: 5,
                 simulated: 7,
+            }),
+            Response::AdaptiveSummary(AdaptiveSummary {
+                dense: 300,
+                sampled: 90,
+                cache_hits: 20,
+                simulated: 70,
+                interpolated: 150,
+                dominated: 60,
+                pruned_curves: 2,
+                rounds: 4,
             }),
             Response::Error {
                 message: "no such benchmark".to_string(),

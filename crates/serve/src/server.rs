@@ -1,7 +1,7 @@
 //! Serving the protocol: a generic line loop, plus stdio and Unix-socket
 //! front ends.
 
-use crate::exec::SweepService;
+use crate::exec::{AdaptiveSummary, SweepService};
 use crate::proto::{Request, Response};
 use dva_engine::ENGINE_VERSION;
 use std::io::{self, BufRead, BufReader, Write};
@@ -75,6 +75,39 @@ pub fn serve_connection(
                     respond(&mut writer, &Response::Summary(summary))?;
                 }
             },
+            Request::Adaptive(adaptive) => {
+                // Points stream from inside the adaptive driver's rounds;
+                // a write failure is carried out through this slot (the
+                // simulation itself cannot be cancelled mid-round).
+                let mut write_error: Option<io::Error> = None;
+                let outcome = service.run_adaptive_with(&adaptive, |index, point| {
+                    if write_error.is_none() {
+                        write_error = respond(
+                            &mut writer,
+                            &Response::Point {
+                                index,
+                                point: Box::new(point.clone()),
+                            },
+                        )
+                        .err();
+                    }
+                });
+                if let Some(e) = write_error {
+                    return Err(e);
+                }
+                match outcome {
+                    Err(e) => respond(
+                        &mut writer,
+                        &Response::Error {
+                            message: e.to_string(),
+                        },
+                    )?,
+                    Ok((outcome, job)) => respond(
+                        &mut writer,
+                        &Response::AdaptiveSummary(AdaptiveSummary::of(&outcome.report, job)),
+                    )?,
+                }
+            }
         }
     }
     Ok(false)

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod machine;
 mod prepare;
 mod result;
@@ -55,6 +56,10 @@ mod stream;
 mod sweep;
 mod wire;
 
+pub use adaptive::{
+    knee_latency, AdaptiveOutcome, AdaptivePlanner, AdaptiveReport, AdaptiveSweep, CurveReport,
+    DEFAULT_SEEDS, DEFAULT_TOLERANCE,
+};
 pub use machine::{CustomMachine, CustomSim, Machine};
 pub use prepare::{PreparedProgram, Runners};
 pub use result::{MachineDetail, SimResult};

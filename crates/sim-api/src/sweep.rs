@@ -439,6 +439,14 @@ impl SweepResults {
 
     /// Looks up one grid point by machine label, benchmark and latency.
     ///
+    /// The `latency` must have been **measured** for this curve: on a
+    /// sparse axis — an [`AdaptiveSweep`](crate::AdaptiveSweep) result,
+    /// or a dense sweep queried at a latency it never swept — the lookup
+    /// returns `None` rather than the nearest point. Use
+    /// [`curve`](Self::curve) for the sampled latencies of a curve and
+    /// [`interpolated_cycles`](Self::interpolated_cycles) to evaluate
+    /// between them.
+    ///
     /// When a sweep declares several machines with the same label (e.g.
     /// base-DVA variants differing only in queue sizes), this returns the
     /// first match in declaration order — iterate [`of`](Self::of)
@@ -452,17 +460,85 @@ impl SweepResults {
 
     /// Looks up one grid point by machine label, program name and
     /// latency. Works for benchmark programs (named after the benchmark)
-    /// and custom programs alike.
+    /// and custom programs alike. Like [`get`](Self::get), an unmeasured
+    /// latency is a miss (`None`), not a nearest-neighbour answer.
     pub fn named(&self, label: &str, program: &str, latency: u64) -> Option<&SweepPoint> {
         self.points
             .iter()
             .find(|p| p.label == label && p.program == program && p.latency == latency)
     }
 
-    /// Cycle count of one grid point (same lookup rules as
-    /// [`get`](Self::get)).
+    /// Cycle count of one grid point (same lookup rules — and the same
+    /// sparse-axis miss behavior — as [`get`](Self::get)).
     pub fn cycles(&self, label: &str, benchmark: Benchmark, latency: u64) -> Option<u64> {
         self.get(label, benchmark, latency).map(|p| p.result.cycles)
+    }
+
+    /// One curve — the points of one machine label, benchmark and memory
+    /// model — as `(latency, point)` pairs sorted by latency. Works on
+    /// dense and sparse (adaptive) axes alike; renderers should iterate
+    /// this rather than assuming every latency of a uniform grid was
+    /// measured.
+    pub fn curve(
+        &self,
+        label: &str,
+        benchmark: Benchmark,
+        memory: MemoryModelKind,
+    ) -> Vec<(u64, &SweepPoint)> {
+        self.curve_by(|p| p.label == label && p.benchmark == Some(benchmark) && p.memory == memory)
+    }
+
+    /// [`curve`](Self::curve) keyed by program name instead of benchmark,
+    /// for custom programs.
+    pub fn curve_named(
+        &self,
+        label: &str,
+        program: &str,
+        memory: MemoryModelKind,
+    ) -> Vec<(u64, &SweepPoint)> {
+        self.curve_by(|p| p.label == label && p.program == program && p.memory == memory)
+    }
+
+    fn curve_by(&self, select: impl Fn(&SweepPoint) -> bool) -> Vec<(u64, &SweepPoint)> {
+        let mut curve: Vec<(u64, &SweepPoint)> = self
+            .points
+            .iter()
+            .filter(|p| select(p))
+            .map(|p| (p.latency, p))
+            .collect();
+        curve.sort_by_key(|&(latency, _)| latency);
+        curve
+    }
+
+    /// Cycle count of one curve at `latency`, linearly interpolating
+    /// between the two nearest sampled latencies when the exact latency
+    /// was not measured. Returns `None` when the latency lies outside the
+    /// sampled range (no extrapolation) or the curve has no points.
+    ///
+    /// This is how renderers evaluate an
+    /// [`AdaptiveSweep`](crate::AdaptiveSweep) result at dense-axis
+    /// resolution: sampled latencies are exact, skipped ones are within
+    /// the adaptive tolerance by construction.
+    pub fn interpolated_cycles(
+        &self,
+        label: &str,
+        program: &str,
+        memory: MemoryModelKind,
+        latency: u64,
+    ) -> Option<f64> {
+        let curve = self.curve_named(label, program, memory);
+        match curve.binary_search_by_key(&latency, |&(l, _)| l) {
+            Ok(i) => Some(curve[i].1.result.cycles as f64),
+            Err(i) => {
+                if i == 0 || i == curve.len() {
+                    return None;
+                }
+                let (l0, p0) = curve[i - 1];
+                let (l1, p1) = curve[i];
+                let (c0, c1) = (p0.result.cycles as f64, p1.result.cycles as f64);
+                Some(c0 + (c1 - c0) * (latency - l0) as f64 / (l1 - l0) as f64)
+            }
+        }
     }
 
     /// The points measured against one memory-model backend, in
@@ -643,6 +719,76 @@ mod tests {
         assert_eq!(results.points.len(), 2);
         assert_eq!(results.points[0].memory, banked);
         assert_eq!(results.points[1].memory, MemoryModelKind::Flat); // IDEAL has no memory
+    }
+
+    #[test]
+    fn lookups_miss_rather_than_round_on_sparse_axes() {
+        let results = small_sweep(1); // latencies [1, 30]
+                                      // A latency the sweep never measured is a miss, not a nearest-
+                                      // neighbour answer — callers on sparse (adaptive) axes must use
+                                      // `curve` / `interpolated_cycles`.
+        assert!(results.get("DVA", Benchmark::Trfd, 15).is_none());
+        assert!(results.named("DVA", "TRFD", 15).is_none());
+        assert!(results.cycles("DVA", Benchmark::Trfd, 15).is_none());
+        // Measured latencies still hit.
+        assert!(results.get("DVA", Benchmark::Trfd, 30).is_some());
+        // Unknown labels and programs miss too.
+        assert!(results.get("NOPE", Benchmark::Trfd, 1).is_none());
+        assert!(results.named("DVA", "NOPE", 1).is_none());
+    }
+
+    #[test]
+    fn curves_sort_by_latency_and_interpolate_between_samples() {
+        let results = Sweep::new()
+            .machines([Machine::reference(1), Machine::dva(1)])
+            .benchmark(Benchmark::Trfd)
+            .latencies([1, 100, 30]) // deliberately unsorted, non-uniform
+            .scale(Scale::Quick)
+            .threads(1)
+            .run();
+        let curve = results.curve("DVA", Benchmark::Trfd, MemoryModelKind::Flat);
+        assert_eq!(
+            curve.iter().map(|&(l, _)| l).collect::<Vec<_>>(),
+            vec![1, 30, 100],
+            "curves are sorted by latency regardless of sweep order"
+        );
+        assert_eq!(
+            curve
+                .iter()
+                .map(|&(l, p)| (l, p.result.cycles))
+                .collect::<Vec<_>>(),
+            results
+                .curve_named("DVA", "TRFD", MemoryModelKind::Flat)
+                .iter()
+                .map(|&(l, p)| (l, p.result.cycles))
+                .collect::<Vec<_>>()
+        );
+        // Exact latencies come back exactly.
+        let at30 = results
+            .interpolated_cycles("DVA", "TRFD", MemoryModelKind::Flat, 30)
+            .unwrap();
+        assert_eq!(at30, curve[1].1.result.cycles as f64);
+        // Between samples, the answer is on the chord of the bracket.
+        let mid = results
+            .interpolated_cycles("DVA", "TRFD", MemoryModelKind::Flat, 65)
+            .unwrap();
+        let (c30, c100) = (
+            curve[1].1.result.cycles as f64,
+            curve[2].1.result.cycles as f64,
+        );
+        let expected = c30 + (c100 - c30) * (65.0 - 30.0) / (100.0 - 30.0);
+        assert!((mid - expected).abs() < 1e-9);
+        // Outside the sampled range there is no extrapolation.
+        assert!(results
+            .interpolated_cycles("DVA", "TRFD", MemoryModelKind::Flat, 0)
+            .is_none());
+        assert!(results
+            .interpolated_cycles("DVA", "TRFD", MemoryModelKind::Flat, 101)
+            .is_none());
+        // And an empty curve yields nothing.
+        assert!(results
+            .interpolated_cycles("NOPE", "TRFD", MemoryModelKind::Flat, 30)
+            .is_none());
     }
 
     #[test]
