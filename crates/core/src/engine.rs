@@ -16,7 +16,7 @@ use crate::config::DvaConfig;
 use crate::queues::{Fifo, Timed};
 use crate::result::DvaResult;
 use crate::uops::{ApOp, DataSlot, SpOp, StoreDataSource, StoreSeq, VecAccess, VpOp};
-use dva_engine::{Completion, Driver, Lane, Observers, Processor, Progress, Report};
+use dva_engine::{Completion, Driver, Lane, Observers, Processor, Progress, Report, SimError};
 use dva_isa::{Cycle, MemRange, ScalarReg, VectorLength};
 use dva_memory::{CacheAccess, Memory, MemoryModel};
 use dva_metrics::{Histogram, UnitState};
@@ -1525,11 +1525,18 @@ impl Processor for Engine {
 /// result. The engine keeps its buffers afterwards, ready for the next
 /// reset.
 pub(crate) fn drive(engine: &mut Engine, fast_forward: bool) -> DvaResult {
+    try_drive(engine, fast_forward).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`drive`], but a tripped deadlock watchdog comes back as a
+/// [`SimError`] instead of a panic. The engine is left mid-flight on
+/// error; [`reset`](Engine::reset) restores it for the next run.
+pub(crate) fn try_drive(engine: &mut Engine, fast_forward: bool) -> Result<DvaResult, SimError> {
     let mut observers = Observers::with_occupancy(Histogram::new(engine.cfg.queues.avdq));
     let completion = Driver::new()
         .fast_forward(fast_forward)
-        .run(engine, &mut observers);
-    assemble(completion, engine, observers)
+        .try_run(engine, &mut observers)?;
+    Ok(assemble(completion, engine, observers))
 }
 
 /// Drives a batch of engines — the per-lane timing states of one
@@ -1543,6 +1550,17 @@ pub(crate) fn drive(engine: &mut Engine, fast_forward: bool) -> DvaResult {
 /// read-only structure of the batch, while each engine carries its own
 /// configuration, queues, unit busy-times and memory model.
 pub(crate) fn drive_batch(engines: &mut [Engine], fast_forward: bool) -> Vec<DvaResult> {
+    try_drive_batch(engines, fast_forward).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`drive_batch`], but a tripped deadlock watchdog on any lane comes
+/// back as a [`SimError`] instead of a panic. On error the whole batch
+/// is abandoned mid-flight; the caller re-runs lanes individually (after
+/// a [`reset`](Engine::reset)) to salvage the healthy ones.
+pub(crate) fn try_drive_batch(
+    engines: &mut [Engine],
+    fast_forward: bool,
+) -> Result<Vec<DvaResult>, SimError> {
     debug_assert!(
         engines
             .windows(2)
@@ -1563,14 +1581,14 @@ pub(crate) fn drive_batch(engines: &mut [Engine], fast_forward: bool) -> Vec<Dva
         .collect();
     let completions = Driver::new()
         .fast_forward(fast_forward)
-        .run_batch(&mut lanes);
+        .try_run_batch(&mut lanes)?;
     drop(lanes);
-    completions
+    Ok(completions
         .into_iter()
         .zip(engines.iter())
         .zip(observers)
         .map(|((completion, engine), observers)| assemble(completion, engine, observers))
-        .collect()
+        .collect())
 }
 
 /// Builds the decoupled machine's result from a finished run's clock,

@@ -195,6 +195,19 @@ impl DvaRunner {
         engine::drive(&mut self.engines[0], sim.fast_forward)
     }
 
+    /// [`run`](DvaRunner::run), but a detected deadlock comes back as a
+    /// [`SimError`](dva_engine::SimError) instead of a panic. The pooled
+    /// engine is left mid-flight on error; the next run's reset restores
+    /// it, so the runner stays reusable.
+    pub fn try_run(
+        &mut self,
+        sim: &DvaSim,
+        compiled: &Arc<CompiledProgram>,
+    ) -> Result<DvaResult, dva_engine::SimError> {
+        self.arm(std::slice::from_ref(sim), compiled);
+        engine::try_drive(&mut self.engines[0], sim.fast_forward)
+    }
+
     /// Runs one compiled program under each of `sims`' configurations in
     /// a single lockstep pass, returning one result per sim, in order —
     /// byte-identical to calling [`run`](DvaRunner::run) for each sim in
@@ -228,6 +241,30 @@ impl DvaRunner {
         );
         self.arm(sims, compiled);
         engine::drive_batch(&mut self.engines[..sims.len()], first.fast_forward)
+    }
+
+    /// [`run_batch`](DvaRunner::run_batch), but a detected deadlock on
+    /// any lane comes back as a [`SimError`](dva_engine::SimError)
+    /// instead of a panic. On error the whole batch is abandoned; the
+    /// caller re-runs lanes individually via
+    /// [`try_run`](DvaRunner::try_run) to salvage the healthy ones.
+    /// Still panics if the sims disagree on the stepping strategy — that
+    /// is a caller bug, not a simulation fault.
+    pub fn try_run_batch(
+        &mut self,
+        sims: &[DvaSim],
+        compiled: &Arc<CompiledProgram>,
+    ) -> Result<Vec<DvaResult>, dva_engine::SimError> {
+        let Some(first) = sims.first() else {
+            return Ok(Vec::new());
+        };
+        assert!(
+            sims.iter()
+                .all(|sim| sim.fast_forward == first.fast_forward),
+            "a batch runs under one stepping strategy; group sims by fast-forward first"
+        );
+        self.arm(sims, compiled);
+        engine::try_drive_batch(&mut self.engines[..sims.len()], first.fast_forward)
     }
 
     /// Readies one pooled engine per sim — reset when it exists, grown

@@ -3,6 +3,7 @@
 use crate::result::{Report, ResultCore};
 use dva_isa::Cycle;
 use dva_metrics::{Diag, Histogram, StateTracker, UnitState};
+use std::fmt;
 
 /// How many consecutive ticks without progress before the driver declares
 /// a deadlock (a bug in the machine model) and panics with diagnostics.
@@ -13,6 +14,40 @@ use dva_metrics::{Diag, Histogram, StateTracker, UnitState};
 /// valid trace never waits more than a latency + vector length handful
 /// of cycles, so the default is generous.
 pub const WATCHDOG_TICKS: u64 = 200_000;
+
+/// A structured simulation failure: the deadlock watchdog's diagnosis,
+/// returned by [`Driver::try_run`] / [`Driver::try_run_batch`] instead
+/// of a panic.
+///
+/// A deadlock is an internal invariant violation — a valid machine model
+/// on a valid trace always completes — so the panicking entry points
+/// ([`Driver::run`], [`Driver::run_batch`]) remain the right default for
+/// experiment code. Long-running services use the `try_` variants so one
+/// poisoned simulation becomes a typed error instead of tearing down a
+/// worker thread; [`SimError`]'s [`Display`](fmt::Display) form is
+/// exactly the message the panicking paths would have raised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// The cycle the clock stood at when the watchdog tripped.
+    pub cycle: Cycle,
+    /// Consecutive executed ticks without progress (just past the
+    /// watchdog threshold).
+    pub ticks_stalled: u64,
+    /// The processor's own [`Processor::deadlock_context`] line.
+    pub context: String,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "engine deadlock at cycle {}: no progress for {} ticks; {}",
+            self.cycle, self.ticks_stalled, self.context
+        )
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// What one executed tick did to the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -319,17 +354,31 @@ impl Driver {
     /// Panics if the processor makes no progress for more than the
     /// watchdog threshold of consecutive ticks — a deadlock, which for a
     /// valid machine model and trace is an internal invariant violation.
+    /// Callers that must survive a poisoned simulation use
+    /// [`try_run`](Driver::try_run) instead.
     pub fn run<P: Processor + ?Sized>(
         &self,
         processor: &mut P,
         observers: &mut Observers,
     ) -> Completion {
+        self.try_run(processor, observers)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run`](Driver::run), but a tripped deadlock watchdog comes back
+    /// as a [`SimError`] instead of a panic. The processor and observers
+    /// are left mid-flight on error and must be discarded.
+    pub fn try_run<P: Processor + ?Sized>(
+        &self,
+        processor: &mut P,
+        observers: &mut Observers,
+    ) -> Result<Completion, SimError> {
         let mut clock = LaneClock::new();
         loop {
             if let Some(completion) = clock.finished {
-                return completion;
+                return Ok(completion);
             }
-            self.advance(processor, observers, &mut clock);
+            self.advance(processor, observers, &mut clock)?;
         }
     }
 
@@ -360,8 +409,21 @@ impl Driver {
     /// # Panics
     ///
     /// Panics if any lane trips the deadlock watchdog, like
-    /// [`run`](Driver::run).
+    /// [`run`](Driver::run). Callers that must survive a poisoned lane
+    /// use [`try_run_batch`](Driver::try_run_batch) instead.
     pub fn run_batch<P: Processor + ?Sized>(&self, lanes: &mut [Lane<'_, P>]) -> Vec<Completion> {
+        self.try_run_batch(lanes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_batch`](Driver::run_batch), but a tripped deadlock watchdog
+    /// on *any* lane comes back as a [`SimError`] instead of a panic.
+    /// On error the whole batch is abandoned mid-flight — lanes and
+    /// observers must be discarded; the caller re-runs survivors
+    /// individually if it wants to salvage them.
+    pub fn try_run_batch<P: Processor + ?Sized>(
+        &self,
+        lanes: &mut [Lane<'_, P>],
+    ) -> Result<Vec<Completion>, SimError> {
         let mut clocks: Vec<LaneClock> = lanes.iter().map(|_| LaneClock::new()).collect();
         // Indices of the lanes still running; retirement swap-removes.
         let mut live: Vec<usize> = (0..lanes.len()).collect();
@@ -387,7 +449,7 @@ impl Driver {
                 observers,
             } = &mut lanes[lane];
             loop {
-                self.advance(*processor, observers, clock);
+                self.advance(*processor, observers, clock)?;
                 if clock.finished.is_some() {
                     live.swap_remove(slot);
                     break;
@@ -397,10 +459,10 @@ impl Driver {
                 }
             }
         }
-        clocks
+        Ok(clocks
             .into_iter()
             .map(|clock| clock.finished.expect("every lane retired"))
-            .collect()
+            .collect())
     }
 
     /// One driver iteration for a lane standing at `clock.now`: the
@@ -415,7 +477,7 @@ impl Driver {
         processor: &mut P,
         observers: &mut Observers,
         clock: &mut LaneClock,
-    ) {
+    ) -> Result<(), SimError> {
         if clock.check_done && processor.is_done() {
             // Drain: run the clock until every unit and register is
             // quiet. The machine no longer interacts with anything, so a
@@ -432,7 +494,7 @@ impl Driver {
                 cycles: now,
                 ticks: clock.ticks,
             });
-            return;
+            return Ok(());
         }
         let now = clock.now;
         let progress = processor.step(now).advanced();
@@ -444,11 +506,11 @@ impl Driver {
             clock.ticks_since_progress += 1;
         }
         if clock.ticks_since_progress > self.watchdog_ticks {
-            panic!(
-                "engine deadlock at cycle {now}: no progress for {} ticks; {}",
-                clock.ticks_since_progress,
-                processor.deadlock_context(now),
-            );
+            return Err(SimError {
+                cycle: now,
+                ticks_stalled: clock.ticks_since_progress,
+                context: processor.deadlock_context(now),
+            });
         }
         // A tick without progress proves every unit is blocked on a
         // timed condition, so fast-forward jumps straight to the next
@@ -477,6 +539,7 @@ impl Driver {
         }
         clock.now = jump_to.unwrap_or(now + 1);
         clock.due = clock.now;
+        Ok(())
     }
 }
 
@@ -654,6 +717,47 @@ mod tests {
         let _ = Driver::new()
             .watchdog_ticks(64)
             .run(&mut Stuck, &mut Observers::new());
+    }
+
+    /// `try_run` reports the same deadlock as a typed [`SimError`] whose
+    /// display form is exactly the panic message, so the two entry
+    /// points cannot drift apart.
+    #[test]
+    fn try_run_returns_a_structured_deadlock() {
+        struct Stuck;
+        impl Processor for Stuck {
+            fn step(&mut self, _now: Cycle) -> Progress {
+                Progress::Stalled
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+            fn next_event_after(&self, _now: Cycle) -> Option<Cycle> {
+                None
+            }
+            fn quiesce_at(&self) -> Cycle {
+                0
+            }
+            fn sample(&self, _now: Cycle, obs: &mut Observers) {
+                obs.record_state(UnitState::empty());
+            }
+            fn deadlock_context(&self, _now: Cycle) -> String {
+                "stuck unit".into()
+            }
+        }
+        let err = Driver::new()
+            .watchdog_ticks(64)
+            .try_run(&mut Stuck, &mut Observers::new())
+            .unwrap_err();
+        assert_eq!(err.ticks_stalled, 65);
+        assert_eq!(err.context, "stuck unit");
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "engine deadlock at cycle {}: no progress for 65 ticks; stuck unit",
+                err.cycle
+            )
+        );
     }
 
     /// The watchdog counts executed ticks, not cycles: a fast-forward

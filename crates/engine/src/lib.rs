@@ -130,7 +130,8 @@ mod driver;
 mod result;
 
 pub use driver::{
-    Completion, Driver, Lane, Observers, Processor, Progress, BATCH_WINDOW, WATCHDOG_TICKS,
+    Completion, Driver, Lane, Observers, Processor, Progress, SimError, BATCH_WINDOW,
+    WATCHDOG_TICKS,
 };
 pub use result::{Report, ResultCore};
 

@@ -7,7 +7,7 @@
 
 use crate::compiled::{CompiledProgram, RefOp};
 use crate::result::RefResult;
-use dva_engine::{Driver, Lane, Observers, Processor, Progress, Report};
+use dva_engine::{Driver, Lane, Observers, Processor, Progress, Report, SimError};
 use dva_isa::{Cycle, Program};
 use dva_memory::{CacheAccess, Memory, MemoryModel, MemoryParams};
 use dva_metrics::UnitState;
@@ -199,6 +199,19 @@ impl RefRunner {
         drive(&mut self.engines[0], sim.fast_forward)
     }
 
+    /// [`run`](RefRunner::run), but a detected deadlock comes back as a
+    /// [`SimError`] instead of a panic. The pooled engine is left
+    /// mid-flight on error; the next run's reset restores it, so the
+    /// runner stays reusable.
+    pub fn try_run(
+        &mut self,
+        sim: &RefSim,
+        compiled: &Arc<CompiledProgram>,
+    ) -> Result<RefResult, SimError> {
+        self.arm(std::slice::from_ref(sim), compiled);
+        try_drive(&mut self.engines[0], sim.fast_forward)
+    }
+
     /// Runs one decoded program under each of `sims`' parameters in a
     /// single lockstep pass, returning one result per sim, in order —
     /// byte-identical to calling [`run`](RefRunner::run) for each sim in
@@ -215,8 +228,23 @@ impl RefRunner {
         sims: &[RefSim],
         compiled: &Arc<CompiledProgram>,
     ) -> Vec<RefResult> {
+        self.try_run_batch(sims, compiled)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_batch`](RefRunner::run_batch), but a detected deadlock on
+    /// any lane comes back as a [`SimError`] instead of a panic. On
+    /// error the whole batch is abandoned; the caller re-runs lanes
+    /// individually via [`try_run`](RefRunner::try_run) to salvage the
+    /// healthy ones. Still panics if the sims disagree on the stepping
+    /// strategy — that is a caller bug, not a simulation fault.
+    pub fn try_run_batch(
+        &mut self,
+        sims: &[RefSim],
+        compiled: &Arc<CompiledProgram>,
+    ) -> Result<Vec<RefResult>, SimError> {
         let Some(first) = sims.first() else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
         assert!(
             sims.iter()
@@ -235,9 +263,9 @@ impl RefRunner {
             .collect();
         let completions = Driver::new()
             .fast_forward(first.fast_forward)
-            .run_batch(&mut lanes);
+            .try_run_batch(&mut lanes)?;
         drop(lanes);
-        completions
+        Ok(completions
             .into_iter()
             .zip(&self.engines)
             .zip(observers)
@@ -245,7 +273,7 @@ impl RefRunner {
                 let (core, _) = completion.into_core(engine, observers);
                 RefResult { core }
             })
-            .collect()
+            .collect())
     }
 
     /// Readies one pooled engine per sim — reset when it exists, grown
@@ -265,12 +293,18 @@ impl RefRunner {
 /// Drives `engine` (fresh or reset) to completion through the shared
 /// [`Driver`] and assembles the reference machine's result.
 fn drive(engine: &mut Engine, fast_forward: bool) -> RefResult {
+    try_drive(engine, fast_forward).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`drive`], but a tripped deadlock watchdog comes back as a
+/// [`SimError`] instead of a panic.
+fn try_drive(engine: &mut Engine, fast_forward: bool) -> Result<RefResult, SimError> {
     let mut observers = Observers::new();
     let completion = Driver::new()
         .fast_forward(fast_forward)
-        .run(engine, &mut observers);
+        .try_run(engine, &mut observers)?;
     let (core, _) = completion.into_core(engine, observers);
-    RefResult { core }
+    Ok(RefResult { core })
 }
 
 #[derive(Debug)]

@@ -3,17 +3,23 @@
 //!
 //! ```text
 //! dva-serve [--stdio | --socket PATH] [--cache-dir DIR] [--mem-cap N]
+//!           [--read-timeout-ms MS] [--write-timeout-ms MS]
 //! ```
 
-use dva_serve::{ResultCache, SweepService, DEFAULT_MEMORY_CAPACITY};
+use dva_serve::{ResultCache, ServeOptions, SweepService, DEFAULT_MEMORY_CAPACITY};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Options {
     socket: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     mem_cap: usize,
+    /// Socket transport knobs. The binary defaults the write timeout to
+    /// 30 s — a daemon should not be held hostage by one stalled client
+    /// — while reads stay unbounded for long-lived idle clients.
+    serve: ServeOptions,
 }
 
 const USAGE: &str = "\
@@ -29,18 +35,41 @@ OPTIONS:
     --cache-dir DIR    Persist results to DIR/results.jsonl (reloaded on
                        restart; discarded when the engine version moves)
     --mem-cap N        In-memory result capacity before LRU eviction
+    --read-timeout-ms MS
+                       Close a socket connection idle for MS between
+                       requests (0 = never; the default)
+    --write-timeout-ms MS
+                       Abandon a connection whose client stops reading
+                       for MS mid-response (0 = never; default 30000)
     --help             Show this help
+
+FAULT INJECTION:
+    The DVA_FAILPOINTS environment variable arms deterministic fault
+    injection sites (chaos testing); see dva_testutil::failpoint.
 
 PROTOCOL:
     Newline-delimited JSON. Requests: {\"type\":\"ping\"},
-    {\"type\":\"sweep\",\"spec\":...}, {\"type\":\"shutdown\"}.
+    {\"type\":\"sweep\",\"spec\":...,\"deadline_ms\":N}, {\"type\":\"shutdown\"}.
     See the dva-serve crate docs for the full schema.";
+
+/// `0` means "no timeout"; anything else is a bound in milliseconds.
+fn parse_timeout(flag: &str, value: Option<String>) -> Result<Option<Duration>, String> {
+    let ms: u64 = value
+        .ok_or(format!("{flag} needs a number of milliseconds"))?
+        .parse()
+        .map_err(|_| format!("{flag}: not a number"))?;
+    Ok((ms > 0).then(|| Duration::from_millis(ms)))
+}
 
 fn parse_options() -> Result<Options, String> {
     let mut options = Options {
         socket: None,
         cache_dir: None,
         mem_cap: DEFAULT_MEMORY_CAPACITY,
+        serve: ServeOptions {
+            read_timeout: None,
+            write_timeout: Some(Duration::from_secs(30)),
+        },
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +89,12 @@ fn parse_options() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("--mem-cap: not a number: {n}"))?;
             }
+            "--read-timeout-ms" => {
+                options.serve.read_timeout = parse_timeout("--read-timeout-ms", args.next())?;
+            }
+            "--write-timeout-ms" => {
+                options.serve.write_timeout = parse_timeout("--write-timeout-ms", args.next())?;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -71,6 +106,9 @@ fn parse_options() -> Result<Options, String> {
 }
 
 fn main() {
+    // Chaos runs arm fault injection through the environment; a no-op
+    // otherwise.
+    dva_testutil::failpoint::arm_from_env();
     let options = match parse_options() {
         Ok(options) => options,
         Err(message) => {
@@ -90,7 +128,7 @@ fn main() {
     };
     let service = SweepService::new(cache);
     let outcome = match &options.socket {
-        Some(path) => dva_serve::serve_unix(Arc::new(service), path),
+        Some(path) => dva_serve::serve_unix_with(Arc::new(service), path, options.serve),
         None => dva_serve::serve_stdio(&service),
     };
     if let Err(e) = outcome {

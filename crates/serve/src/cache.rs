@@ -22,6 +22,7 @@ use crate::key::PointKey;
 use dva_engine::ENGINE_VERSION;
 use dva_json::Json;
 use dva_sim_api::SimResult;
+use dva_testutil::failpoint;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -45,8 +46,12 @@ struct DiskTier {
     /// Everything the file holds, loaded at open. Unbounded: the disk is
     /// the persistent tier, so it never evicts.
     entries: HashMap<PointKey, SimResult>,
-    writer: BufWriter<File>,
+    /// `None` once a write has failed: the tier is demoted to read-only
+    /// and the cache keeps serving from memory plus what was loaded.
+    writer: Option<BufWriter<File>>,
     path: PathBuf,
+    /// Write failures absorbed so far (the first one demotes the tier).
+    errors: usize,
 }
 
 impl ResultCache {
@@ -96,8 +101,9 @@ impl ResultCache {
             capacity: capacity.max(1),
             disk: Some(DiskTier {
                 entries,
-                writer,
+                writer: Some(writer),
                 path,
+                errors: 0,
             }),
         })
     }
@@ -117,6 +123,21 @@ impl ResultCache {
         self.disk.as_ref().map_or(0, |d| d.entries.len())
     }
 
+    /// Disk-tier write failures absorbed so far. The first failure
+    /// demotes the tier to read-only (see [`ResultCache::store`]); the
+    /// count keeps growing if callers keep storing.
+    pub fn disk_errors(&self) -> usize {
+        self.disk.as_ref().map_or(0, |d| d.errors)
+    }
+
+    /// Whether the disk tier has been demoted to read-only after a
+    /// write failure. Memory-only caches report `false`.
+    pub fn disk_demoted(&self) -> bool {
+        self.disk
+            .as_ref()
+            .is_some_and(|d| d.writer.is_none() && d.errors > 0)
+    }
+
     /// Looks a result up, refreshing its LRU position (a disk hit is
     /// promoted into the memory tier).
     pub fn get(&mut self, key: &PointKey) -> Option<SimResult> {
@@ -130,24 +151,46 @@ impl ResultCache {
         Some(promoted)
     }
 
-    /// Stores a result in both tiers. Disk write failures surface as an
-    /// error but leave the memory tier updated — the job that produced
-    /// the result still completes.
-    pub fn store(&mut self, key: PointKey, result: SimResult) -> io::Result<()> {
+    /// Stores a result in both tiers. A disk write failure never fails
+    /// the store: the memory tier is already updated, the failure is
+    /// counted and logged once, and the disk tier demotes itself to
+    /// read-only — previously loaded entries stay servable, new results
+    /// live in memory only, and the server keeps serving.
+    pub fn store(&mut self, key: PointKey, result: SimResult) {
         self.clock += 1;
         self.insert_memory(key.clone(), result.clone());
-        if let Some(disk) = self.disk.as_mut() {
-            if !disk.entries.contains_key(&key) {
+        let Some(disk) = self.disk.as_mut() else {
+            return;
+        };
+        if disk.entries.contains_key(&key) {
+            return;
+        }
+        let Some(writer) = disk.writer.as_mut() else {
+            return; // demoted: memory-only from here on
+        };
+        let appended =
+            failpoint::hit("serve.cache.write", || key.as_str().to_string()).and_then(|()| {
                 let line = Json::obj([
                     ("key", Json::from(key.as_str())),
                     ("result", result.to_json()),
                 ]);
-                writeln!(disk.writer, "{}", line.render())?;
-                disk.writer.flush()?;
+                writeln!(writer, "{}", line.render())?;
+                writer.flush()
+            });
+        match appended {
+            Ok(()) => {
                 disk.entries.insert(key, result);
             }
+            Err(e) => {
+                disk.errors += 1;
+                disk.writer = None;
+                eprintln!(
+                    "dva-serve: disk cache write to {} failed ({e}); \
+                     demoting cache to memory-only",
+                    disk.path.display()
+                );
+            }
         }
-        Ok(())
     }
 
     fn insert_memory(&mut self, key: PointKey, result: SimResult) {
@@ -272,17 +315,11 @@ mod tests {
     fn lru_evicts_the_least_recently_used_result() {
         let points = keyed_points(3);
         let mut cache = ResultCache::in_memory(2);
-        cache
-            .store(points[0].0.clone(), points[0].1.clone())
-            .unwrap();
-        cache
-            .store(points[1].0.clone(), points[1].1.clone())
-            .unwrap();
+        cache.store(points[0].0.clone(), points[0].1.clone());
+        cache.store(points[1].0.clone(), points[1].1.clone());
         // Touch the older entry so the *other* one becomes LRU.
         assert!(cache.get(&points[0].0).is_some());
-        cache
-            .store(points[2].0.clone(), points[2].1.clone())
-            .unwrap();
+        cache.store(points[2].0.clone(), points[2].1.clone());
         assert_eq!(cache.memory_len(), 2);
         assert!(cache.get(&points[0].0).is_some(), "recently used: kept");
         assert!(
@@ -300,7 +337,7 @@ mod tests {
         {
             let mut cache = ResultCache::persistent(&dir, 64).unwrap();
             for (key, result) in &points {
-                cache.store(key.clone(), result.clone()).unwrap();
+                cache.store(key.clone(), result.clone());
             }
             assert_eq!(cache.disk_len(), points.len());
         }
@@ -329,7 +366,7 @@ mod tests {
         {
             let mut cache = ResultCache::persistent(&dir, 64).unwrap();
             for (key, result) in &points {
-                cache.store(key.clone(), result.clone()).unwrap();
+                cache.store(key.clone(), result.clone());
             }
         }
         // Simulate a writer that lost its in-memory index (a crash, or a
@@ -372,15 +409,65 @@ mod tests {
     }
 
     #[test]
+    fn a_failed_disk_write_demotes_the_cache_to_memory_only() {
+        use dva_testutil::failpoint::{self, FailAction, Failpoint};
+        let dir = std::env::temp_dir().join(format!("dva-serve-demote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Latencies no other test in this binary uses, so the filter
+        // below can never select a concurrent test's store.
+        let sweep = Sweep::new()
+            .machines([Machine::reference(97), Machine::dva(97)])
+            .benchmark(Benchmark::Trfd)
+            .latencies([97])
+            .scale(Scale::Quick)
+            .threads(1);
+        let grid = sweep.grid();
+        let results = sweep.run();
+        let points: Vec<(PointKey, SimResult)> = grid
+            .iter()
+            .zip(results.points)
+            .map(|(spec, point)| (PointKey::of(spec, true).unwrap(), point.result))
+            .collect();
+
+        let mut cache = ResultCache::persistent(&dir, 64).unwrap();
+        cache.store(points[0].0.clone(), points[0].1.clone());
+        failpoint::arm(
+            "serve.cache.write",
+            Failpoint::new(FailAction::IoError).filter(points[1].0.as_str()),
+        );
+        cache.store(points[1].0.clone(), points[1].1.clone());
+        failpoint::disarm("serve.cache.write");
+
+        // The failed write demoted the tier: the store itself succeeded
+        // (memory has the result), earlier disk entries stay servable,
+        // and the failure is counted.
+        assert_eq!(cache.disk_errors(), 1);
+        assert!(cache.disk_demoted());
+        assert_eq!(cache.disk_len(), 1, "failed write not indexed as disk");
+        assert!(cache.get(&points[1].0).is_some(), "served from memory");
+        assert!(cache.get(&points[0].0).is_some(), "disk entry still live");
+        // Later stores silently stay memory-only — no error spiral.
+        cache.store(points[1].0.clone(), points[1].1.clone());
+        assert_eq!(cache.disk_errors(), 1);
+        drop(cache);
+
+        // On disk only the pre-demotion entry survives the restart.
+        let mut reopened = ResultCache::persistent(&dir, 64).unwrap();
+        assert!(!reopened.disk_demoted(), "a reopen re-promotes the tier");
+        assert_eq!(reopened.disk_len(), 1);
+        assert!(reopened.get(&points[0].0).is_some());
+        assert!(reopened.get(&points[1].0).is_none(), "was never persisted");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn version_mismatch_discards_the_disk_tier() {
         let dir = std::env::temp_dir().join(format!("dva-serve-stale-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let points = keyed_points(1);
         {
             let mut cache = ResultCache::persistent(&dir, 64).unwrap();
-            cache
-                .store(points[0].0.clone(), points[0].1.clone())
-                .unwrap();
+            cache.store(points[0].0.clone(), points[0].1.clone());
         }
         // Rewrite the header as if an older engine had produced the file.
         let path = dir.join("results.jsonl");

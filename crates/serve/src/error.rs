@@ -1,0 +1,63 @@
+//! The serving stack's failure taxonomy.
+//!
+//! Three layers of fault are kept distinct end-to-end:
+//!
+//! * **Job faults** ([`ServeError::Spec`]) — the request itself is
+//!   unservable (a machine that cannot be content-addressed). Nothing
+//!   ran; the client gets one error line.
+//! * **Point faults** ([`ServeError::Point`]) — one grid point
+//!   deadlocked or panicked. The point is isolated by the streaming
+//!   executor; every other point of the job is still served,
+//!   byte-identical to a fault-free run, and the failed point travels
+//!   the wire as a `point_error` frame.
+//! * **Interruptions** ([`ServeError::DeadlineExceeded`],
+//!   [`ServeError::Cancelled`]) — the job stopped early because its
+//!   deadline passed or its client went away. Work already done stays
+//!   cached; the rest was never simulated.
+
+use dva_json::JsonError;
+use dva_sim_api::PointError;
+use std::fmt;
+
+/// Why a serve job (or part of one) failed. See the [module
+/// docs](self) for the taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The job specification cannot be served (e.g. a custom machine
+    /// that cannot be content-addressed for caching).
+    Spec(JsonError),
+    /// One grid point failed; carries the point's coordinates and the
+    /// diagnosis.
+    Point(PointError),
+    /// The job's deadline passed before it finished; the remaining
+    /// points were not simulated.
+    DeadlineExceeded,
+    /// The job was cancelled (typically: the client hung up) before it
+    /// finished; the remaining points were not simulated.
+    Cancelled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Spec(e) => write!(f, "unservable job: {e}"),
+            ServeError::Point(e) => write!(f, "{e}"),
+            ServeError::DeadlineExceeded => write!(f, "job deadline exceeded"),
+            ServeError::Cancelled => write!(f, "job cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<JsonError> for ServeError {
+    fn from(e: JsonError) -> ServeError {
+        ServeError::Spec(e)
+    }
+}
+
+impl From<PointError> for ServeError {
+    fn from(e: PointError) -> ServeError {
+        ServeError::Point(e)
+    }
+}

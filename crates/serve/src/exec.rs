@@ -2,11 +2,11 @@
 //! checked against the result cache first.
 
 use crate::cache::ResultCache;
+use crate::error::ServeError;
 use crate::key::PointKey;
-use dva_json::JsonError;
 use dva_sim_api::{
-    AdaptiveOutcome, AdaptiveReport, AdaptiveSweep, IndexedSweepStream, PointSpec, Sweep,
-    SweepPoint, SweepResults,
+    AdaptiveOutcome, AdaptiveReport, AdaptiveSweep, CancelToken, IndexedSweepStream, PointError,
+    PointSpec, Sweep, SweepPoint, SweepResults,
 };
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -19,8 +19,13 @@ pub struct JobSummary {
     pub total: usize,
     /// Points answered from the result cache.
     pub cache_hits: usize,
-    /// Points simulated (and then cached) by this job.
+    /// Points the job set out to simulate (failed attempts included, so
+    /// `total = cache_hits + simulated` always holds).
     pub simulated: usize,
+    /// Simulation attempts that ended in an isolated point fault
+    /// (deadlock or panic). Failed points are never cached. Counted as
+    /// the stream drains — final once the job has been consumed.
+    pub errors: usize,
 }
 
 /// A persistent sweep service: submit [`Sweep`] sessions, get streamed
@@ -51,7 +56,7 @@ impl SweepService {
     /// Fails if the sweep contains a machine that cannot be
     /// content-addressed (a [`Machine::custom`](dva_sim_api::Machine::custom)
     /// machine).
-    pub fn submit(&self, sweep: &Sweep) -> Result<ServeRun, JsonError> {
+    pub fn submit(&self, sweep: &Sweep) -> Result<ServeRun, ServeError> {
         self.submit_specs(sweep, sweep.grid())
     }
 
@@ -69,7 +74,7 @@ impl SweepService {
         &self,
         sweep: &Sweep,
         specs: Vec<PointSpec>,
-    ) -> Result<ServeRun, JsonError> {
+    ) -> Result<ServeRun, ServeError> {
         let total = specs.len();
         let mut hits: VecDeque<(usize, SweepPoint)> = VecDeque::new();
         let mut misses: Vec<PointSpec> = Vec::new();
@@ -96,6 +101,7 @@ impl SweepService {
             total,
             cache_hits: hits.len(),
             simulated: misses.len(),
+            errors: 0,
         };
         // Misses are submitted in ascending position order, so the
         // stream yields them that way too — mergeable against the hit
@@ -108,14 +114,29 @@ impl SweepService {
             miss_keys,
             summary,
             yielded: 0,
+            cancel: sweep.cancel_handle(),
         })
     }
 
     /// Runs a job to completion, returning the collected results (equal
     /// to `sweep.run()`) and what they cost.
-    pub fn run(&self, sweep: &Sweep) -> Result<(SweepResults, JobSummary), JsonError> {
+    ///
+    /// # Errors
+    ///
+    /// The all-or-nothing counterpart of the streaming surface: the
+    /// first isolated point fault comes back as [`ServeError::Point`],
+    /// and an interrupted job (cancelled token, expired deadline) as
+    /// [`ServeError::Cancelled`] / [`ServeError::DeadlineExceeded`].
+    /// Points measured before the failure stay cached either way.
+    pub fn run(&self, sweep: &Sweep) -> Result<(SweepResults, JobSummary), ServeError> {
         let mut run = self.submit(sweep)?;
-        let points: Vec<SweepPoint> = run.by_ref().collect();
+        let mut points = Vec::with_capacity(run.summary().total);
+        while let Some(outcome) = run.next_outcome() {
+            points.push(outcome?);
+        }
+        if run.interrupted() {
+            return Err(run.interruption());
+        }
         Ok((SweepResults { points }, run.summary()))
     }
 
@@ -133,20 +154,32 @@ impl SweepService {
     ///
     /// # Errors
     ///
-    /// Fails under the same conditions as [`submit`](SweepService::submit).
+    /// Fails under the same conditions as [`submit`](SweepService::submit);
+    /// additionally, an isolated point fault aborts the refinement (a
+    /// planner fed a partial round would refine a different curve) as
+    /// [`ServeError::Point`], and a cancelled token or expired deadline
+    /// on the adaptive session stops the job between rounds as
+    /// [`ServeError::Cancelled`] / [`ServeError::DeadlineExceeded`].
+    /// Points measured before the interruption stay cached, so a
+    /// resubmitted job resumes nearly for free.
     pub fn run_adaptive_with(
         &self,
         adaptive: &AdaptiveSweep,
         mut on_point: impl FnMut(usize, &SweepPoint),
-    ) -> Result<(AdaptiveOutcome, JobSummary), JsonError> {
+    ) -> Result<(AdaptiveOutcome, JobSummary), ServeError> {
         let sweep = adaptive.dense();
+        let cancel = adaptive.cancel_handle();
         let mut planner = adaptive.planner();
         let mut summary = JobSummary {
             total: 0,
             cache_hits: 0,
             simulated: 0,
+            errors: 0,
         };
         loop {
+            if cancel.is_cancelled() {
+                return Err(interruption_of(&cancel));
+            }
             let specs = planner.next_round();
             if specs.is_empty() {
                 break;
@@ -159,9 +192,15 @@ impl SweepService {
             summary.total += round.total;
             summary.cache_hits += round.cache_hits;
             summary.simulated += round.simulated;
-            for (index, point) in indices.into_iter().zip(run.by_ref()) {
+            let mut indices = indices.into_iter();
+            while let Some(outcome) = run.next_outcome() {
+                let index = indices.next().expect("one index per submitted spec");
+                let point = outcome?;
                 on_point(index, &point);
                 planner.record(index, point);
+            }
+            if run.interrupted() {
+                return Err(run.interruption());
             }
         }
         Ok((planner.finish(), summary))
@@ -172,13 +211,20 @@ impl SweepService {
     pub fn run_adaptive(
         &self,
         adaptive: &AdaptiveSweep,
-    ) -> Result<(AdaptiveOutcome, JobSummary), JsonError> {
+    ) -> Result<(AdaptiveOutcome, JobSummary), ServeError> {
         self.run_adaptive_with(adaptive, |_, _| {})
     }
 
     /// Results resident in the cache's memory tier.
     pub fn cached_results(&self) -> usize {
         self.cache.lock().unwrap().memory_len()
+    }
+
+    /// Disk-tier write failures the cache has absorbed (the first one
+    /// demotes the tier to memory-only; see
+    /// [`ResultCache::disk_errors`]).
+    pub fn disk_errors(&self) -> usize {
+        self.cache.lock().unwrap().disk_errors()
     }
 }
 
@@ -237,9 +283,25 @@ fn point_from(spec: &PointSpec, result: dva_sim_api::SimResult) -> SweepPoint {
     }
 }
 
+/// The [`ServeError`] describing why a cancelled token stopped a job.
+fn interruption_of(cancel: &CancelToken) -> ServeError {
+    if cancel.deadline_exceeded() {
+        ServeError::DeadlineExceeded
+    } else {
+        ServeError::Cancelled
+    }
+}
+
 /// A running job: an iterator over its points in grid order, merging
 /// cached hits with freshly simulated misses as they stream in. Created
 /// by [`SweepService::submit`].
+///
+/// The plain [`Iterator`] keeps the all-or-nothing contract (an
+/// isolated point fault re-raises as a panic); fault-tolerant consumers
+/// — the daemon — poll [`next_outcome`](ServeRun::next_outcome) and
+/// receive each fault as a typed [`PointError`] alongside the healthy
+/// points. A cancelled token or expired deadline on the submitted sweep
+/// truncates the run (see [`interrupted`](ServeRun::interrupted)).
 pub struct ServeRun {
     cache: Arc<Mutex<ResultCache>>,
     /// Cached points, ascending grid index.
@@ -250,20 +312,39 @@ pub struct ServeRun {
     miss_keys: VecDeque<PointKey>,
     summary: JobSummary,
     yielded: usize,
+    cancel: CancelToken,
 }
 
 impl ServeRun {
-    /// What this job cost. Known from the moment the job was submitted —
-    /// callable before, during or after consuming the stream.
+    /// What this job cost. The hit/miss split is known from the moment
+    /// the job was submitted; the `errors` count grows as faults are
+    /// discovered, so it is final only once the run has been consumed.
     pub fn summary(&self) -> JobSummary {
         self.summary
     }
-}
 
-impl Iterator for ServeRun {
-    type Item = SweepPoint;
+    /// Whether the run stopped early because its sweep's cancel token
+    /// tripped (explicitly, or by deadline). The second clause catches
+    /// jobs interrupted before the stream noticed — e.g. a fully cached
+    /// job whose deadline had already passed at submission.
+    pub fn interrupted(&self) -> bool {
+        self.stream.cancelled() || (self.cancel.is_cancelled() && self.yielded < self.summary.total)
+    }
 
-    fn next(&mut self) -> Option<SweepPoint> {
+    /// The [`ServeError`] describing an interruption; meaningful only
+    /// when [`interrupted`](ServeRun::interrupted) is true.
+    pub fn interruption(&self) -> ServeError {
+        interruption_of(&self.cancel)
+    }
+
+    /// The next point of the job in order — or the typed [`PointError`]
+    /// of a point whose simulation failed. `None` once the job is
+    /// exhausted or its cancel token tripped. Failed points are never
+    /// cached, so a resubmitted job retries exactly them.
+    pub fn next_outcome(&mut self) -> Option<Result<SweepPoint, PointError>> {
+        if self.cancel.is_cancelled() {
+            return None;
+        }
         let take_hit = match (self.hits.front(), self.stream.size_hint().0) {
             (Some(_), 0) => true,
             (Some((hit_index, _)), _) => {
@@ -275,24 +356,40 @@ impl Iterator for ServeRun {
             }
             (None, _) => false,
         };
-        let point = if take_hit {
-            Some(self.hits.pop_front().expect("checked").1)
+        let outcome = if take_hit {
+            Some(Ok(self.hits.pop_front().expect("checked").1))
         } else {
-            match self.stream.next() {
-                Some((_, point)) => {
+            match self.stream.next_outcome() {
+                Some((_, outcome)) => {
                     let key = self.miss_keys.pop_front().expect("one key per miss");
-                    // A disk-tier write failure must not kill the job;
-                    // the result is still correct and still in memory.
-                    let _ = self.cache.lock().unwrap().store(key, point.result.clone());
-                    Some(point)
+                    match outcome {
+                        Ok(point) => {
+                            self.cache.lock().unwrap().store(key, point.result.clone());
+                            Some(Ok(point))
+                        }
+                        Err(error) => {
+                            self.summary.errors += 1;
+                            Some(Err(error))
+                        }
+                    }
                 }
-                None => self.hits.pop_front().map(|(_, point)| point),
+                None if self.stream.cancelled() => None,
+                None => self.hits.pop_front().map(|(_, point)| Ok(point)),
             }
         };
-        if point.is_some() {
+        if outcome.is_some() {
             self.yielded += 1;
         }
-        point
+        outcome
+    }
+}
+
+impl Iterator for ServeRun {
+    type Item = SweepPoint;
+
+    fn next(&mut self) -> Option<SweepPoint> {
+        self.next_outcome()
+            .map(|outcome| outcome.unwrap_or_else(|e| panic!("{e}")))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -54,14 +54,16 @@
 
 pub mod cache;
 pub mod client;
+pub mod error;
 pub mod exec;
 pub mod key;
 pub mod proto;
 pub mod server;
 
 pub use cache::{ResultCache, DEFAULT_MEMORY_CAPACITY};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use dva_engine::ENGINE_VERSION;
+pub use error::ServeError;
 pub use exec::{AdaptiveSummary, JobSummary, ServeRun, SweepService};
 pub use key::{program_hash, PointKey};
-pub use server::{serve_connection, serve_stdio, serve_unix};
+pub use server::{serve_connection, serve_stdio, serve_unix, serve_unix_with, ServeOptions};

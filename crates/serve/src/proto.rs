@@ -6,9 +6,14 @@
 //! | request | response |
 //! |---|---|
 //! | `{"type":"ping"}` | `{"type":"pong","engine_version":N}` |
-//! | `{"type":"sweep","spec":…}` | a `point` line per grid point, then one `summary` |
-//! | `{"type":"adaptive","spec":…}` | a `point` line per **sampled** point, then one `adaptive_summary` |
+//! | `{"type":"sweep","spec":…[,"deadline_ms":D]}` | a `point` or `point_error` line per grid point, then one `summary` |
+//! | `{"type":"adaptive","spec":…[,"deadline_ms":D]}` | a `point` line per **sampled** point, then one `adaptive_summary` |
 //! | `{"type":"shutdown"}` | `{"type":"bye"}`, then the server exits |
+//!
+//! `deadline_ms`, when present, bounds the job's wall-clock time: once it
+//! expires the server stops simulating, drops the job's remaining points,
+//! and ends the job with an `error` line (`"job deadline exceeded"`). The
+//! connection stays usable.
 //!
 //! Responses:
 //!
@@ -17,17 +22,24 @@
 //!   an adaptive job, `index` is the point's **dense grid index** (the
 //!   index the full-axis sweep assigns it), and points stream in
 //!   refinement-round order.
-//! - `{"type":"summary","total":T,"cache_hits":H,"simulated":S}` — job
-//!   complete.
+//! - `{"type":"point_error","index":N,"kind":"panic"|"deadlock","label":L,
+//!   "program":P,"latency":M,"memory":…,"message":"…"}` — grid point N
+//!   failed (its simulation panicked or the engine watchdog diagnosed a
+//!   deadlock). The frame takes the point's position in the stream;
+//!   every other point of the job is still served, byte-identical to a
+//!   fault-free run.
+//! - `{"type":"summary","total":T,"cache_hits":H,"simulated":S,"errors":E}`
+//!   — job complete (`errors` counts the `point_error` frames).
 //! - `{"type":"adaptive_summary","dense":D,"sampled":N,…}` — adaptive
 //!   job complete: the sampled / skipped-as-interpolated /
 //!   skipped-as-dominated split plus the cache accounting.
-//! - `{"type":"error","message":"…"}` — the request failed; the
-//!   connection stays usable.
+//! - `{"type":"error","message":"…"}` — the request (or the remainder of
+//!   a job) failed; the connection stays usable.
 
 use crate::exec::{AdaptiveSummary, JobSummary};
-use dva_json::{Json, JsonError};
-use dva_sim_api::{AdaptiveSweep, Sweep, SweepPoint};
+use dva_json::{FromJson, Json, JsonError, ToJson};
+use dva_memory::MemoryModelKind;
+use dva_sim_api::{AdaptiveSweep, PointError, PointErrorKind, Sweep, SweepPoint};
 
 /// A parsed client request.
 #[derive(Debug)]
@@ -35,9 +47,19 @@ pub enum Request {
     /// Liveness / version probe.
     Ping,
     /// Run a sweep job.
-    Sweep(Box<Sweep>),
+    Sweep {
+        /// The job.
+        spec: Box<Sweep>,
+        /// Wall-clock budget for the whole job, if any.
+        deadline_ms: Option<u64>,
+    },
     /// Run an adaptive sweep job.
-    Adaptive(Box<AdaptiveSweep>),
+    Adaptive {
+        /// The job.
+        spec: Box<AdaptiveSweep>,
+        /// Wall-clock budget for the whole job, if any.
+        deadline_ms: Option<u64>,
+    },
     /// Stop the server after answering.
     Shutdown,
 }
@@ -46,36 +68,47 @@ impl Request {
     /// Parses one request line.
     pub fn parse(line: &str) -> Result<Request, JsonError> {
         let json = Json::parse(line)?;
+        let deadline_ms = || json.field("deadline_ms").ok().and_then(|v| v.as_u64().ok());
         match json.field("type")?.as_str()? {
             "ping" => Ok(Request::Ping),
-            "sweep" => Ok(Request::Sweep(Box::new(Sweep::from_json(
-                json.field("spec")?,
-            )?))),
-            "adaptive" => Ok(Request::Adaptive(Box::new(AdaptiveSweep::from_json(
-                json.field("spec")?,
-            )?))),
+            "sweep" => Ok(Request::Sweep {
+                spec: Box::new(Sweep::from_json(json.field("spec")?)?),
+                deadline_ms: deadline_ms(),
+            }),
+            "adaptive" => Ok(Request::Adaptive {
+                spec: Box::new(AdaptiveSweep::from_json(json.field("spec")?)?),
+                deadline_ms: deadline_ms(),
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(JsonError(format!("unknown request type `{other}`"))),
         }
     }
 
     /// Renders this request as its wire line (no trailing newline).
+    /// `deadline_ms` is rendered only when set, so deadline-free lines
+    /// are byte-identical to the previous protocol revision.
     ///
     /// # Errors
     ///
     /// Fails only for sweeps that cannot be serialized (custom machines
     /// or custom programs).
     pub fn render(&self) -> Result<String, JsonError> {
+        let with_deadline = |mut fields: Vec<(&'static str, Json)>, deadline: &Option<u64>| {
+            if let Some(ms) = deadline {
+                fields.push(("deadline_ms", Json::from(*ms)));
+            }
+            Json::obj(fields).render()
+        };
         Ok(match self {
             Request::Ping => Json::obj([("type", Json::from("ping"))]).render(),
-            Request::Sweep(sweep) => {
-                Json::obj([("type", Json::from("sweep")), ("spec", sweep.to_json()?)]).render()
-            }
-            Request::Adaptive(adaptive) => Json::obj([
-                ("type", Json::from("adaptive")),
-                ("spec", adaptive.to_json()?),
-            ])
-            .render(),
+            Request::Sweep { spec, deadline_ms } => with_deadline(
+                vec![("type", Json::from("sweep")), ("spec", spec.to_json()?)],
+                deadline_ms,
+            ),
+            Request::Adaptive { spec, deadline_ms } => with_deadline(
+                vec![("type", Json::from("adaptive")), ("spec", spec.to_json()?)],
+                deadline_ms,
+            ),
             Request::Shutdown => Json::obj([("type", Json::from("shutdown"))]).render(),
         })
     }
@@ -96,6 +129,10 @@ pub enum Response {
         /// The measurement.
         point: Box<SweepPoint>,
     },
+    /// One failed grid point: its simulation panicked or deadlocked.
+    /// Takes the point's position in the stream; the rest of the job
+    /// still runs.
+    PointError(PointError),
     /// A job finished.
     Summary(JobSummary),
     /// An adaptive job finished.
@@ -122,10 +159,30 @@ impl Response {
                 index: json.field("index")?.as_usize()?,
                 point: Box::new(SweepPoint::from_json(json.field("point")?)?),
             },
+            "point_error" => {
+                let kind = json.field("kind")?.as_str()?.to_string();
+                Response::PointError(PointError {
+                    index: json.field("index")?.as_usize()?,
+                    kind: PointErrorKind::parse(&kind)
+                        .ok_or_else(|| JsonError(format!("unknown point_error kind `{kind}`")))?,
+                    label: json.field("label")?.as_str()?.to_string(),
+                    program: json.field("program")?.as_str()?.to_string(),
+                    latency: json.field("latency")?.as_u64()?,
+                    memory: MemoryModelKind::from_json(json.field("memory")?)?,
+                    message: json.field("message")?.as_str()?.to_string(),
+                })
+            }
             "summary" => Response::Summary(JobSummary {
                 total: json.field("total")?.as_usize()?,
                 cache_hits: json.field("cache_hits")?.as_usize()?,
                 simulated: json.field("simulated")?.as_usize()?,
+                // Absent in lines written before the robustness
+                // revision: default to "no point failed".
+                errors: json
+                    .field("errors")
+                    .ok()
+                    .and_then(|v| v.as_usize().ok())
+                    .unwrap_or(0),
             }),
             "adaptive_summary" => Response::AdaptiveSummary(AdaptiveSummary {
                 dense: json.field("dense")?.as_usize()?,
@@ -164,11 +221,23 @@ impl Response {
                 ("point", point.to_json()?),
             ])
             .render(),
+            Response::PointError(e) => Json::obj([
+                ("type", Json::from("point_error")),
+                ("index", Json::from(e.index)),
+                ("kind", Json::from(e.kind.as_str())),
+                ("label", Json::from(e.label.as_str())),
+                ("program", Json::from(e.program.as_str())),
+                ("latency", Json::from(e.latency)),
+                ("memory", e.memory.to_json()),
+                ("message", Json::from(e.message.as_str())),
+            ])
+            .render(),
             Response::Summary(summary) => Json::obj([
                 ("type", Json::from("summary")),
                 ("total", Json::from(summary.total)),
                 ("cache_hits", Json::from(summary.cache_hits)),
                 ("simulated", Json::from(summary.simulated)),
+                ("errors", Json::from(summary.errors)),
             ])
             .render(),
             Response::AdaptiveSummary(summary) => Json::obj([
@@ -205,28 +274,64 @@ mod tests {
         for request in [
             Request::Ping,
             Request::Shutdown,
-            Request::Sweep(Box::new(
-                Sweep::new()
-                    .machines([Machine::reference(1), Machine::ideal()])
-                    .benchmark(Benchmark::Trfd)
-                    .latencies([1, 30])
-                    .scale(Scale::Quick),
-            )),
-            Request::Adaptive(Box::new(
-                AdaptiveSweep::over(
+            Request::Sweep {
+                spec: Box::new(
                     Sweep::new()
-                        .machines([Machine::reference(1), Machine::dva(1)])
+                        .machines([Machine::reference(1), Machine::ideal()])
                         .benchmark(Benchmark::Trfd)
+                        .latencies([1, 30])
                         .scale(Scale::Quick),
-                    1..=64,
-                )
-                .seeds(5)
-                .prune_against("DVA", ["REF"]),
-            )),
+                ),
+                deadline_ms: None,
+            },
+            Request::Sweep {
+                spec: Box::new(
+                    Sweep::new()
+                        .machines([Machine::dva(1)])
+                        .benchmark(Benchmark::Trfd)
+                        .latencies([1])
+                        .scale(Scale::Quick),
+                ),
+                deadline_ms: Some(2_500),
+            },
+            Request::Adaptive {
+                spec: Box::new(
+                    AdaptiveSweep::over(
+                        Sweep::new()
+                            .machines([Machine::reference(1), Machine::dva(1)])
+                            .benchmark(Benchmark::Trfd)
+                            .scale(Scale::Quick),
+                        1..=64,
+                    )
+                    .seeds(5)
+                    .prune_against("DVA", ["REF"]),
+                ),
+                deadline_ms: Some(60_000),
+            },
         ] {
             let line = request.render().unwrap();
             let back = Request::parse(&line).unwrap();
             assert_eq!(back.render().unwrap(), line);
+        }
+    }
+
+    #[test]
+    fn deadline_free_requests_omit_the_field() {
+        let request = Request::Sweep {
+            spec: Box::new(
+                Sweep::new()
+                    .machines([Machine::dva(1)])
+                    .benchmark(Benchmark::Trfd)
+                    .latencies([1])
+                    .scale(Scale::Quick),
+            ),
+            deadline_ms: None,
+        };
+        let line = request.render().unwrap();
+        assert!(!line.contains("deadline_ms"), "{line}");
+        match Request::parse(&line).unwrap() {
+            Request::Sweep { deadline_ms, .. } => assert_eq!(deadline_ms, None),
+            other => panic!("unexpected parse: {other:?}"),
         }
     }
 
@@ -250,10 +355,38 @@ mod tests {
                 index: 7,
                 point: Box::new(sweep_point),
             },
+            Response::PointError(PointError {
+                index: 3,
+                kind: PointErrorKind::Panic,
+                label: "DVA".to_string(),
+                program: "TRFD".to_string(),
+                latency: 30,
+                memory: dva_sim_api::MemoryModelKind::Banked {
+                    banks: 8,
+                    bank_busy: 4,
+                },
+                message: "poisoned point".to_string(),
+            }),
+            Response::PointError(PointError {
+                index: 0,
+                kind: PointErrorKind::Deadlock,
+                label: "REF".to_string(),
+                program: "DYFESM".to_string(),
+                latency: 1,
+                memory: dva_sim_api::MemoryModelKind::Flat,
+                message: "engine deadlock at cycle 12: no progress for 65 ticks; stuck".to_string(),
+            }),
             Response::Summary(JobSummary {
                 total: 12,
                 cache_hits: 5,
                 simulated: 7,
+                errors: 0,
+            }),
+            Response::Summary(JobSummary {
+                total: 12,
+                cache_hits: 5,
+                simulated: 6,
+                errors: 1,
             }),
             Response::AdaptiveSummary(AdaptiveSummary {
                 dense: 300,

@@ -1,19 +1,65 @@
 //! Serving the protocol: a generic line loop, plus stdio and Unix-socket
 //! front ends.
+//!
+//! The daemon is built to stay up: a malformed request, a client that
+//! hangs up mid-stream, a grid point that panics, or a failed `accept`
+//! each cost at most the connection (usually just one response line) —
+//! never the process. See the README's Robustness section for the full
+//! taxonomy.
 
 use crate::exec::{AdaptiveSummary, SweepService};
 use crate::proto::{Request, Response};
 use dva_engine::ENGINE_VERSION;
+use dva_sim_api::CancelToken;
+use dva_testutil::failpoint;
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::UnixListener;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Transport knobs for the Unix-socket server.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// How long a connection may sit idle between request lines before
+    /// the server closes it. `None` (the default) waits forever — the
+    /// library default suits long-lived interactive clients; the
+    /// `dva-serve` binary sets its own bound.
+    pub read_timeout: Option<Duration>,
+    /// How long one response-line write may block before the connection
+    /// is abandoned. `None` (the default) waits forever.
+    pub write_timeout: Option<Duration>,
+}
+
+/// The cancel token governing a job with an optional deadline.
+fn cancel_for(deadline_ms: Option<u64>) -> CancelToken {
+    match deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    }
+}
+
+/// Whether a read error means "the client went quiet or went away" —
+/// routine connection lifecycle, not a server fault.
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::BrokenPipe
+    )
+}
 
 /// Serves one connection: reads request lines until EOF or a shutdown
 /// request, writing response lines (flushed per line, so clients see
 /// points as they complete). Returns `true` if the client asked the
 /// whole server to shut down.
+///
+/// An idle timeout or reset on the read side closes the connection
+/// quietly (`Ok(false)`); write failures — the client hung up mid-stream
+/// — cancel the in-flight job and surface as the error.
 pub fn serve_connection(
     service: &SweepService,
     reader: impl BufRead,
@@ -23,11 +69,16 @@ pub fn serve_connection(
         let line = response
             .render()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        failpoint::hit("serve.socket.write", || line.clone())?;
         writeln!(writer, "{line}")?;
         writer.flush()
     };
     for line in reader.lines() {
-        let line = line?;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) if is_disconnect(&e) => return Ok(false),
+            Err(e) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -54,42 +105,66 @@ pub fn serve_connection(
                 respond(&mut writer, &Response::Bye)?;
                 return Ok(true);
             }
-            Request::Sweep(sweep) => match service.submit(&sweep) {
-                Err(e) => respond(
-                    &mut writer,
-                    &Response::Error {
-                        message: e.to_string(),
-                    },
-                )?,
-                Ok(mut run) => {
-                    let summary = run.summary();
-                    for (index, point) in run.by_ref().enumerate() {
-                        respond(
-                            &mut writer,
-                            &Response::Point {
-                                index,
-                                point: Box::new(point),
-                            },
-                        )?;
+            Request::Sweep { spec, deadline_ms } => {
+                let cancel = cancel_for(deadline_ms);
+                let sweep = spec.cancel_token(cancel.clone());
+                match service.submit(&sweep) {
+                    Err(e) => respond(
+                        &mut writer,
+                        &Response::Error {
+                            message: e.to_string(),
+                        },
+                    )?,
+                    Ok(mut run) => {
+                        let mut index = 0;
+                        while let Some(outcome) = run.next_outcome() {
+                            let frame = match outcome {
+                                Ok(point) => Response::Point {
+                                    index,
+                                    point: Box::new(point),
+                                },
+                                Err(error) => Response::PointError(error),
+                            };
+                            index += 1;
+                            if let Err(e) = respond(&mut writer, &frame) {
+                                // The client is gone: stop simulating
+                                // the rest of the job, keep the daemon.
+                                cancel.cancel();
+                                return Err(e);
+                            }
+                        }
+                        if run.interrupted() {
+                            respond(
+                                &mut writer,
+                                &Response::Error {
+                                    message: run.interruption().to_string(),
+                                },
+                            )?;
+                        } else {
+                            respond(&mut writer, &Response::Summary(run.summary()))?;
+                        }
                     }
-                    respond(&mut writer, &Response::Summary(summary))?;
                 }
-            },
-            Request::Adaptive(adaptive) => {
+            }
+            Request::Adaptive { spec, deadline_ms } => {
+                let cancel = cancel_for(deadline_ms);
+                let adaptive = spec.cancel_token(cancel.clone());
                 // Points stream from inside the adaptive driver's rounds;
-                // a write failure is carried out through this slot (the
-                // simulation itself cannot be cancelled mid-round).
+                // a write failure is carried out through this slot and
+                // cancels the session so no further round is simulated.
                 let mut write_error: Option<io::Error> = None;
                 let outcome = service.run_adaptive_with(&adaptive, |index, point| {
                     if write_error.is_none() {
-                        write_error = respond(
+                        if let Err(e) = respond(
                             &mut writer,
                             &Response::Point {
                                 index,
                                 point: Box::new(point.clone()),
                             },
-                        )
-                        .err();
+                        ) {
+                            cancel.cancel();
+                            write_error = Some(e);
+                        }
                     }
                 });
                 if let Some(e) = write_error {
@@ -122,22 +197,51 @@ pub fn serve_stdio(service: &SweepService) -> io::Result<()> {
     Ok(())
 }
 
+/// [`serve_unix_with`] under default [`ServeOptions`] (no timeouts).
+pub fn serve_unix(service: Arc<SweepService>, path: &Path) -> io::Result<()> {
+    serve_unix_with(service, path, ServeOptions::default())
+}
+
 /// Binds `path` and serves connections until a client sends a shutdown
 /// request. Each connection is handled on its own thread; they share the
 /// service (and therefore the result cache). A pre-existing socket file
 /// at `path` is replaced.
-pub fn serve_unix(service: Arc<SweepService>, path: &Path) -> io::Result<()> {
+///
+/// The accept loop is deliberately hard to kill: a failed `accept` (or a
+/// socket that cannot take its timeouts) is logged and skipped, a
+/// connection thread that errors out takes only its own client with it,
+/// and finished worker threads are reaped as new connections arrive, so
+/// a long-lived daemon does not accumulate handles.
+pub fn serve_unix_with(
+    service: Arc<SweepService>,
+    path: &Path,
+    options: ServeOptions,
+) -> io::Result<()> {
     if path.exists() {
         std::fs::remove_file(path)?;
     }
     let listener = UnixListener::bind(path)?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let mut workers = Vec::new();
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     for connection in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let stream = connection?;
+        workers.retain(|worker| !worker.is_finished());
+        let stream = match connection {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("dva-serve: accept failed ({e}); still listening");
+                continue;
+            }
+        };
+        if let Err(e) = stream
+            .set_read_timeout(options.read_timeout)
+            .and_then(|()| stream.set_write_timeout(options.write_timeout))
+        {
+            eprintln!("dva-serve: dropping connection (cannot set timeouts: {e})");
+            continue;
+        }
         let service = Arc::clone(&service);
         let shutdown_flag = Arc::clone(&shutdown);
         let wake_path = path.to_path_buf();

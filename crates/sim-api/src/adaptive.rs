@@ -143,6 +143,24 @@ impl AdaptiveSweep {
         self
     }
 
+    /// Attaches a cooperative cancellation token to the session by
+    /// stamping the underlying template sweep (see
+    /// [`Sweep::cancel_token`]): every round submitted through the
+    /// template's streaming runs observes it, so cancelling the token —
+    /// or its deadline passing — stops an adaptive job between (and
+    /// inside) refinement rounds.
+    #[must_use]
+    pub fn cancel_token(mut self, cancel: crate::CancelToken) -> AdaptiveSweep {
+        self.template = self.template.cancel_token(cancel);
+        self
+    }
+
+    /// A handle on the template's cancellation token (clones share
+    /// state).
+    pub fn cancel_handle(&self) -> crate::CancelToken {
+        self.template.cancel_handle()
+    }
+
     /// The dense latency axis this session refines over.
     pub fn axis(&self) -> &[u64] {
         &self.axis

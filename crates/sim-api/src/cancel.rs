@@ -1,0 +1,90 @@
+//! Cooperative cancellation for streaming sweeps.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between the
+//! party that wants work stopped (a server noticing its client hung up,
+//! a deadline) and the workers doing it. Cancellation is *cooperative*:
+//! workers check the token between jobs and between adaptive rounds, so
+//! a cancelled sweep stops claiming new work but finishes the points
+//! already in flight — simulation state is never corrupted, and every
+//! point that is yielded is still byte-identical to an uncancelled run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag with an optional deadline.
+///
+/// All clones observe the same state: cancelling one cancels them all,
+/// and a deadline set at construction trips every clone once it passes.
+/// The default token is never cancelled and has no deadline.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that reports cancelled once `budget` has elapsed from
+    /// now (and can still be cancelled explicitly before that).
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Requests cancellation; observable through every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether work should stop: explicitly cancelled, or past the
+    /// deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire) || self.deadline_exceeded()
+    }
+
+    /// Whether the deadline (if any) has passed — distinguishes "the
+    /// client hung up" from "the time budget ran out".
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert!(!clone.deadline_exceeded());
+    }
+
+    #[test]
+    fn an_expired_deadline_cancels() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(token.is_cancelled());
+        assert!(token.deadline_exceeded());
+        let patient = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!patient.is_cancelled());
+    }
+}

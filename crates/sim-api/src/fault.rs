@@ -1,0 +1,75 @@
+//! The failure taxonomy of a sweep: what a single poisoned grid point
+//! looks like once it has been isolated.
+//!
+//! A simulation failure — a tripped deadlock watchdog or a panic inside
+//! a machine model — used to tear down the worker thread that hit it
+//! and, with it, the whole stream. The streaming executor now catches
+//! both per point and reports them as a [`PointError`]: the grid
+//! coordinates of the failed point plus what went wrong, so a consumer
+//! can skip one poisoned point and keep every healthy result.
+
+use dva_memory::MemoryModelKind;
+use std::fmt;
+
+/// What kind of failure poisoned a grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointErrorKind {
+    /// The engine's deadlock watchdog tripped — a structured
+    /// [`SimError`](dva_engine::SimError) carried in the message.
+    Deadlock,
+    /// The simulation panicked; the message carries the panic payload.
+    Panic,
+}
+
+impl PointErrorKind {
+    /// The stable wire name of this kind (`deadlock` / `panic`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PointErrorKind::Deadlock => "deadlock",
+            PointErrorKind::Panic => "panic",
+        }
+    }
+
+    /// Parses a wire name produced by [`as_str`](PointErrorKind::as_str).
+    pub fn parse(s: &str) -> Option<PointErrorKind> {
+        match s {
+            "deadlock" => Some(PointErrorKind::Deadlock),
+            "panic" => Some(PointErrorKind::Panic),
+            _ => None,
+        }
+    }
+}
+
+/// A typed per-point simulation failure: the grid coordinates of the
+/// poisoned point (mirroring [`SweepPoint`](crate::SweepPoint)'s
+/// identity fields) plus the failure kind and message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointError {
+    /// Position of the point in the sweep's deterministic grid order.
+    pub index: usize,
+    /// The machine label (`REF`, `DVA`, `BYP 2/4`, …).
+    pub label: String,
+    /// The program name.
+    pub program: String,
+    /// The memory-latency coordinate.
+    pub latency: u64,
+    /// The memory-model coordinate.
+    pub memory: MemoryModelKind,
+    /// What kind of failure this was.
+    pub kind: PointErrorKind,
+    /// The human-readable diagnosis: the engine's deadlock line or the
+    /// panic payload.
+    pub message: String,
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "point {} ({} / {} / L{}) failed: {}",
+            self.index, self.label, self.program, self.latency, self.message
+        )
+    }
+}
+
+impl std::error::Error for PointError {}

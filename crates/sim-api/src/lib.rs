@@ -49,6 +49,8 @@
 #![warn(missing_docs)]
 
 mod adaptive;
+mod cancel;
+mod fault;
 mod machine;
 mod prepare;
 mod result;
@@ -60,6 +62,8 @@ pub use adaptive::{
     knee_latency, AdaptiveOutcome, AdaptivePlanner, AdaptiveReport, AdaptiveSweep, CurveReport,
     DEFAULT_SEEDS, DEFAULT_TOLERANCE,
 };
+pub use cancel::CancelToken;
+pub use fault::{PointError, PointErrorKind};
 pub use machine::{CustomMachine, CustomSim, Machine};
 pub use prepare::{PreparedProgram, Runners};
 pub use result::{MachineDetail, SimResult};
@@ -72,7 +76,7 @@ pub use sweep::{Sweep, SweepPoint, SweepResults};
 // `Processor` impl needs (the clock type, the state tuple, the
 // occupancy histogram). `MemoryModelKind` is the memory axis of
 // [`Sweep`] sessions; the full backend surface lives in `dva_memory`.
-pub use dva_engine::{Observers, Processor, Progress, Report, ResultCore};
+pub use dva_engine::{Observers, Processor, Progress, Report, ResultCore, SimError};
 pub use dva_isa::Cycle;
 pub use dva_memory::{MemoryModelKind, MemoryParams};
 pub use dva_metrics::{Histogram, UnitState};

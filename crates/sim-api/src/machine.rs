@@ -263,20 +263,36 @@ impl Machine {
         fast_forward: bool,
         runners: &mut Runners,
     ) -> SimResult {
-        match self {
+        self.try_simulate_prepared(prepared, fast_forward, runners)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`simulate_prepared`](Machine::simulate_prepared), but a detected
+    /// deadlock comes back as a [`SimError`](dva_engine::SimError)
+    /// instead of a panic — the entry point for callers (the streaming
+    /// executor, the serving stack) that must survive one poisoned
+    /// point. Panics *inside* a machine model are not caught here; the
+    /// executor isolates those separately.
+    pub fn try_simulate_prepared(
+        &self,
+        prepared: &PreparedProgram,
+        fast_forward: bool,
+        runners: &mut Runners,
+    ) -> Result<SimResult, dva_engine::SimError> {
+        Ok(match self {
             Machine::Ref(params) => runners
                 .reference
-                .run(
+                .try_run(
                     &RefSim::new(*params).with_fast_forward(fast_forward),
                     prepared.reference(),
-                )
+                )?
                 .into(),
             Machine::Dva(config) => runners
                 .dva
-                .run(
+                .try_run(
                     &DvaSim::new(*config).with_fast_forward(fast_forward),
                     prepared.dva(),
-                )
+                )?
                 .into(),
             Machine::Ideal => SimResult::from_ideal(prepared.ideal(), prepared.program()),
             Machine::Custom(custom) => {
@@ -286,11 +302,11 @@ impl Machine {
                 } = (custom.build)(prepared.program());
                 let completion = Driver::new()
                     .fast_forward(fast_forward)
-                    .run(processor.as_mut(), &mut observers);
+                    .try_run(processor.as_mut(), &mut observers)?;
                 let (core, occupancy) = completion.into_core(processor.as_ref(), observers);
                 SimResult::from_custom(core, occupancy)
             }
-        }
+        })
     }
 }
 

@@ -11,19 +11,35 @@
 //! stream yields in deterministic grid order no matter how the workers
 //! interleave, and collecting it is byte-identical to a sequential run.
 
+use crate::cancel::CancelToken;
+use crate::fault::{PointError, PointErrorKind};
 use crate::prepare::{PreparedProgram, Runners};
 use crate::sweep::SweepPoint;
 use crate::{Machine, SimResult};
 use dva_core::DvaSim;
+use dva_engine::SimError;
 use dva_isa::Program;
 use dva_memory::MemoryModelKind;
 use dva_ref::RefSim;
+use dva_testutil::failpoint;
 use dva_workloads::Benchmark;
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
+}
 
 /// One coordinate of a sweep grid, produced by
 /// [`Sweep::grid`](crate::Sweep::grid): everything needed to measure the
@@ -52,16 +68,61 @@ pub(crate) struct Entry {
 }
 
 impl Entry {
-    /// Measures the point on its own. Batched execution goes through
-    /// [`execute_job`] instead; both funnel into [`Entry::point_from`],
-    /// so every execution path (sequential, streamed, stolen, batched)
-    /// produces identical bytes.
-    pub(crate) fn measure(&self, fast_forward: bool, runners: &mut Runners) -> SweepPoint {
-        self.point_from(
+    /// The detail string identifying this point at the `sim.point`
+    /// failpoint — the filter key chaos tests select one grid point by.
+    /// Deliberately coordinate-based (not index-based) so a spec fails
+    /// identically whether it runs in a full grid or a resubmitted
+    /// subset.
+    fn fail_detail(&self) -> String {
+        format!(
+            "{}|{}|L{}",
+            self.spec.machine.label(),
+            self.prepared.program().name(),
+            self.spec.latency
+        )
+    }
+
+    /// The [`PointError`] carrying this point's grid coordinates.
+    fn fail(&self, kind: PointErrorKind, message: String) -> PointError {
+        PointError {
+            index: self.spec.index,
+            label: self.spec.machine.label(),
+            program: self.prepared.program().name().to_string(),
+            latency: self.spec.latency,
+            memory: self.spec.memory,
+            kind,
+            message,
+        }
+    }
+
+    /// Measures the point on its own, with full fault isolation: a
+    /// tripped deadlock watchdog or a panic anywhere in the machine
+    /// model (or an armed `sim.point` failpoint) comes back as a typed
+    /// [`PointError`] instead of unwinding the worker. After a caught
+    /// panic the engine pool is rebuilt — a panic may have left a pooled
+    /// engine in a state its reset contract no longer covers. Batched
+    /// execution goes through [`execute_job`] instead; both funnel into
+    /// [`Entry::point_from`], so every execution path (sequential,
+    /// streamed, stolen, batched) produces identical bytes.
+    pub(crate) fn try_measure(
+        &self,
+        fast_forward: bool,
+        runners: &mut Runners,
+    ) -> Result<SweepPoint, PointError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            failpoint::hit("sim.point", || self.fail_detail()).unwrap_or_else(|e| panic!("{e}"));
             self.spec
                 .machine
-                .simulate_prepared(&self.prepared, fast_forward, runners),
-        )
+                .try_simulate_prepared(&self.prepared, fast_forward, runners)
+        }));
+        match outcome {
+            Ok(Ok(result)) => Ok(self.point_from(result)),
+            Ok(Err(deadlock)) => Err(self.fail(PointErrorKind::Deadlock, deadlock.to_string())),
+            Err(payload) => {
+                *runners = Runners::new();
+                Err(self.fail(PointErrorKind::Panic, panic_message(payload.as_ref())))
+            }
+        }
     }
 
     /// Wraps a measured [`SimResult`] in this point's grid coordinates —
@@ -144,22 +205,71 @@ pub(crate) fn plan_jobs(entries: &[Entry], lanes: usize) -> Vec<Job> {
     jobs
 }
 
-/// Measures every position of one job, reporting each completed point
-/// through `emit`. Singleton jobs go through [`Entry::measure`];
-/// multi-position jobs run as one lockstep lane batch on the family's
-/// engine pool — byte-identical either way (the batched driver executes
-/// each lane's exact sequential schedule).
+/// Measures every position of one job, reporting each completed point —
+/// or its isolated [`PointError`] — through `emit`. Singleton jobs go
+/// through [`Entry::try_measure`]; multi-position jobs run as one
+/// lockstep lane batch on the family's engine pool — byte-identical
+/// either way (the batched driver executes each lane's exact sequential
+/// schedule).
+///
+/// Fault isolation for a batch is two-stage: a deadlock or panic
+/// anywhere in a lockstep pass abandons the whole batch, then every
+/// position re-runs as an isolated singleton. The poisoned point fails
+/// again deterministically and becomes its own [`PointError`]; the
+/// healthy lanes succeed with bytes identical to the batched pass
+/// (the byte-identity invariant between batched and sequential runs is
+/// exactly what makes this salvage correct).
 pub(crate) fn execute_job(
     entries: &[Entry],
     positions: &[usize],
     fast_forward: bool,
     runners: &mut Runners,
-    mut emit: impl FnMut(usize, SweepPoint),
+    mut emit: impl FnMut(usize, Result<SweepPoint, PointError>),
 ) {
     if positions.len() == 1 {
         let pos = positions[0];
-        emit(pos, entries[pos].measure(fast_forward, runners));
+        emit(pos, entries[pos].try_measure(fast_forward, runners));
         return;
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        execute_batch(entries, positions, fast_forward, runners)
+    }));
+    match outcome {
+        Ok(Ok(points)) => {
+            for (&pos, point) in positions.iter().zip(points) {
+                emit(pos, Ok(point));
+            }
+        }
+        Ok(Err(_deadlock)) => {
+            // One lane deadlocked; the runner pool resets cleanly on the
+            // next arm. Salvage lane by lane.
+            for &pos in positions {
+                emit(pos, entries[pos].try_measure(fast_forward, runners));
+            }
+        }
+        Err(_panic) => {
+            // A panic may have left a pooled engine in a state its reset
+            // contract no longer covers: rebuild the pool, then salvage.
+            *runners = Runners::new();
+            for &pos in positions {
+                emit(pos, entries[pos].try_measure(fast_forward, runners));
+            }
+        }
+    }
+}
+
+/// One lockstep lane-batch pass over `positions`. The `sim.point`
+/// failpoint fires here per position (before the pass starts) so an
+/// armed chaos fault poisons the same point at any lane count.
+fn execute_batch(
+    entries: &[Entry],
+    positions: &[usize],
+    fast_forward: bool,
+    runners: &mut Runners,
+) -> Result<Vec<SweepPoint>, SimError> {
+    for &pos in positions {
+        failpoint::hit("sim.point", || entries[pos].fail_detail())
+            .unwrap_or_else(|e| panic!("{e}"));
     }
     let first = &entries[positions[0]];
     match family(&first.spec.machine).expect("multi-position jobs are batchable") {
@@ -171,10 +281,12 @@ pub(crate) fn execute_job(
                     _ => unreachable!("a job never mixes machine families"),
                 })
                 .collect();
-            let results = runners.dva.run_batch(&sims, first.prepared.dva());
-            for (&pos, result) in positions.iter().zip(results) {
-                emit(pos, entries[pos].point_from(result.into()));
-            }
+            let results = runners.dva.try_run_batch(&sims, first.prepared.dva())?;
+            Ok(positions
+                .iter()
+                .zip(results)
+                .map(|(&pos, result)| entries[pos].point_from(result.into()))
+                .collect())
         }
         Family::Ref => {
             let sims: Vec<RefSim> = positions
@@ -186,10 +298,12 @@ pub(crate) fn execute_job(
                 .collect();
             let results = runners
                 .reference
-                .run_batch(&sims, first.prepared.reference());
-            for (&pos, result) in positions.iter().zip(results) {
-                emit(pos, entries[pos].point_from(result.into()));
-            }
+                .try_run_batch(&sims, first.prepared.reference())?;
+            Ok(positions
+                .iter()
+                .zip(results)
+                .map(|(&pos, result)| entries[pos].point_from(result.into()))
+                .collect())
         }
     }
 }
@@ -226,6 +340,9 @@ struct Shared {
     /// One deque per worker, holding indices into `jobs`.
     queues: Vec<Mutex<VecDeque<usize>>>,
     fast_forward: bool,
+    /// Checked between jobs: a cancelled token stops workers from
+    /// claiming further work (points in flight still finish).
+    cancel: CancelToken,
 }
 
 /// Claims the next job for worker `own`: its own deque's front, else the
@@ -255,12 +372,12 @@ fn next_job(shared: &Shared, own: usize) -> Option<usize> {
     }
 }
 
-/// A completed point travelling back to the consumer, ordered by its
-/// position in the requested sequence.
+/// A completed point — or its isolated failure — travelling back to the
+/// consumer, ordered by its position in the requested sequence.
 struct Sequenced {
     pos: usize,
     index: usize,
-    point: SweepPoint,
+    outcome: Result<SweepPoint, PointError>,
 }
 
 impl PartialEq for Sequenced {
@@ -293,9 +410,18 @@ struct RawStream {
     next_pos: usize,
     total: usize,
     workers: Vec<JoinHandle<()>>,
+    cancel: CancelToken,
+    /// Set once cancellation truncated the stream.
+    cancelled: bool,
 }
 
-fn spawn(entries: Vec<Entry>, workers: usize, fast_forward: bool, lanes: usize) -> RawStream {
+fn spawn(
+    entries: Vec<Entry>,
+    workers: usize,
+    fast_forward: bool,
+    lanes: usize,
+    cancel: CancelToken,
+) -> RawStream {
     let total = entries.len();
     let jobs = plan_jobs(&entries, lanes);
     let workers = workers.clamp(1, jobs.len().max(1));
@@ -316,6 +442,7 @@ fn spawn(entries: Vec<Entry>, workers: usize, fast_forward: bool, lanes: usize) 
         jobs,
         queues,
         fast_forward,
+        cancel: cancel.clone(),
     });
     let (tx, rx) = channel();
     let handles = (0..workers)
@@ -325,17 +452,20 @@ fn spawn(entries: Vec<Entry>, workers: usize, fast_forward: bool, lanes: usize) 
             std::thread::spawn(move || {
                 let mut runners = Runners::new();
                 'claim: while let Some(job) = next_job(&shared, w) {
+                    if shared.cancel.is_cancelled() {
+                        break 'claim;
+                    }
                     let mut dropped = false;
                     execute_job(
                         &shared.entries,
                         &shared.jobs[job].positions,
                         shared.fast_forward,
                         &mut runners,
-                        |pos, point| {
+                        |pos, outcome| {
                             let sequenced = Sequenced {
                                 pos,
                                 index: shared.entries[pos].spec.index,
-                                point,
+                                outcome,
                             };
                             // A send fails only when the consumer dropped
                             // the stream: stop claiming work and exit.
@@ -355,11 +485,13 @@ fn spawn(entries: Vec<Entry>, workers: usize, fast_forward: bool, lanes: usize) 
         next_pos: 0,
         total,
         workers: handles,
+        cancel,
+        cancelled: false,
     }
 }
 
 impl RawStream {
-    fn next_in_order(&mut self) -> Option<(usize, SweepPoint)> {
+    fn next_in_order(&mut self) -> Option<(usize, Result<SweepPoint, PointError>)> {
         if self.next_pos >= self.total {
             self.finish();
             return None;
@@ -377,19 +509,34 @@ impl RawStream {
                     // finished iteration implies a quiesced pool.
                     self.finish();
                 }
-                return Some((s.index, s.point));
+                return Some((s.index, s.outcome));
             }
-            let rx = self.rx.as_ref().expect("stream polled after finish");
+            let Some(rx) = self.rx.as_ref() else {
+                // Cancellation truncated the stream on an earlier call.
+                return None;
+            };
             match rx.recv() {
                 Ok(sequenced) => self.pending.push(Reverse(sequenced)),
                 Err(_) => {
-                    // Every worker hung up with points still missing:
-                    // one of them panicked. Joining propagates it.
                     self.finish();
+                    if self.cancel.is_cancelled() {
+                        // Workers stopped claiming jobs on request; the
+                        // stream truncates at the last in-order point.
+                        self.cancelled = true;
+                        self.total = self.next_pos;
+                        return None;
+                    }
+                    // Every worker hung up with points still missing and
+                    // nobody asked them to stop: an executor bug (point
+                    // faults are isolated, so workers cannot die early).
                     unreachable!("sweep workers exited without completing the grid");
                 }
             }
         }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancelled || self.cancel.is_cancelled()
     }
 
     fn remaining(&self) -> usize {
@@ -420,6 +567,14 @@ impl Drop for RawStream {
 
 /// A running sweep yielding points in deterministic grid order as they
 /// complete. Created by [`Sweep::run_streaming`](crate::Sweep::run_streaming).
+///
+/// A failed point — an isolated panic or deadlock — re-raises here as a
+/// panic carrying the [`PointError`] message, keeping this iterator's
+/// all-or-nothing contract; consumers that must survive poisoned points
+/// use [`IndexedSweepStream::next_outcome`] instead. A cancelled sweep
+/// (see [`Sweep::cancel_handle`](crate::Sweep::cancel_handle)) truncates:
+/// the iterator ends early at the last in-order point, which is the one
+/// deliberate exception to the [`ExactSizeIterator`] length promise.
 pub struct SweepStream {
     inner: RawStream,
 }
@@ -428,7 +583,9 @@ impl Iterator for SweepStream {
     type Item = SweepPoint;
 
     fn next(&mut self) -> Option<SweepPoint> {
-        self.inner.next_in_order().map(|(_, point)| point)
+        self.inner
+            .next_in_order()
+            .map(|(_, outcome)| outcome.unwrap_or_else(|e| panic!("{e}")))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -441,15 +598,39 @@ impl ExactSizeIterator for SweepStream {}
 /// A running subset sweep yielding `(grid_index, point)` pairs in the
 /// order the specs were submitted. Created by
 /// [`Sweep::run_subset_streaming`](crate::Sweep::run_subset_streaming).
+///
+/// [`Iterator::next`] re-raises a failed point as a panic, like
+/// [`SweepStream`]; fault-tolerant consumers poll
+/// [`next_outcome`](IndexedSweepStream::next_outcome) instead and
+/// receive each failure as a typed [`PointError`] alongside the healthy
+/// points.
 pub struct IndexedSweepStream {
     inner: RawStream,
+}
+
+impl IndexedSweepStream {
+    /// The next `(grid_index, outcome)` pair in submission order: a
+    /// measured point, or the typed [`PointError`] that poisoned it.
+    /// `None` once the subset is exhausted — or once a cancelled token
+    /// truncated the stream (see
+    /// [`cancelled`](IndexedSweepStream::cancelled)).
+    pub fn next_outcome(&mut self) -> Option<(usize, Result<SweepPoint, PointError>)> {
+        self.inner.next_in_order()
+    }
+
+    /// Whether this stream's sweep was cancelled (explicitly or by
+    /// deadline); a cancelled stream ends early.
+    pub fn cancelled(&self) -> bool {
+        self.inner.cancelled()
+    }
 }
 
 impl Iterator for IndexedSweepStream {
     type Item = (usize, SweepPoint);
 
     fn next(&mut self) -> Option<(usize, SweepPoint)> {
-        self.inner.next_in_order()
+        self.next_outcome()
+            .map(|(index, outcome)| (index, outcome.unwrap_or_else(|e| panic!("{e}"))))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -464,9 +645,10 @@ pub(crate) fn stream_all(
     workers: usize,
     fast_forward: bool,
     lanes: usize,
+    cancel: CancelToken,
 ) -> SweepStream {
     SweepStream {
-        inner: spawn(entries, workers, fast_forward, lanes),
+        inner: spawn(entries, workers, fast_forward, lanes, cancel),
     }
 }
 
@@ -475,12 +657,13 @@ pub(crate) fn stream_indexed(
     workers: usize,
     fast_forward: bool,
     lanes: usize,
+    cancel: CancelToken,
 ) -> IndexedSweepStream {
     // Reindex to submission order: the reorder buffer sequences by
     // position in `entries`, while each yielded pair keeps the spec's own
     // grid index for the caller's bookkeeping.
     IndexedSweepStream {
-        inner: spawn(entries, workers, fast_forward, lanes),
+        inner: spawn(entries, workers, fast_forward, lanes, cancel),
     }
 }
 
@@ -580,5 +763,132 @@ mod tests {
             .run_streaming()
             .collect();
         drop(results);
+    }
+
+    /// Fault isolation: one poisoned point becomes a typed
+    /// [`PointError`] through [`IndexedSweepStream::next_outcome`],
+    /// while every other point of the grid still arrives — byte-
+    /// identical to a clean run.
+    #[test]
+    fn a_poisoned_point_is_isolated_as_a_typed_error() {
+        fn selective(program: &Program) -> crate::CustomSim<'_> {
+            if program.name() == "DYFESM" {
+                panic!("poisoned point");
+            }
+            // Panic-free points use a trivial one-tick processor.
+            struct Idle {
+                done: bool,
+            }
+            impl crate::Processor for Idle {
+                fn step(&mut self, _now: dva_isa::Cycle) -> crate::Progress {
+                    self.done = true;
+                    crate::Progress::Advanced
+                }
+                fn is_done(&self) -> bool {
+                    self.done
+                }
+                fn next_event_after(&self, _now: dva_isa::Cycle) -> Option<dva_isa::Cycle> {
+                    None
+                }
+                fn quiesce_at(&self) -> dva_isa::Cycle {
+                    1
+                }
+                fn sample(&self, _now: dva_isa::Cycle, obs: &mut crate::Observers) {
+                    obs.record_state(crate::UnitState::empty());
+                }
+            }
+            crate::CustomSim {
+                processor: Box::new(Idle { done: false }),
+                observers: crate::Observers::new(),
+            }
+        }
+        let session = Sweep::new()
+            .machine(Machine::custom("SEL", selective))
+            .benchmarks([Benchmark::Trfd, Benchmark::Dyfesm, Benchmark::Flo52])
+            .scale(Scale::Quick)
+            .threads(2);
+        let mut stream = session.run_subset_streaming(session.grid());
+        let mut errors = Vec::new();
+        let mut points = Vec::new();
+        while let Some((index, outcome)) = stream.next_outcome() {
+            match outcome {
+                Ok(point) => points.push((index, point)),
+                Err(error) => errors.push(error),
+            }
+        }
+        assert_eq!(points.len(), 2);
+        assert_eq!(errors.len(), 1);
+        let error = &errors[0];
+        assert_eq!(error.kind, PointErrorKind::Panic);
+        assert_eq!(error.program, "DYFESM");
+        assert!(error.message.contains("poisoned point"), "{error}");
+        assert!(!stream.cancelled());
+    }
+
+    /// An engine deadlock surfaces as `PointErrorKind::Deadlock`
+    /// carrying the watchdog's structured diagnosis.
+    #[test]
+    fn a_deadlocked_point_reports_the_watchdog_diagnosis() {
+        fn stuck(_: &Program) -> crate::CustomSim<'_> {
+            struct Stuck;
+            impl crate::Processor for Stuck {
+                fn step(&mut self, _now: dva_isa::Cycle) -> crate::Progress {
+                    crate::Progress::Stalled
+                }
+                fn is_done(&self) -> bool {
+                    false
+                }
+                fn next_event_after(&self, _now: dva_isa::Cycle) -> Option<dva_isa::Cycle> {
+                    None
+                }
+                fn quiesce_at(&self) -> dva_isa::Cycle {
+                    0
+                }
+                fn sample(&self, _now: dva_isa::Cycle, obs: &mut crate::Observers) {
+                    obs.record_state(crate::UnitState::empty());
+                }
+                fn deadlock_context(&self, _now: dva_isa::Cycle) -> String {
+                    "stuck custom unit".into()
+                }
+            }
+            crate::CustomSim {
+                processor: Box::new(Stuck),
+                observers: crate::Observers::new(),
+            }
+        }
+        // The watchdog needs WATCHDOG_TICKS no-progress ticks to trip;
+        // with next_event_after defaulting to None that happens fast.
+        let session = Sweep::new()
+            .machine(Machine::custom("STUCK", stuck))
+            .benchmark(Benchmark::Trfd)
+            .scale(Scale::Quick)
+            .threads(1);
+        let mut stream = session.run_subset_streaming(session.grid());
+        let (_, outcome) = stream.next_outcome().unwrap();
+        let error = outcome.unwrap_err();
+        assert_eq!(error.kind, PointErrorKind::Deadlock);
+        assert!(error.message.contains("engine deadlock"), "{error}");
+        assert!(error.message.contains("stuck custom unit"), "{error}");
+        assert!(stream.next_outcome().is_none());
+    }
+
+    /// A cancelled token stops workers from claiming grid points: the
+    /// stream truncates instead of wedging, and reports why.
+    #[test]
+    fn a_cancelled_token_truncates_the_stream() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let session = sweep(2).cancel_token(token);
+        let mut stream = session.run_subset_streaming(session.grid());
+        let total = session.len();
+        let mut yielded = 0;
+        while stream.next_outcome().is_some() {
+            yielded += 1;
+        }
+        assert!(stream.cancelled());
+        assert!(
+            yielded < total,
+            "a pre-cancelled sweep must not complete the grid"
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! Parallel sweep sessions over machines × programs × latencies ×
 //! memory models.
 
+use crate::cancel::CancelToken;
 use crate::prepare::Runners;
 use crate::stream::{self, IndexedSweepStream, PointSpec, SweepStream};
 use crate::{Machine, SimResult};
@@ -43,6 +44,7 @@ pub struct Sweep {
     pub(crate) threads: usize,
     pub(crate) fast_forward: bool,
     pub(crate) lanes: usize,
+    pub(crate) cancel: CancelToken,
 }
 
 /// The lane count [`Sweep::effective_lanes`] resolves `0` (auto) to.
@@ -61,6 +63,7 @@ impl Default for Sweep {
             threads: 0,
             fast_forward: true,
             lanes: 0,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -264,6 +267,25 @@ impl Sweep {
         }
     }
 
+    /// Attaches a cooperative cancellation token to the session's
+    /// *streaming* runs: once the token is cancelled (explicitly or by
+    /// its deadline), workers stop claiming further grid points and the
+    /// stream ends early at the last in-order point. Every point that is
+    /// yielded is still byte-identical to an uncancelled run; the
+    /// blocking [`run`](Sweep::run) ignores the token (it has nobody to
+    /// hand a partial grid to).
+    #[must_use]
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Sweep {
+        self.cancel = cancel;
+        self
+    }
+
+    /// A handle on the session's cancellation token (clones share
+    /// state): cancel it to stop in-flight streaming runs.
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
     /// Number of points the session will measure.
     pub fn len(&self) -> usize {
         let programs = self.benchmarks.len() + self.programs.len();
@@ -366,7 +388,9 @@ impl Sweep {
                     &job.positions,
                     self.fast_forward,
                     &mut runners,
-                    |pos, point| points[pos] = Some(point),
+                    // The blocking path keeps its all-or-nothing
+                    // contract: an isolated point fault re-raises.
+                    |pos, outcome| points[pos] = Some(outcome.unwrap_or_else(|e| panic!("{e}"))),
                 );
             }
             return SweepResults {
@@ -401,6 +425,7 @@ impl Sweep {
             workers,
             self.fast_forward,
             self.effective_lanes(),
+            self.cancel.clone(),
         )
     }
 
@@ -420,6 +445,7 @@ impl Sweep {
             workers,
             self.fast_forward,
             self.effective_lanes(),
+            self.cancel.clone(),
         )
     }
 }

@@ -1,4 +1,5 @@
-//! Shared builders for hand-written test programs.
+//! Shared builders for hand-written test programs, plus the
+//! [`failpoint`] fault-injection facility for chaos tests.
 //!
 //! Every simulator crate's tests used to carry private copies of the
 //! same four-line helpers (`vl`, `vload`, `vadd`, …); they live here
@@ -12,6 +13,7 @@
 #![warn(missing_docs)]
 
 mod alloc_counter;
+pub mod failpoint;
 
 pub use alloc_counter::{allocation_count, CountingAllocator};
 
